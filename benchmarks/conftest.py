@@ -1,0 +1,17 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's exhibits at a reduced-
+but-faithful scale (ratios preserved; see DESIGN.md section 3) and
+asserts the *shape* of the result -- who wins, rough factors, trend
+directions -- rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2026)

@@ -1,0 +1,27 @@
+"""Figure 5: dataset statistics of the synthetic stand-ins."""
+
+from __future__ import annotations
+
+from repro.eval.experiments import figure5
+
+
+def test_figure5(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure5(n_engine=50_000, n_environment=35_000, seed=0),
+        rounds=1, iterations=1)
+    print("\n" + result.format_table())
+
+    engine = result.rows[0]
+    # Shape: every moment lands near the published row.
+    for published, measured, tolerance in zip(
+            engine.published, engine.measured,
+            (0.005, 0.005, 0.01, 0.01, 0.015, 1.5)):
+        assert abs(published - measured) <= tolerance
+    # The signature property: extreme negative skew from the failure.
+    assert engine.measured[5] < -5
+
+    pressure, dewpoint = result.rows[1], result.rows[2]
+    assert abs(pressure.measured[2] - pressure.published[2]) < 0.03
+    assert abs(pressure.measured[4] - pressure.published[4]) < 0.02
+    assert abs(dewpoint.measured[2] - dewpoint.published[2]) < 0.02
+    assert abs(dewpoint.measured[4] - dewpoint.published[4]) < 0.01

@@ -1,0 +1,52 @@
+"""Figure 7: accuracy vs sample size, 1-d synthetic, kernel vs histogram.
+
+Paper shape: D3's precision stays high and improves (or stays flat at
+the top) going up the hierarchy; recall is high at leaves and declines
+somewhat at upper levels (children's misses propagate).  Kernels match
+or beat the offline-favoured equi-depth histograms on precision.  MGDD
+holds high recall across sample sizes.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import figure7
+
+
+def test_figure7(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure7(window_size=1_500, n_leaves=16,
+                        sample_ratios=(0.025, 0.05), n_runs=2, seed=1,
+                        compare_histogram=True),
+        rounds=1, iterations=1)
+    print("\n" + result.format_table())
+
+    for ratio in (0.025, 0.05):
+        d3 = result.entries[("d3", ratio)]
+        # Non-degenerate truth at every level.
+        assert all(n > 0 for n in d3.n_true_outliers.values())
+        # Precision improves going up the hierarchy (paper Figure 7a);
+        # at the smallest sample the leaf model is noisier, but the
+        # escalation filter recovers it.
+        top = max(d3.levels)
+        assert d3.precision(1) > 0.6
+        assert d3.precision(top) >= d3.precision(1)
+        # Recall: strong at leaves, declining moderately upward (7b).
+        assert d3.recall(1) > 0.6
+        assert d3.recall(top) <= d3.recall(1) + 0.1
+
+        # Kernels >= histograms on precision (paper Figure 7a).
+        assert d3.precision(1) >= d3.precision(1, model="histogram") - 0.05
+
+        mgdd = result.entries[("mgdd", ratio)]
+        assert mgdd.n_true_outliers[1] > 0
+        assert mgdd.recall(1) > 0.5
+
+    # Accuracy improves with a larger sample (the Figure 7 sweep).
+    small = result.entries[("d3", 0.025)]
+    large = result.entries[("d3", 0.05)]
+    assert large.precision(1) > small.precision(1)
+    assert large.precision(1) > 0.8
+    # At the healthy sample size MGDD reaches the paper's band.
+    mgdd_large = result.entries[("mgdd", 0.05)]
+    assert mgdd_large.precision(1) > 0.7
+    assert mgdd_large.recall(1) > 0.7

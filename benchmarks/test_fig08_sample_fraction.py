@@ -1,0 +1,27 @@
+"""Figure 8: MGDD accuracy vs the sample fraction f.
+
+Paper shape: both precision and recall improve as f grows, because f
+controls how fresh every leaf's copy of the global estimator stays.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import figure8
+
+
+def test_figure8(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure8(window_size=1_500, n_leaves=16,
+                        fractions=(0.25, 1.0), n_runs=2, seed=3),
+        rounds=1, iterations=1)
+    print("\n" + result.format_table())
+
+    low = result.entries[("mgdd", 0.25)]
+    high = result.entries[("mgdd", 1.0)]
+    assert low.n_true_outliers[1] > 0
+    assert high.n_true_outliers[1] > 0
+
+    # Recall benefits from fresher global models (allow sampling slack).
+    assert high.recall(1) >= low.recall(1) - 0.1
+    # And the full-f configuration reaches strong recall outright.
+    assert high.recall(1) > 0.6

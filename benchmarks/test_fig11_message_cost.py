@@ -1,0 +1,36 @@
+"""Figure 11: communication cost vs network size.
+
+Paper shape: Centralized >> MGDD > D3, with D3 roughly two orders of
+magnitude below centralized, and every curve growing with the network.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import figure11
+
+
+def test_figure11(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure11(leaf_counts=(16, 64, 256), window_size=512,
+                         sample_ratio=0.1, sample_fraction=0.25,
+                         measure_ticks=128, seed=0),
+        rounds=1, iterations=1)
+    print("\n" + result.format_table())
+
+    for row in result.rows:
+        # Strict ordering of the three schemes, as in the figure.
+        assert row.centralized > row.mgdd > row.d3 > 0
+
+    largest = result.rows[-1]
+    # "Approximately two orders of magnitude fewer messages".
+    assert largest.centralized / largest.d3 > 50
+
+    # Rates grow with the network for every scheme.
+    for attr in ("centralized", "mgdd", "d3"):
+        series = [getattr(row, attr) for row in result.rows]
+        assert series == sorted(series)
+
+    # Centralized is exactly one message per reading per tree edge.
+    for row in result.rows:
+        depth = {16: 2, 64: 3, 256: 4}[row.n_leaves]
+        assert row.centralized == row.n_leaves * depth

@@ -1,0 +1,27 @@
+"""Section 10.3: memory usage of the variance estimation.
+
+Paper shape: "the actual values of the maximum memory consumption of the
+variance estimation procedure is around 55%-65% less than the theoretic
+upper bound", and total per-sensor state stays under 10 KB even at the
+"large" parameters (W=20000, |R|=2000, eps=0.2).
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import memory_experiment
+
+
+def test_memory_experiment(benchmark):
+    result = benchmark.pedantic(
+        lambda: memory_experiment(window_sizes=(10_000, 20_000),
+                                  epsilons=(0.2,), n_values=40_000, seed=0),
+        rounds=1, iterations=1)
+    print("\n" + result.format_table())
+
+    for row in result.rows:
+        assert row.measured_words < row.bound_words
+        # Our band: roughly 40-70% below the bound (paper: 55-65%).
+        assert 0.35 < row.fraction_below_bound < 0.75
+
+    # Total per-sensor state under the paper's 10 KB envelope.
+    assert result.total_state_bytes < result.paper_budget_bytes

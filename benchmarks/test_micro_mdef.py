@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the MDEF check (Theorem 4).
+
+Theorem 4: one MDEF decision costs O(d |R| / (2 alpha r)) -- the
+1/(2 alpha r) cell range-queries of Figure 3, each O(d |R|).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import KernelDensityEstimator
+from repro.core.mdef import MDEFOutlierDetector, MDEFSpec
+
+
+@pytest.fixture(scope="module")
+def detector():
+    rng = np.random.default_rng(0)
+    values = np.concatenate([rng.uniform(0.30, 0.42, 3_000),
+                             rng.uniform(0.50, 0.58, 2_000)])
+    kde = KernelDensityEstimator(values[::10], bandwidths=np.array([0.02]),
+                                 window_size=values.shape[0])
+    return MDEFOutlierDetector(
+        kde, MDEFSpec(sampling_radius=0.08, counting_radius=0.01,
+                      min_mdef=0.8))
+
+
+def test_mdef_check_gap_point(benchmark, detector):
+    decision = benchmark(lambda: detector.check([0.46]))
+    assert decision.is_outlier
+
+
+def test_mdef_check_plateau_point(benchmark, detector):
+    decision = benchmark(lambda: detector.check([0.36]))
+    assert not decision.is_outlier
+
+
+def test_mdef_check_2d(benchmark):
+    rng = np.random.default_rng(1)
+    values = np.concatenate([rng.uniform(0.30, 0.42, size=(5_000, 2)),
+                             rng.uniform(0.50, 0.58, size=(2_300, 2))])
+    kde = KernelDensityEstimator(values[::15],
+                                 bandwidths=np.array([0.02, 0.02]),
+                                 window_size=values.shape[0])
+    detector = MDEFOutlierDetector(
+        kde, MDEFSpec(sampling_radius=0.08, counting_radius=0.01))
+    benchmark(lambda: detector.check([0.46, 0.46]))
+
+
+def test_brute_force_mdef_window(benchmark):
+    """BruteForce-M over a full window (the ground-truth cost)."""
+    from repro.core.baselines import brute_force_mdef_outliers
+    rng = np.random.default_rng(2)
+    values = np.concatenate([rng.uniform(0.30, 0.42, 1_200),
+                             rng.uniform(0.50, 0.58, 800)])
+    spec = MDEFSpec(sampling_radius=0.08, counting_radius=0.01)
+    mask = benchmark.pedantic(
+        lambda: brute_force_mdef_outliers(values, spec),
+        rounds=1, iterations=1)
+    assert mask.shape == (2_000,)

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the streaming substrate (Theorem 1's components)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.sampling import ChainSample
+from repro.streams.variance import EHVarianceSketch
+
+
+def test_chain_sample_offer(benchmark):
+    rng = np.random.default_rng(0)
+    sample = ChainSample(10_000, 500, rng=rng)
+    values = rng.uniform(size=(20_000, 1))
+    for value in values[:12_000]:
+        sample.offer(value)
+    iterator = iter(values[12_000:].tolist() * 50)
+    benchmark(lambda: sample.offer(next(iterator)))
+
+
+def test_chain_sample_values_snapshot(benchmark):
+    rng = np.random.default_rng(0)
+    sample = ChainSample(10_000, 500, rng=rng)
+    for value in rng.uniform(size=(2_000, 1)):
+        sample.offer(value)
+    result = benchmark(sample.values)
+    assert result.shape == (500, 1)
+
+
+def test_variance_sketch_insert(benchmark):
+    rng = np.random.default_rng(0)
+    sketch = EHVarianceSketch(10_000, 0.2)
+    for value in rng.uniform(size=12_000):
+        sketch.insert(float(value))
+    iterator = iter(rng.uniform(size=1_000_000).tolist())
+    benchmark(lambda: sketch.insert(next(iterator)))
+
+
+def test_variance_sketch_query(benchmark):
+    rng = np.random.default_rng(0)
+    sketch = EHVarianceSketch(10_000, 0.2)
+    for value in rng.uniform(size=12_000):
+        sketch.insert(float(value))
+    result = benchmark(sketch.std)
+    assert result > 0
+
+
+def test_windowed_neighbor_index_insert(benchmark):
+    """The incremental exact index (ground-truth substrate)."""
+    from repro.core.indexes import WindowedNeighborIndex
+    rng = np.random.default_rng(0)
+    index = WindowedNeighborIndex(window_size=5_000, cell_width=0.01)
+    for value in rng.uniform(size=6_000):
+        index.insert([value])
+    iterator = iter(rng.uniform(size=1_000_000).tolist())
+    benchmark(lambda: index.insert([next(iterator)]))
+
+
+def test_windowed_neighbor_index_query(benchmark):
+    from repro.core.indexes import WindowedNeighborIndex
+    rng = np.random.default_rng(0)
+    index = WindowedNeighborIndex(window_size=5_000, cell_width=0.01)
+    for value in rng.uniform(size=6_000):
+        index.insert([value])
+    result = benchmark(lambda: index.neighbor_count([0.5], 0.01))
+    assert result > 0
+
+
+def test_gk_summary_insert(benchmark):
+    from repro.streams.quantiles import GKQuantileSummary
+    rng = np.random.default_rng(0)
+    summary = GKQuantileSummary(0.01)
+    for value in rng.uniform(size=20_000):
+        summary.insert(float(value))
+    iterator = iter(rng.uniform(size=1_000_000).tolist())
+    benchmark(lambda: summary.insert(next(iterator)))
+
+
+def test_moments_sketch_insert(benchmark):
+    from repro.streams.moments import EHMomentsSketch
+    rng = np.random.default_rng(0)
+    sketch = EHMomentsSketch(10_000, 0.2)
+    for value in rng.uniform(size=12_000):
+        sketch.insert(float(value))
+    iterator = iter(rng.uniform(size=1_000_000).tolist())
+    benchmark(lambda: sketch.insert(next(iterator)))

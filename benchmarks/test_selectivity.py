@@ -1,0 +1,39 @@
+"""Section 9: online range-query (selectivity) estimation.
+
+The paper's framework "can also serve for other applications, such as
+online estimation of range queries".  This bench quantifies that claim:
+the online kernel pipeline answers random range queries within a few
+percent of the exact window selectivity, with the paper's offline
+equi-depth histogram (full window access -- the acknowledged upper
+bound) ahead of both online estimators.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import selectivity_experiment
+
+
+def test_selectivity(benchmark):
+    result = benchmark.pedantic(
+        lambda: selectivity_experiment(window_size=4_000, sample_size=200,
+                                       n_queries=150, seed=2),
+        rounds=1, iterations=1)
+    print("\n" + result.format_table())
+
+    by_estimator = {}
+    for row in result.rows:
+        by_estimator.setdefault(row.estimator, []).append(row)
+
+    # The online kernel pipeline stays within a few percent everywhere.
+    for row in by_estimator["kernel (online)"]:
+        assert row.mean_abs_error < 0.05
+        assert row.max_abs_error < 0.20
+
+    # The offline histogram (full window access) is the upper bound.
+    for kernel_row, offline_row in zip(by_estimator["kernel (online)"],
+                                       by_estimator["histogram (offline)"]):
+        assert offline_row.mean_abs_error <= kernel_row.mean_abs_error + 1e-9
+
+    # The GK-driven online histogram is usable too.
+    for row in by_estimator["histogram (online GK)"]:
+        assert row.mean_abs_error < 0.05

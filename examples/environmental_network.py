@@ -1,0 +1,106 @@
+"""Environmental sensing: 2-d MGDD plus faulty-sensor detection.
+
+Sensors across one region stream (pressure, dew-point) pairs, as in the
+paper's Pacific-Northwest dataset.  Co-located sensors observe the same
+weather plus their own measurement noise.  MGDD distributes a *global*
+density model to every leaf so each sensor judges its readings against
+the whole region's distribution; we inject a short anomalous excursion
+at one sensor and watch it get flagged.  On top of per-node local
+models, a leader then runs the Section 9 faulty-sensor check (pairwise
+Jensen-Shannon divergence between children) against a sensor with a
+drifted calibration offset.
+
+Run:  python examples/environmental_network.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    KernelDensityEstimator,
+    MDEFSpec,
+    MGDDConfig,
+    NetworkSimulator,
+    build_hierarchy,
+    build_mgdd_network,
+)
+from repro.apps import FaultySensorMonitor
+from repro.data import StreamSet, make_environment_stream
+
+N_SENSORS = 16
+N_TICKS = 3_000
+WINDOW = 1_200
+ANOMALY_SENSOR, ANOMALY_TICKS = 2, range(2_400, 2_420)
+OFFSET_SENSOR = 5
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+
+    # One regional weather signal; each sensor adds measurement noise.
+    regional = make_environment_stream(N_TICKS, rng=rng)
+    arrays = [np.clip(regional + rng.normal(0, 0.004, regional.shape), 0, 1)
+              for _ in range(N_SENSORS)]
+    # Sensor 5: drifted pressure calibration (the faulty-sensor target).
+    arrays[OFFSET_SENSOR] = np.clip(
+        arrays[OFFSET_SENSOR] + np.array([0.08, 0.0]), 0.0, 1.0)
+    # Sensor 2: a short anomalous excursion away from the data band.
+    for tick in ANOMALY_TICKS:
+        arrays[ANOMALY_SENSOR][tick] += np.array([0.06, 0.06])
+    streams = StreamSet.from_arrays(arrays)
+
+    hierarchy = build_hierarchy(N_SENSORS, branching=4)
+    # On 2-d "band" data (pressure and dew-point are correlated) the
+    # cell populations inside any sampling neighbourhood vary a lot, so
+    # sigma_MDEF sits near 0.4 even with exact counts and the paper's
+    # k_sigma = 3 can never fire (MDEF <= 1).  k_sigma = 2 with the
+    # min_mdef floor keeps the cutoff meaningful for this shape of data.
+    config = MGDDConfig(
+        spec=MDEFSpec(sampling_radius=0.08, counting_radius=0.01,
+                      k_sigma=2.0, min_mdef=0.9),
+        window_size=WINDOW, sample_size=WINDOW // 5,
+        sample_fraction=0.5, warmup=WINDOW)
+    network = build_mgdd_network(hierarchy, config, n_dims=2,
+                                 rng=np.random.default_rng(22))
+    simulator = NetworkSimulator(hierarchy, network.nodes, streams)
+    simulator.run()
+
+    anomaly_hits = sum(1 for d in network.log.detections
+                       if d.origin == ANOMALY_SENSOR
+                       and d.tick in ANOMALY_TICKS)
+    from_offset = sum(1 for d in network.log.detections
+                      if d.origin == OFFSET_SENSOR)
+    elsewhere = len(network.log) - anomaly_hits - from_offset
+    print(f"sensors                 : {N_SENSORS} (2-d readings)")
+    print(f"MGDD detections (leaves): {len(network.log)}")
+    print(f"  on the injected excursion : {anomaly_hits}/{len(ANOMALY_TICKS)}")
+    print(f"  from the drifted sensor {OFFSET_SENSOR} : {from_offset} "
+          "(its readings really are global outliers)")
+    print(f"  elsewhere                 : {elsewhere}")
+    print(f"model updates flooded   : {network.root.updates_sent}")
+    print(f"message volume          : {simulator.counter.counts}")
+
+    # Section 9 faulty-sensor check at the leader of sensors 4..7.
+    leader = hierarchy.parent_of(OFFSET_SENSOR)
+    children = hierarchy.children_of(leader)
+    models = {}
+    for child in children:
+        state = network.nodes[child].state
+        models[child] = KernelDensityEstimator(
+            state.sample.values(), stddev=state.sketch.std(),
+            window_size=WINDOW)
+    monitor = FaultySensorMonitor(threshold=0.3, grid_size=32)
+    divergences = monitor.divergences(models)
+    print(f"\nper-child JS divergence from siblings (leader {leader}, "
+          f"children {children}):")
+    for child, value in sorted(divergences.items()):
+        marker = "  <-- flagged" if value > monitor.threshold else ""
+        print(f"  sensor {child}: {value:.3f}{marker}")
+    flagged = [report.sensor for report in monitor.check(models)]
+    print(f"\nfaulty sensors reported : {flagged} "
+          f"(expected: [{OFFSET_SENSOR}])")
+
+
+if __name__ == "__main__":
+    main()

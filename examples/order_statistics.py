@@ -1,0 +1,77 @@
+"""Order statistics and moment monitoring from window summaries.
+
+Section 9's closing applications: once a sensor keeps an online
+approximation of its window distribution, it can answer order-statistic
+queries (median, quantiles, IQR) and monitor the first moments (mean,
+standard deviation, skew) without storing the window.  This example
+runs three summaries side by side over a stream with a regime change:
+
+* the window kernel model (this paper's approach),
+* the windowed third-moment sketch (mean / std / skew online),
+* a Greenwald-Khanna quantile summary (the related-work comparator,
+  which never forgets -- watch its median lag after the shift).
+
+Run:  python examples/order_statistics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ChainSample, KernelDensityEstimator, MultiDimVarianceSketch
+from repro.apps import estimate_iqr, estimate_median, estimate_quantile
+from repro.streams.moments import EHMomentsSketch
+from repro.streams.quantiles import GKQuantileSummary
+
+WINDOW, SAMPLE = 2_000, 150
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    # Regime A: a clean band.  Regime B: hotter, with a heavy right tail.
+    regime_a = rng.normal(0.35, 0.02, 6_000)
+    regime_b = np.concatenate([rng.normal(0.6, 0.03, 5_700),
+                               rng.uniform(0.7, 0.95, 300)])
+    rng.shuffle(regime_b)
+    stream = np.concatenate([regime_a, regime_b])
+
+    sample = ChainSample(WINDOW, SAMPLE, rng=rng)
+    sketch = MultiDimVarianceSketch(WINDOW, 1)
+    moments = EHMomentsSketch(WINDOW)
+    gk = GKQuantileSummary(0.01)
+
+    checkpoints = (5_900, 8_000, 11_900)
+    for tick, value in enumerate(stream):
+        sample.offer([value])
+        sketch.insert([value])
+        moments.insert(float(value))
+        gk.insert(float(value))
+        if tick + 1 in checkpoints:
+            window = stream[tick + 1 - WINDOW:tick + 1]
+            model = KernelDensityEstimator(
+                sample.values(), stddev=sketch.std(), window_size=WINDOW)
+            print(f"--- tick {tick + 1} "
+                  f"({'regime A' if tick < 6_000 else 'regime B'}) ---")
+            print(f"  window median : model {estimate_median(model):.3f}  "
+                  f"exact {np.median(window):.3f}  "
+                  f"GK(all history) {gk.median():.3f}")
+            print(f"  window p90    : model "
+                  f"{estimate_quantile(model, 0.9):.3f}  "
+                  f"exact {np.quantile(window, 0.9):.3f}")
+            print(f"  window IQR    : model {estimate_iqr(model):.3f}  "
+                  f"exact "
+                  f"{np.quantile(window, 0.75) - np.quantile(window, 0.25):.3f}")
+            from scipy import stats as scipy_stats
+            print(f"  window skew   : sketch {moments.skewness():+.2f}  "
+                  f"exact {scipy_stats.skew(window):+.2f}")
+            print(f"  footprints    : sample {sample.memory_words()}w, "
+                  f"moments {moments.memory_words()}w, "
+                  f"GK {gk.memory_words()}w "
+                  f"(window itself would be {WINDOW}w)")
+    print("\nNote how the GK median (whole-history) lags the window after "
+          "the regime change,\nwhile the window summaries track it -- the "
+          "paper's case for sliding-window semantics.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Regenerate every table and figure of the paper's Section 10.
+
+Runs the full experiment suite at a reduced-but-faithful scale (all the
+paper's ratios preserved; see DESIGN.md section 3) and prints one block
+per exhibit.  Use ``--paper-scale`` for the original parameters -- that
+run takes hours rather than minutes.
+
+Run:  python examples/reproduce_paper.py [--quick | --paper-scale]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.eval.experiments import (
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    memory_experiment,
+    selectivity_experiment,
+)
+
+PROFILES = {
+    # (window, leaves, runs, fig11 leaf counts)
+    "quick": dict(window=800, leaves=8, runs=1,
+                  fig11_leaves=(16, 64)),
+    "default": dict(window=1_500, leaves=16, runs=2,
+                    fig11_leaves=(16, 64, 256, 1024)),
+    "paper-scale": dict(window=10_000, leaves=32, runs=12,
+                        fig11_leaves=(32, 128, 512, 2048, 6144)),
+}
+
+
+def main() -> None:
+    profile = "default"
+    if "--quick" in sys.argv:
+        profile = "quick"
+    if "--paper-scale" in sys.argv:
+        profile = "paper-scale"
+    p = PROFILES[profile]
+    window, leaves, runs = p["window"], p["leaves"], p["runs"]
+    print(f"profile: {profile} (|W|={window}, {leaves} leaves, "
+          f"{runs} run(s) per configuration)\n")
+
+    def stage(name, fn):
+        start = time.time()
+        result = fn()
+        print(result.format_table())
+        print(f"[{name} took {time.time() - start:.0f}s]\n")
+        return result
+
+    stage("figure 5", lambda: figure5())
+    stage("figure 6", lambda: figure6())
+    stage("figure 7", lambda: figure7(
+        window_size=window, n_leaves=leaves, n_runs=runs))
+    stage("figure 8", lambda: figure8(
+        window_size=window, n_leaves=leaves, n_runs=runs))
+    stage("figure 9", lambda: figure9(
+        window_size=window, n_leaves=leaves, n_runs=runs))
+    stage("figure 10", lambda: figure10(
+        window_size=window, n_leaves=min(leaves, 15), n_runs=runs))
+    stage("figure 11", lambda: figure11(leaf_counts=p["fig11_leaves"]))
+    stage("memory (Sec 10.3)", lambda: memory_experiment())
+    stage("selectivity (Sec 9)", lambda: selectivity_experiment())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs on environments without the `wheel`
+package (PEP 660 editable installs require it). Metadata lives in
+pyproject.toml."""
+from setuptools import setup
+
+setup()

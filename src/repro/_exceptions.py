@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An argument value is outside its documented domain.
+
+    Raised eagerly at construction/call time so that misconfigured
+    experiments fail before any (potentially long) simulation starts.
+    """
+
+
+class EmptyModelError(ReproError, ValueError):
+    """A density model was requested from zero observations.
+
+    Kernel estimators and histograms refuse to silently return NaN
+    densities; callers must wait until at least one value has been seen.
+    """
+
+
+class TopologyError(ReproError, ValueError):
+    """A sensor-network hierarchy specification is inconsistent."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The network simulator reached an inconsistent state."""

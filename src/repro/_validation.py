@@ -1,0 +1,87 @@
+"""Small argument-validation helpers shared across the package.
+
+These keep the public entry points short: each helper validates one
+property and raises :class:`~repro._exceptions.ParameterError` with a
+message naming the offending argument.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._exceptions import ParameterError
+
+
+def require_positive(name: str, value: float) -> float:
+    """Return ``value`` if strictly positive, else raise."""
+    if not np.isfinite(value) or value <= 0:
+        raise ParameterError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def require_positive_int(name: str, value: int) -> int:
+    """Return ``value`` if a strictly positive integer, else raise."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ParameterError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ParameterError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def require_nonnegative_int(name: str, value: int) -> int:
+    """Return ``value`` if a non-negative integer, else raise."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ParameterError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ParameterError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def require_fraction(name: str, value: float, *, inclusive_low: bool = False,
+                     inclusive_high: bool = True) -> float:
+    """Return ``value`` if within (0, 1] (bounds configurable), else raise."""
+    low_ok = value >= 0 if inclusive_low else value > 0
+    high_ok = value <= 1 if inclusive_high else value < 1
+    if not np.isfinite(value) or not (low_ok and high_ok):
+        low = "[0" if inclusive_low else "(0"
+        high = "1]" if inclusive_high else "1)"
+        raise ParameterError(f"{name} must lie in {low}, {high}, got {value!r}")
+    return float(value)
+
+
+def as_points(name: str, values: "np.ndarray | Sequence[float]",
+              *, n_dims: int | None = None) -> np.ndarray:
+    """Coerce ``values`` to a float ``(n, d)`` array of observation points.
+
+    One-dimensional input is interpreted as ``n`` scalar observations.
+    ``n_dims``, when given, pins the expected dimensionality.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.ndim == 0:
+        array = array.reshape(1, 1)
+    elif array.ndim == 1:
+        array = array.reshape(-1, 1)
+    elif array.ndim != 2:
+        raise ParameterError(
+            f"{name} must be at most 2-dimensional, got shape {array.shape}")
+    if not np.isfinite(array).all():
+        raise ParameterError(f"{name} must contain only finite values")
+    if n_dims is not None and array.shape[1] != n_dims:
+        raise ParameterError(
+            f"{name} must have {n_dims} column(s), got shape {array.shape}")
+    return array
+
+
+def as_point(name: str, value: "np.ndarray | Sequence[float] | float",
+             n_dims: int) -> np.ndarray:
+    """Coerce ``value`` to a single float ``(d,)`` observation point."""
+    array = np.asarray(value, dtype=float).reshape(-1)
+    if array.shape != (n_dims,):
+        raise ParameterError(
+            f"{name} must be a point with {n_dims} coordinate(s), "
+            f"got shape {array.shape}")
+    if not np.isfinite(array).all():
+        raise ParameterError(f"{name} must contain only finite values")
+    return array

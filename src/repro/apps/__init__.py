@@ -1,0 +1,40 @@
+"""The other applications of the density framework (paper Section 9):
+approximate spatio-temporal query answering and faulty-sensor detection.
+"""
+
+from repro.apps.aggregates import (
+    conditional_mean,
+    estimate_cdf,
+    estimate_iqr,
+    estimate_median,
+    estimate_quantile,
+)
+from repro.apps.monitoring import (
+    FaultEvent,
+    FaultLog,
+    MonitoringLeaderNode,
+    attach_fault_monitoring,
+)
+from repro.apps.faulty_sensors import (
+    FaultReport,
+    FaultySensorMonitor,
+    RegionOutlierAlarm,
+)
+from repro.apps.range_queries import Region, SpatioTemporalQueryEngine
+
+__all__ = [
+    "estimate_cdf",
+    "estimate_quantile",
+    "estimate_median",
+    "estimate_iqr",
+    "conditional_mean",
+    "Region",
+    "SpatioTemporalQueryEngine",
+    "FaultReport",
+    "FaultEvent",
+    "FaultLog",
+    "MonitoringLeaderNode",
+    "attach_fault_monitoring",
+    "FaultySensorMonitor",
+    "RegionOutlierAlarm",
+]

@@ -1,0 +1,131 @@
+"""Online detection of faulty sensors (paper Section 9).
+
+Two query patterns from the paper:
+
+* "Give a warning when the values of a given sensor are significantly
+  different from the values of its neighbors over the most recent time
+  window W" -- implemented by :class:`FaultySensorMonitor`: a parent
+  compares the estimator models received from its children via the
+  Jensen-Shannon divergence (Section 6) and flags children whose model
+  diverges from their peers' by more than a threshold.
+
+* "Give a warning if the number of outliers in a given region exceeds a
+  given threshold T over the most recent time window W" -- implemented
+  by :class:`RegionOutlierAlarm` over a detection log.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._exceptions import ParameterError
+from repro._validation import require_fraction, require_positive_int
+from repro.core.divergence import model_js_divergence
+from repro.core.model import DensityModel
+from repro.network.node import Detection
+
+__all__ = ["FaultReport", "FaultySensorMonitor", "RegionOutlierAlarm"]
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """One child flagged as deviating from its peers."""
+
+    sensor: int
+    #: Median pairwise JS divergence between the sensor and its siblings.
+    divergence: float
+    threshold: float
+
+
+class FaultySensorMonitor:
+    """Peer-comparison fault detection at a parent node.
+
+    For each child, the child's density model is compared (JS
+    divergence on a grid, Equation 8) against each sibling's model, and
+    the child's score is the *median* pairwise divergence.  The median
+    makes the comparison robust to the faulty sensor itself: a drifted
+    child diverges from every sibling, while its healthy siblings still
+    agree with each other (a merged-peers comparison would let one bad
+    sensor inflate everyone's divergence).  A sensor measuring the same
+    phenomenon as its neighbours should produce a similar window
+    distribution; a large score indicates mis-calibration, a stuck
+    reading, or a local anomaly worth a warning.
+    """
+
+    def __init__(self, threshold: float = 0.35, *, grid_size: int = 64) -> None:
+        require_fraction("threshold", threshold)
+        require_positive_int("grid_size", grid_size)
+        self._threshold = threshold
+        self._grid_size = grid_size
+
+    @property
+    def threshold(self) -> float:
+        """Divergence score above which a child is reported."""
+        return self._threshold
+
+    def divergences(self, models: "dict[int, DensityModel]") -> "dict[int, float]":
+        """Median pairwise JS divergence of every child vs its siblings."""
+        if len(models) < 2:
+            raise ParameterError(
+                "need at least two children's models to compare peers")
+        children = sorted(models)
+        pairwise: "dict[tuple[int, int], float]" = {}
+        for i, a in enumerate(children):
+            for b in children[i + 1:]:
+                pairwise[(a, b)] = model_js_divergence(
+                    models[a], models[b], grid_size=self._grid_size)
+        out: "dict[int, float]" = {}
+        for child in children:
+            scores = [pairwise[tuple(sorted((child, peer)))]
+                      for peer in children if peer != child]
+            out[child] = float(np.median(scores))
+        return out
+
+    def check(self, models: "dict[int, DensityModel]") -> "list[FaultReport]":
+        """Children whose divergence from their peers exceeds the threshold."""
+        return [FaultReport(sensor=child, divergence=d, threshold=self._threshold)
+                for child, d in sorted(self.divergences(models).items())
+                if d > self._threshold]
+
+
+class RegionOutlierAlarm:
+    """Sliding-count alarm over a region's outlier reports.
+
+    Tracks detections whose origin leaf belongs to the region and raises
+    when more than ``count_threshold`` occurred within the last
+    ``time_window`` ticks.
+    """
+
+    def __init__(self, region_leaves, count_threshold: int,
+                 time_window: int) -> None:
+        self._region = frozenset(int(leaf) for leaf in region_leaves)
+        if not self._region:
+            raise ParameterError("region_leaves must not be empty")
+        require_positive_int("count_threshold", count_threshold)
+        require_positive_int("time_window", time_window)
+        self._count_threshold = count_threshold
+        self._time_window = time_window
+        self._recent: "deque[int]" = deque()   # ticks of in-region detections
+
+    @property
+    def current_count(self) -> int:
+        """Detections currently inside the time window."""
+        return len(self._recent)
+
+    def observe(self, detection: Detection) -> bool:
+        """Feed one detection (any origin); return True when the alarm fires.
+
+        Detections must arrive in non-decreasing tick order.
+        """
+        self._expire(detection.tick)
+        if detection.origin in self._region:
+            self._recent.append(detection.tick)
+        return len(self._recent) > self._count_threshold
+
+    def _expire(self, now: int) -> None:
+        horizon = now - self._time_window
+        while self._recent and self._recent[0] <= horizon:
+            self._recent.popleft()

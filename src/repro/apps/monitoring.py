@@ -1,0 +1,161 @@
+"""In-network fault monitoring (paper Section 9, run inside the simulator).
+
+"With our approach, a parent sensor can compute the difference between
+the estimator models received from its children, to determine if any of
+them is faulty."  The D3/MGDD leaders only keep a *merged* sample of
+their children's forwards; this module adds the missing per-child view:
+a :class:`MonitoringLeaderNode` wraps any leader behaviour, additionally
+maintains one chain sample per child from the very forwards it already
+receives (no extra messages), and periodically runs the
+:class:`~repro.apps.faulty_sensors.FaultySensorMonitor` peer comparison,
+logging :class:`~repro.apps.faulty_sensors.FaultReport` entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._exceptions import ParameterError
+from repro._validation import require_positive_int
+from repro.apps.faulty_sensors import FaultReport, FaultySensorMonitor
+from repro.core.estimator import KernelDensityEstimator
+from repro.network.messages import Message, ValueForward
+from repro.network.node import Outgoing
+from repro.streams.sampling import ChainSample
+
+__all__ = ["FaultEvent", "FaultLog", "MonitoringLeaderNode",
+           "attach_fault_monitoring"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault report raised during the simulation."""
+
+    tick: int
+    leader: int
+    report: FaultReport
+
+
+@dataclass
+class FaultLog:
+    """Accumulates fault reports across the network."""
+
+    events: "list[FaultEvent]" = field(default_factory=list)
+
+    def record(self, event: FaultEvent) -> None:
+        """Append one event."""
+        self.events.append(event)
+
+    def flagged_sensors(self) -> "set[int]":
+        """Every child that was ever reported."""
+        return {event.report.sensor for event in self.events}
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class MonitoringLeaderNode:
+    """Wrap a leader behaviour with per-child model comparison.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped leader (a D3 parent, MGDD leader, or relay).
+    children:
+        Direct children whose forwards should be profiled.
+    check_every:
+        Run the peer comparison once per this many ticks (per leader).
+    sample_size / arrival_window:
+        Per-child chain-sample dimensions.  Forward rates are low, so a
+        modest ``arrival_window`` keeps the per-child profile fresh.
+    min_sample:
+        Forwards required from *every* child before comparisons start.
+    """
+
+    def __init__(self, inner, children, log: FaultLog, *,
+                 monitor: FaultySensorMonitor | None = None,
+                 check_every: int = 256, sample_size: int = 32,
+                 arrival_window: int = 64, min_sample: int = 16,
+                 n_dims: int = 1,
+                 rng: np.random.Generator | None = None) -> None:
+        require_positive_int("check_every", check_every)
+        if not children:
+            raise ParameterError("a monitored leader needs children")
+        self.node_id = inner.node_id
+        self._inner = inner
+        self._children = tuple(children)
+        self._log = log
+        self._monitor = monitor if monitor is not None \
+            else FaultySensorMonitor(threshold=0.35, grid_size=32)
+        self._check_every = check_every
+        self._min_sample = min_sample
+        self._n_dims = n_dims
+        rng = rng if rng is not None else np.random.default_rng()
+        self._profiles = {
+            child: ChainSample(arrival_window, sample_size, n_dims,
+                               rng=np.random.default_rng(rng.integers(2**63)))
+            for child in self._children}
+        self._received = {child: 0 for child in self._children}
+        self._last_check = -1
+
+    # ------------------------------------------------------------------
+
+    def on_reading(self, value: np.ndarray, tick: int) -> "list[Outgoing]":
+        """Delegate to the wrapped leader."""
+        return list(self._inner.on_reading(value, tick))
+
+    def on_message(self, message: Message, sender: int,
+                   tick: int) -> "list[Outgoing]":
+        """Profile forwards per child, then delegate."""
+        if isinstance(message, ValueForward) and sender in self._profiles:
+            self._profiles[sender].offer(message.value)
+            self._received[sender] += 1
+        out = list(self._inner.on_message(message, sender, tick))
+        if tick - self._last_check >= self._check_every:
+            self._last_check = tick
+            self._run_check(tick)
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _run_check(self, tick: int) -> None:
+        if len(self._children) < 2:
+            return
+        if any(self._received[c] < self._min_sample for c in self._children):
+            return
+        models = {}
+        for child, profile in self._profiles.items():
+            values = profile.values()
+            if values.shape[0] < 2 or float(values.std()) == 0.0:
+                return
+            models[child] = KernelDensityEstimator(
+                values, stddev=values.std(axis=0),
+                window_size=max(values.shape[0], 2))
+        for report in self._monitor.check(models):
+            self._log.record(FaultEvent(tick=tick, leader=self.node_id,
+                                        report=report))
+
+
+def attach_fault_monitoring(nodes, hierarchy, *, level: int = 2,
+                            log: FaultLog | None = None,
+                            rng: np.random.Generator | None = None,
+                            **monitor_kwargs) -> FaultLog:
+    """Wrap every leader at one hierarchy level with fault monitoring.
+
+    Mutates ``nodes`` in place (wrap before constructing the simulator)
+    and returns the shared :class:`FaultLog`.
+    """
+    if not 2 <= level <= hierarchy.n_levels:
+        raise ParameterError(
+            f"level must be a leader tier in [2, {hierarchy.n_levels}], "
+            f"got {level}")
+    log = log if log is not None else FaultLog()
+    rng = rng if rng is not None else np.random.default_rng()
+    for node_id in hierarchy.levels[level - 1]:
+        nodes[node_id] = MonitoringLeaderNode(
+            nodes[node_id], hierarchy.children_of(node_id), log,
+            rng=np.random.default_rng(rng.integers(2**63)),
+            **monitor_kwargs)
+    return log

@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``reproduce``
+    Regenerate the paper's tables and figures (all, or one by name) and
+    print them; optionally export the series as CSV.
+``detect``
+    Run the online single-sensor detection loop over a CSV/whitespace
+    file of readings (one value per line, normalised to [0, 1]) and
+    print flagged lines.
+``info``
+    Print the package version and the experiment inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+_EXHIBITS = ("figure5", "figure6", "figure7", "figure8", "figure9",
+             "figure10", "figure11", "memory", "selectivity")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Online Outlier Detection in Sensor "
+                    "Data Using Non-Parametric Models' (VLDB 2006)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    reproduce = commands.add_parser(
+        "reproduce", help="regenerate the paper's tables and figures")
+    reproduce.add_argument(
+        "exhibit", nargs="?", default="all",
+        choices=("all",) + _EXHIBITS,
+        help="which exhibit to regenerate (default: all)")
+    reproduce.add_argument(
+        "--window", type=int, default=1_500,
+        help="sliding-window size |W| for the accuracy sweeps")
+    reproduce.add_argument(
+        "--leaves", type=int, default=16, help="number of leaf sensors")
+    reproduce.add_argument(
+        "--runs", type=int, default=2, help="Monte-Carlo runs per config")
+    reproduce.add_argument(
+        "--seed", type=int, default=0, help="root random seed")
+
+    detect = commands.add_parser(
+        "detect", help="flag (D, r)-outliers in a file of readings")
+    detect.add_argument("path", help="file with one [0, 1] reading per line")
+    detect.add_argument("--window", type=int, default=2_000)
+    detect.add_argument("--sample", type=int, default=100)
+    detect.add_argument("--radius", type=float, default=0.01)
+    detect.add_argument("--threshold", type=float, default=9.0)
+    detect.add_argument("--seed", type=int, default=0)
+
+    commands.add_parser("info", help="version and experiment inventory")
+    return parser
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.eval import experiments
+
+    def sweeps(fn):
+        return fn(window_size=args.window, n_leaves=args.leaves,
+                  n_runs=args.runs, seed=args.seed)
+
+    runners = {
+        "figure5": lambda: experiments.figure5(seed=args.seed),
+        "figure6": lambda: experiments.figure6(seed=args.seed),
+        "figure7": lambda: sweeps(experiments.figure7),
+        "figure8": lambda: sweeps(experiments.figure8),
+        "figure9": lambda: sweeps(experiments.figure9),
+        "figure10": lambda: experiments.figure10(
+            window_size=args.window, n_leaves=min(args.leaves, 15),
+            n_runs=args.runs, seed=args.seed),
+        "figure11": lambda: experiments.figure11(seed=args.seed),
+        "memory": lambda: experiments.memory_experiment(seed=args.seed),
+        "selectivity": lambda: experiments.selectivity_experiment(
+            seed=args.seed),
+    }
+    selected = _EXHIBITS if args.exhibit == "all" else (args.exhibit,)
+    for name in selected:
+        print(runners[name]().format_table())
+        print()
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    import numpy as np
+
+    from repro.core.outliers import DistanceOutlierSpec
+    from repro.detectors.single import OnlineOutlierDetector
+
+    detector = OnlineOutlierDetector(
+        args.window, args.sample,
+        DistanceOutlierSpec(radius=args.radius,
+                            count_threshold=args.threshold),
+        rng=np.random.default_rng(args.seed))
+    with open(args.path) as handle:
+        for line_number, line in enumerate(handle):
+            text = line.strip().split(",")[0]
+            if not text:
+                continue
+            value = float(text)
+            decision = detector.process(value)
+            if decision is not None and decision.is_outlier:
+                print(f"line {line_number}: {value:.4f} "
+                      f"(estimated neighbours {decision.neighbor_count:.1f} "
+                      f"< {args.threshold})")
+    print(f"# flagged {detector.readings_flagged} reading(s)",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_info(args) -> int:
+    import repro
+    print(f"repro {repro.__version__} -- reproduction of Subramaniam et "
+          f"al., VLDB 2006")
+    print("exhibits:", ", ".join(_EXHIBITS))
+    print("see DESIGN.md for the system inventory and EXPERIMENTS.md for "
+          "paper-vs-measured results")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {"reproduce": _cmd_reproduce, "detect": _cmd_detect,
+                "info": _cmd_info}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":   # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""The density-model interface shared by kernels and histograms.
+
+The outlier tests (Sections 7 and 8) are written against this protocol so
+that the kernel estimator and the equi-depth histogram baseline from the
+paper's experimental comparison are interchangeable.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["DensityModel"]
+
+
+@runtime_checkable
+class DensityModel(Protocol):
+    """Anything that can answer box-probability and count queries."""
+
+    @property
+    def n_dims(self) -> int:
+        """Data dimensionality ``d``."""
+        ...
+
+    @property
+    def window_size(self) -> int:
+        """The window size ``|W|`` scaling neighbourhood counts."""
+        ...
+
+    def range_probability(self, low, high):
+        """Probability mass of the axis-aligned box ``[low, high]``."""
+        ...
+
+    def neighborhood_count(self, p, r):
+        """Estimated count of window values within ``r`` of ``p`` (Eq. 4)."""
+        ...
+
+    def grid_probabilities(self, cells_per_dim: int,
+                           low: float = 0.0, high: float = 1.0) -> np.ndarray:
+        """Cell masses of a uniform grid over ``[low, high]^d``."""
+        ...

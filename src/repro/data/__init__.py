@@ -1,0 +1,48 @@
+"""Dataset generators: the paper's synthetic workloads plus synthetic
+stand-ins for its two real datasets (see DESIGN.md section 4 for the
+substitution rationale).
+"""
+
+from repro.data.engine import (
+    ENGINE_FIGURE5_ROW,
+    FAILURE_FRACTION,
+    make_engine_stream,
+    make_engine_streams,
+)
+from repro.data.environment import (
+    DEWPOINT_FIGURE5_ROW,
+    PRESSURE_FIGURE5_ROW,
+    make_environment_stream,
+    make_environment_streams,
+)
+from repro.data.streams import StreamSet
+from repro.data.synthetic import (
+    DEFAULT_MEANS,
+    DriftingGaussianStream,
+    MixtureSpec,
+    PlateauSpec,
+    make_mixture_stream,
+    make_mixture_streams,
+    make_plateau_stream,
+    make_plateau_streams,
+)
+
+__all__ = [
+    "MixtureSpec",
+    "DEFAULT_MEANS",
+    "make_mixture_stream",
+    "make_mixture_streams",
+    "PlateauSpec",
+    "make_plateau_stream",
+    "make_plateau_streams",
+    "DriftingGaussianStream",
+    "make_engine_stream",
+    "make_engine_streams",
+    "ENGINE_FIGURE5_ROW",
+    "FAILURE_FRACTION",
+    "make_environment_stream",
+    "make_environment_streams",
+    "PRESSURE_FIGURE5_ROW",
+    "DEWPOINT_FIGURE5_ROW",
+    "StreamSet",
+]

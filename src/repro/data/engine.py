@@ -1,0 +1,109 @@
+"""Synthetic stand-in for the paper's engine dataset (Figure 5, Figure 10).
+
+The paper's first real dataset "records the operation of an engine
+reported every 5 minutes by 15 sensors" from June to December 2002
+(50,000 values per sensor), including "a major failure ... from October
+28th to November 1st" during which the sensors "reported deviating
+values".  That dataset is proprietary, so this module synthesises
+streams that match the published Figure 5 statistics:
+
+    min 0.020, max 0.427, mean 0.410, median 0.419, std 0.053, skew -6.844
+
+The published moments are themselves strongly two-regime: solving the
+two-component mixture that reproduces (mean, std, skew) around a healthy
+median of 0.419 yields a failure regime at level ~0.056 occupying ~2.1%
+of the stream -- strikingly consistent with a four-day outage in a
+six-month record (4/183 = 2.2%).  We therefore generate:
+
+* a *healthy* regime: a tight Gaussian band around 0.419 (the median),
+  clipped at the published maximum 0.427;
+* a *failure* window: one contiguous block of ~2.1% of the samples at
+  level ~0.056, clipped at the published minimum 0.020.
+
+Why the substitution preserves behaviour: the detection algorithms only
+observe the windowed value distribution.  Matching the published moments
+reproduces the same smooth-band / abrupt-excursion regime that gave the
+paper its ~99% precision / ~93% recall on this dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._exceptions import ParameterError
+from repro._validation import require_fraction, require_positive_int
+
+__all__ = ["make_engine_stream", "make_engine_streams",
+           "ENGINE_FIGURE5_ROW", "FAILURE_FRACTION"]
+
+#: The Figure 5 row for the engine dataset:
+#: (min, max, mean, median, stddev, skew).
+ENGINE_FIGURE5_ROW = (0.020, 0.427, 0.410, 0.419, 0.053, -6.844)
+
+#: Fraction of the stream inside the failure window (solved from the
+#: published moments; see the module docstring).
+FAILURE_FRACTION = 0.021
+
+_HEALTHY_LEVEL = 0.419
+_HEALTHY_STD = 0.0042
+_FAILURE_LEVEL = 0.056
+_FAILURE_STD = 0.022
+_MIN_VALUE = 0.020
+_MAX_VALUE = 0.427
+
+
+def make_engine_stream(n: int = 50_000, *,
+                       failure_fraction: float = FAILURE_FRACTION,
+                       failure_start_fraction: float = 0.81,
+                       rng: np.random.Generator | None = None) -> np.ndarray:
+    """One engine sensor's stream, shape ``(n, 1)``.
+
+    ``failure_start_fraction`` places the failure window within the
+    stream; the default 0.81 corresponds to late October within a
+    June-December record.
+    """
+    require_positive_int("n", n)
+    require_fraction("failure_fraction", failure_fraction,
+                     inclusive_low=True, inclusive_high=False)
+    if not 0.0 <= failure_start_fraction < 1.0:
+        raise ParameterError(
+            f"failure_start_fraction must be in [0, 1), got {failure_start_fraction!r}")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    values = rng.normal(_HEALTHY_LEVEL, _HEALTHY_STD, size=n)
+    n_fail = int(round(failure_fraction * n))
+    if n_fail:
+        start = int(failure_start_fraction * n)
+        start = min(start, n - n_fail)
+        # The excursion ramps down, dwells, and recovers, like a real
+        # outage trace rather than an i.i.d. block.
+        ramp = max(1, n_fail // 10)
+        dwell = n_fail - 2 * ramp
+        profile = np.concatenate([
+            np.linspace(_HEALTHY_LEVEL, _FAILURE_LEVEL, ramp),
+            np.full(max(dwell, 0), _FAILURE_LEVEL),
+            np.linspace(_FAILURE_LEVEL, _HEALTHY_LEVEL, ramp),
+        ])[:n_fail]
+        values[start:start + n_fail] = profile + rng.normal(
+            0.0, _FAILURE_STD, size=n_fail)
+    return np.clip(values, _MIN_VALUE, _MAX_VALUE).reshape(-1, 1)
+
+
+def make_engine_streams(n_sensors: int = 15, n: int = 50_000, *,
+                        seed: int | None = None) -> "list[np.ndarray]":
+    """Streams for the paper's 15 engine sensors.
+
+    All sensors witness the same systemic failure window (it was a
+    machine-level event) but otherwise observe independent measurement
+    noise and slightly different operating levels.
+    """
+    require_positive_int("n_sensors", n_sensors)
+    root = np.random.default_rng(seed)
+    streams = []
+    for _ in range(n_sensors):
+        child = np.random.default_rng(root.integers(2**63))
+        stream = make_engine_stream(n, rng=child)
+        # Small per-sensor calibration offset, clipped back to the domain.
+        offset = child.normal(0.0, 0.0015)
+        streams.append(np.clip(stream + offset, _MIN_VALUE, _MAX_VALUE))
+    return streams

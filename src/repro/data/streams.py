@@ -1,0 +1,57 @@
+"""Stream plumbing shared by the simulator and the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._exceptions import ParameterError
+from repro._validation import as_points
+
+__all__ = ["StreamSet"]
+
+
+@dataclass(frozen=True)
+class StreamSet:
+    """A bundle of per-sensor streams of equal length and dimensionality.
+
+    ``streams[i]`` has shape ``(length, n_dims)`` and is the reading
+    sequence of leaf sensor ``i``.
+    """
+
+    streams: "tuple[np.ndarray, ...]"
+
+    @classmethod
+    def from_arrays(cls, arrays) -> "StreamSet":
+        """Validate and normalise a list of per-sensor arrays."""
+        normalised = tuple(as_points(f"streams[{i}]", a)
+                           for i, a in enumerate(arrays))
+        if not normalised:
+            raise ParameterError("a StreamSet needs at least one stream")
+        lengths = {a.shape[0] for a in normalised}
+        dims = {a.shape[1] for a in normalised}
+        if len(lengths) != 1:
+            raise ParameterError(f"streams disagree on length: {sorted(lengths)}")
+        if len(dims) != 1:
+            raise ParameterError(f"streams disagree on dimensionality: {sorted(dims)}")
+        return cls(normalised)
+
+    @property
+    def n_sensors(self) -> int:
+        """Number of per-sensor streams."""
+        return len(self.streams)
+
+    @property
+    def length(self) -> int:
+        """Readings per sensor."""
+        return self.streams[0].shape[0]
+
+    @property
+    def n_dims(self) -> int:
+        """Dimensionality of each reading."""
+        return self.streams[0].shape[1]
+
+    def reading(self, sensor: int, t: int) -> np.ndarray:
+        """The reading of ``sensor`` at tick ``t``."""
+        return self.streams[sensor][t]

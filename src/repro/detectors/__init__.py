@@ -1,0 +1,39 @@
+"""The paper's distributed detection algorithms: D3 (Section 7),
+MGDD (Section 8) and the centralized baseline (Figure 11).
+"""
+
+from repro.detectors.centralized import (
+    CentralizedLeafNode,
+    CentralizedRelayNode,
+    build_centralized_network,
+)
+from repro.detectors.d3 import (
+    D3Config,
+    D3LeafNode,
+    D3ParentNode,
+    build_d3_network,
+    expected_parent_arrival_window,
+)
+from repro.detectors.single import OnlineOutlierDetector
+from repro.detectors.mgdd import (
+    MGDDConfig,
+    MGDDLeaderNode,
+    MGDDLeafNode,
+    build_mgdd_network,
+)
+
+__all__ = [
+    "OnlineOutlierDetector",
+    "D3Config",
+    "D3LeafNode",
+    "D3ParentNode",
+    "build_d3_network",
+    "expected_parent_arrival_window",
+    "MGDDConfig",
+    "MGDDLeafNode",
+    "MGDDLeaderNode",
+    "build_mgdd_network",
+    "CentralizedLeafNode",
+    "CentralizedRelayNode",
+    "build_centralized_network",
+]

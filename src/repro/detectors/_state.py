@@ -1,0 +1,147 @@
+"""Shared per-node estimator state for the distributed detectors.
+
+Every node that approximates a distribution -- D3 leaves and parents,
+MGDD leaves (their local sample) and leaders -- carries the same trio of
+Section 5 components: a chain sample of its arrival stream, per-dimension
+variance sketches, and a cached kernel model rebuilt at a bounded rate.
+This module factors that trio out of the algorithm classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._exceptions import ParameterError
+from repro.core.bandwidth import scott_bandwidths
+from repro.core.estimator import KernelDensityEstimator
+from repro.core.kernels import EPANECHNIKOV, Kernel
+from repro.streams.sampling import ChainSample
+from repro.streams.variance import MultiDimVarianceSketch
+
+__all__ = ["StreamModelState"]
+
+#: Rebuilding the kernel model on every arrival would be wasteful; the
+#: sample changes only ~|R|/|W| of the time anyway.  Rebuild at most once
+#: per this many arrivals (callers may override).
+DEFAULT_MODEL_REFRESH = 16
+
+
+class StreamModelState:
+    """Chain sample + variance sketches + cached kernel model for one node.
+
+    Parameters
+    ----------
+    arrival_window:
+        The node's window length measured in *its own arrivals* -- the
+        stream length over which the chain sample stays uniform.  For a
+        leaf this is ``|W|``; for a parent it is the expected number of
+        forwarded values per window period (see the D3/MGDD builders).
+    sample_size:
+        Kernel sample slots ``|R|``.
+    n_dims:
+        Reading dimensionality.
+    epsilon:
+        Variance-sketch accuracy.
+    min_arrivals:
+        Arrivals required before :meth:`model` returns anything; guards
+        against degenerate single-value models.
+    model_refresh:
+        Rebuild the cached model at most once per this many arrivals.
+    bandwidth_cap:
+        Optional upper bound on the kernel bandwidths (the MDEF test
+        needs resolution at its counting-radius scale; see
+        :class:`~repro.detectors.mgdd.MGDDConfig.bandwidth_cap`).
+    bandwidth_basis:
+        The ``n`` in Scott's rule: ``"window"`` (default -- the
+        observation count the estimate represents, which reproduces the
+        paper's reported accuracy) or ``"sample"`` (the formula as
+        printed, ``|R|``).  See EXPERIMENTS.md.
+    """
+
+    def __init__(self, arrival_window: int, sample_size: int, n_dims: int, *,
+                 epsilon: float = 0.2,
+                 min_arrivals: int | None = None,
+                 model_refresh: int = DEFAULT_MODEL_REFRESH,
+                 kernel: Kernel = EPANECHNIKOV,
+                 bandwidth_cap: "float | None" = None,
+                 bandwidth_basis: str = "window",
+                 rng: np.random.Generator | None = None) -> None:
+        if model_refresh < 1:
+            raise ParameterError(f"model_refresh must be >= 1, got {model_refresh}")
+        if bandwidth_cap is not None and bandwidth_cap <= 0:
+            raise ParameterError(
+                f"bandwidth_cap must be positive, got {bandwidth_cap!r}")
+        if bandwidth_basis not in ("window", "sample"):
+            raise ParameterError(
+                f"bandwidth_basis must be 'window' or 'sample', "
+                f"got {bandwidth_basis!r}")
+        self._bandwidth_basis = bandwidth_basis
+        self._sample = ChainSample(arrival_window, sample_size, n_dims, rng=rng)
+        self._sketch = MultiDimVarianceSketch(arrival_window, n_dims, epsilon)
+        self._kernel = kernel
+        self._bandwidth_cap = bandwidth_cap
+        self._model_refresh = model_refresh
+        if min_arrivals is None:
+            min_arrivals = max(2, sample_size // 8)
+        self._min_arrivals = min_arrivals
+        self._arrivals = 0
+        self._arrivals_at_build = -1
+        self._cached: KernelDensityEstimator | None = None
+        #: |W| used to scale neighbourhood counts; set by the owner
+        #: (leaf window, or the union-window size for leaders).
+        self.count_window_size = arrival_window
+
+    # ------------------------------------------------------------------
+
+    @property
+    def arrivals(self) -> int:
+        """Number of values observed so far."""
+        return self._arrivals
+
+    @property
+    def sample(self) -> ChainSample:
+        """The chain sample (exposed for memory accounting)."""
+        return self._sample
+
+    @property
+    def sketch(self) -> MultiDimVarianceSketch:
+        """The variance sketches (exposed for memory accounting)."""
+        return self._sketch
+
+    def observe(self, value: np.ndarray) -> "tuple[int, ...]":
+        """Feed one arrival; return the sample slots it replaced."""
+        changed = self._sample.offer_detailed(value)
+        self._sketch.insert(value)
+        self._arrivals += 1
+        return changed
+
+    def model(self) -> "KernelDensityEstimator | None":
+        """The current kernel model, or None before ``min_arrivals``.
+
+        The cached model is rebuilt lazily, at most once per
+        ``model_refresh`` arrivals.
+        """
+        if self._arrivals < self._min_arrivals:
+            return None
+        if (self._cached is None
+                or self._arrivals - self._arrivals_at_build >= self._model_refresh):
+            sample = self._sample.values()
+            if sample.shape[0] == 0:
+                return None
+            std = self._sketch.std()
+            if self._bandwidth_basis == "window":
+                n_basis = max(sample.shape[0], int(self.count_window_size))
+            else:
+                n_basis = sample.shape[0]
+            bandwidths = scott_bandwidths(std, n_basis, sample.shape[1])
+            if self._bandwidth_cap is not None:
+                bandwidths = np.minimum(bandwidths, self._bandwidth_cap)
+            self._cached = KernelDensityEstimator(
+                sample, bandwidths=bandwidths, kernel=self._kernel,
+                window_size=max(1, int(self.count_window_size)))
+            self._arrivals_at_build = self._arrivals
+        return self._cached
+
+    def memory_words(self) -> int:
+        """Logical footprint of the sample and sketches, in words."""
+        return self._sample.memory_words() + self._sketch.memory_words()

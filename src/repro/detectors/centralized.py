@@ -1,0 +1,95 @@
+"""The centralized baseline (paper Sections 8.1 and 10.3, Figure 11).
+
+Every sensor ships every reading up the hierarchy to the top-level
+leader, which therefore sees the exact union of all streams.  This is
+the accuracy gold standard (the leader can run the offline brute-force
+detectors on complete data) and the communication worst case the paper's
+Figure 11 compares D3 and MGDD against.
+
+Detection at the root is optional: the Figure 11 experiment only counts
+messages, while the accuracy harness uses the brute-force detectors
+directly on window contents instead of paying for a full simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.messages import Message, ValueForward
+from repro.network.node import DetectionLog, Outgoing
+from repro.network.topology import Hierarchy
+
+__all__ = ["CentralizedLeafNode", "CentralizedRelayNode",
+           "build_centralized_network"]
+
+
+class CentralizedLeafNode:
+    """Ships every reading to its parent, unconditionally."""
+
+    def __init__(self, node_id: int, parent: "int | None") -> None:
+        self.node_id = node_id
+        self._parent = parent
+
+    def on_reading(self, value: np.ndarray, tick: int) -> "list[Outgoing]":
+        """Forward the reading up (one message per reading per hop)."""
+        if self._parent is None:
+            return []
+        return [(self._parent, ValueForward(value=np.array(value, dtype=float)))]
+
+    def on_message(self, message: Message, sender: int,
+                   tick: int) -> "list[Outgoing]":
+        """Leaves receive nothing in the centralized scheme."""
+        return []
+
+
+class CentralizedRelayNode:
+    """Relays every received value toward the root; the root absorbs them."""
+
+    def __init__(self, node_id: int, parent: "int | None",
+                 collect: bool = False) -> None:
+        self.node_id = node_id
+        self._parent = parent
+        self._collect = collect
+        #: Values absorbed at the root (only when ``collect`` is set).
+        self.received: "list[np.ndarray]" = []
+
+    def on_reading(self, value: np.ndarray, tick: int) -> "list[Outgoing]":
+        """Relays have no sensor stream of their own in this deployment."""
+        return []
+
+    def on_message(self, message: Message, sender: int,
+                   tick: int) -> "list[Outgoing]":
+        """Pass values upward; the root optionally records them."""
+        if not isinstance(message, ValueForward):
+            return []
+        if self._parent is not None:
+            return [(self._parent, message)]
+        if self._collect:
+            self.received.append(message.value)
+        return []
+
+
+@dataclass
+class CentralizedNetwork:
+    """Node behaviours of a centralized deployment."""
+
+    nodes: "dict[int, CentralizedLeafNode | CentralizedRelayNode]"
+    log: DetectionLog = field(default_factory=DetectionLog)
+
+
+def build_centralized_network(hierarchy: Hierarchy, *,
+                              collect_at_root: bool = False) -> CentralizedNetwork:
+    """Instantiate centralized behaviours for every node of ``hierarchy``."""
+    nodes: "dict[int, CentralizedLeafNode | CentralizedRelayNode]" = {}
+    for level_idx, tier in enumerate(hierarchy.levels):
+        for node_id in tier:
+            parent = hierarchy.parent_of(node_id)
+            if level_idx == 0:
+                nodes[node_id] = CentralizedLeafNode(node_id, parent)
+            else:
+                nodes[node_id] = CentralizedRelayNode(
+                    node_id, parent,
+                    collect=collect_at_root and parent is None)
+    return CentralizedNetwork(nodes=nodes)

@@ -1,0 +1,140 @@
+"""A batteries-included single-sensor online detector.
+
+The distributed algorithms (D3/MGDD) compose chain samples, variance
+sketches and kernel models per node; embedding the same loop on a single
+device keeps coming up (the quickstart, the CLI, unit deployments), so
+this module packages it behind one call:
+
+    detector = OnlineOutlierDetector(
+        window_size=2_000, sample_size=100,
+        spec=DistanceOutlierSpec(radius=0.01, count_threshold=9))
+    for value in readings:                       # readings in [0, 1]
+        decision = detector.process(value)
+        if decision is not None and decision.is_outlier:
+            ...
+
+``spec`` may be a :class:`~repro.core.outliers.DistanceOutlierSpec` or a
+:class:`~repro.core.mdef.MDEFSpec`; the detector picks the matching test.
+``process`` returns ``None`` during the warm-up period (before the first
+window fills), after which it returns the decision object of the
+underlying test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._exceptions import ParameterError
+from repro._validation import require_positive_int
+from repro.core.estimator import KernelDensityEstimator
+from repro.core.kernels import EPANECHNIKOV, Kernel
+from repro.core.mdef import MDEFDecision, MDEFOutlierDetector, MDEFSpec
+from repro.core.outliers import (
+    DistanceOutlierDecision,
+    DistanceOutlierSpec,
+    is_distance_outlier,
+)
+from repro.detectors._state import StreamModelState
+
+__all__ = ["OnlineOutlierDetector"]
+
+
+class OnlineOutlierDetector:
+    """Online outlier detection for one sensor stream.
+
+    Parameters
+    ----------
+    window_size:
+        Sliding-window length ``|W|``.
+    sample_size:
+        Kernel sample slots ``|R|`` (the paper uses ``0.05 |W|``).
+    spec:
+        The outlier definition: distance-based or MDEF-based.
+    warmup:
+        Readings to observe before flagging; defaults to one window.
+    model_refresh / epsilon / kernel / rng:
+        Passed through to the underlying components.
+    """
+
+    def __init__(self, window_size: int, sample_size: int, spec, *,
+                 n_dims: int = 1, warmup: int | None = None,
+                 model_refresh: int = 32, epsilon: float = 0.2,
+                 kernel: Kernel = EPANECHNIKOV,
+                 bandwidth_basis: str = "window",
+                 rng: np.random.Generator | None = None) -> None:
+        require_positive_int("window_size", window_size)
+        require_positive_int("sample_size", sample_size)
+        if sample_size > window_size:
+            raise ParameterError("sample_size cannot exceed window_size")
+        if not isinstance(spec, (DistanceOutlierSpec, MDEFSpec)):
+            raise ParameterError(
+                "spec must be a DistanceOutlierSpec or an MDEFSpec, "
+                f"got {type(spec).__name__}")
+        if warmup is None:
+            warmup = window_size
+        elif warmup < 0:
+            raise ParameterError(f"warmup must be >= 0, got {warmup}")
+        self._spec = spec
+        self._warmup = warmup
+        self._window_size = window_size
+        # MDEF probes density contrast at the counting-radius scale, so
+        # cap the bandwidth there (see MGDDConfig.bandwidth_cap).
+        cap = 2.0 * spec.counting_radius if isinstance(spec, MDEFSpec) \
+            else None
+        self._state = StreamModelState(
+            window_size, sample_size, n_dims, epsilon=epsilon,
+            model_refresh=model_refresh, kernel=kernel,
+            bandwidth_cap=cap, bandwidth_basis=bandwidth_basis, rng=rng)
+        self._seen = 0
+        self._flagged = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def spec(self):
+        """The outlier definition in use."""
+        return self._spec
+
+    @property
+    def readings_seen(self) -> int:
+        """Total readings processed."""
+        return self._seen
+
+    @property
+    def readings_flagged(self) -> int:
+        """Total readings flagged as outliers."""
+        return self._flagged
+
+    @property
+    def is_warm(self) -> bool:
+        """Whether the warm-up period has completed."""
+        return self._seen > self._warmup
+
+    def model(self) -> "KernelDensityEstimator | None":
+        """The current density model (None before enough data)."""
+        self._state.count_window_size = min(self._seen, self._window_size)
+        return self._state.model()
+
+    def memory_words(self) -> int:
+        """Logical footprint of all retained state, in 16-bit words."""
+        return self._state.memory_words()
+
+    # ------------------------------------------------------------------
+
+    def process(self, value) -> "DistanceOutlierDecision | MDEFDecision | None":
+        """Observe one reading; return a decision once warmed up."""
+        point = np.asarray(value, dtype=float).reshape(-1)
+        self._state.observe(point)
+        self._seen += 1
+        if self._seen <= self._warmup:
+            return None
+        model = self.model()
+        if model is None:
+            return None
+        if isinstance(self._spec, DistanceOutlierSpec):
+            decision = is_distance_outlier(model, point, self._spec)
+        else:
+            decision = MDEFOutlierDetector(model, self._spec).check(point)
+        if decision.is_outlier:
+            self._flagged += 1
+        return decision

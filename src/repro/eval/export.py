@@ -1,0 +1,84 @@
+"""CSV export of experiment results.
+
+Every figure-result object renders as an ASCII table for the console;
+this module writes the same rows as CSV so the series can be re-plotted
+with any external tool.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro._exceptions import ParameterError
+
+__all__ = ["export_result", "export_rows"]
+
+
+def export_rows(path, headers, rows) -> Path:
+    """Write one CSV file with a header row; returns the path."""
+    destination = Path(path)
+    headers = list(headers)
+    materialised = [list(row) for row in rows]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ParameterError(
+                f"row width {len(row)} does not match {len(headers)} headers")
+    with destination.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(materialised)
+    return destination
+
+
+def export_result(result, path) -> Path:
+    """Export any figure-result object to CSV.
+
+    Dispatches on the result's shape: Figure 5 (published/measured
+    rows), Figure 6 (time series), accuracy sweeps, Figure 11, and the
+    memory experiment are all supported.
+    """
+    kind = type(result).__name__
+    if kind == "Figure5Result":
+        headers = ["dataset", "source", "min", "max", "mean", "median",
+                   "stddev", "skew"]
+        rows = []
+        for row in result.rows:
+            rows.append([row.dataset, "paper", *row.published])
+            rows.append([row.dataset, "ours", *row.measured])
+        return export_rows(path, headers, rows)
+    if kind == "Figure6Result":
+        fractions = sorted(result.parent)
+        headers = ["tick", "leaf"] + [f"parent_f_{f}" for f in fractions]
+        rows = [[tick, result.leaf[i]]
+                + [result.parent[f][i] for f in fractions]
+                for i, tick in enumerate(result.ticks)]
+        return export_rows(path, headers, rows)
+    if kind == "AccuracySweepResult":
+        headers = ["algorithm", "swept_value", "level", "precision",
+                   "recall", "hist_precision", "hist_recall",
+                   "true_outliers"]
+        rows = []
+        for (algorithm, value), accuracy in sorted(result.entries.items()):
+            for level, lr in sorted(accuracy.levels.items()):
+                rows.append([
+                    algorithm, value, level,
+                    lr.kernel.precision, lr.kernel.recall,
+                    lr.histogram.precision if lr.histogram else "",
+                    lr.histogram.recall if lr.histogram else "",
+                    accuracy.n_true_outliers[level]])
+        return export_rows(path, headers, rows)
+    if kind == "Figure11Result":
+        headers = ["n_leaves", "n_nodes", "centralized_msgs", "mgdd_msgs",
+                   "d3_msgs", "centralized_uj", "mgdd_uj", "d3_uj"]
+        rows = [[r.n_leaves, r.n_nodes, r.centralized, r.mgdd, r.d3,
+                 r.centralized_uj, r.mgdd_uj, r.d3_uj]
+                for r in result.rows]
+        return export_rows(path, headers, rows)
+    if kind == "MemoryResult":
+        headers = ["window_size", "epsilon", "measured_words",
+                   "bound_words", "fraction_below_bound"]
+        rows = [[r.window_size, r.epsilon, r.measured_words, r.bound_words,
+                 r.fraction_below_bound] for r in result.rows]
+        return export_rows(path, headers, rows)
+    raise ParameterError(f"don't know how to export a {kind}")

@@ -1,0 +1,71 @@
+"""Accuracy measures (paper Section 10, "Measures of Interest").
+
+Precision is the fraction of values reported as outliers that are true
+outliers; recall is the fraction of true outliers that were reported.
+Ground truth comes from the offline brute-force detectors evaluated on
+the window instance at each arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Collection, Hashable
+
+__all__ = ["PrecisionRecall", "precision_recall"]
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Precision/recall of one detector against one ground-truth set."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of reported outliers that are true (1.0 when nothing
+        was reported -- no false claims were made)."""
+        reported = self.true_positives + self.false_positives
+        if reported == 0:
+            return 1.0
+        return self.true_positives / reported
+
+    @property
+    def recall(self) -> float:
+        """Fraction of true outliers that were reported (1.0 when there
+        were no true outliers to find)."""
+        actual = self.true_positives + self.false_negatives
+        if actual == 0:
+            return 1.0
+        return self.true_positives / actual
+
+    @property
+    def n_true_outliers(self) -> int:
+        """Size of the ground-truth outlier set."""
+        return self.true_positives + self.false_negatives
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+
+def precision_recall(reported: "Collection[Hashable]",
+                     truth: "Collection[Hashable]") -> PrecisionRecall:
+    """Compare a reported outlier set against the ground-truth set.
+
+    Elements are compared by identity keys (e.g. ``(tick, origin)``
+    pairs); both collections are deduplicated.
+    """
+    reported_set = set(reported)
+    truth_set = set(truth)
+    tp = len(reported_set & truth_set)
+    return PrecisionRecall(
+        true_positives=tp,
+        false_positives=len(reported_set) - tp,
+        false_negatives=len(truth_set) - tp,
+    )

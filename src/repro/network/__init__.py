@@ -1,0 +1,45 @@
+"""Sensor-network substrate: topology, messages, simulator, metrics
+(paper Sections 2 and 10).
+"""
+
+from repro.network.election import (
+    EnergyAwareElection,
+    LeaderAssignment,
+    RoundRobinElection,
+    handoff_cost_words,
+)
+from repro.network.energy import EnergyAccountant, RadioModel
+from repro.network.messages import (
+    Message,
+    MessageCounter,
+    ModelUpdate,
+    OutlierReport,
+    ValueForward,
+)
+from repro.network.metrics import CommunicationReport, MemoryReport
+from repro.network.node import Detection, DetectionLog, Outgoing, SimNode
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import Hierarchy, build_hierarchy
+
+__all__ = [
+    "Hierarchy",
+    "build_hierarchy",
+    "Message",
+    "ValueForward",
+    "OutlierReport",
+    "ModelUpdate",
+    "MessageCounter",
+    "NetworkSimulator",
+    "SimNode",
+    "Outgoing",
+    "Detection",
+    "DetectionLog",
+    "MemoryReport",
+    "CommunicationReport",
+    "RadioModel",
+    "EnergyAccountant",
+    "LeaderAssignment",
+    "RoundRobinElection",
+    "EnergyAwareElection",
+    "handoff_cost_words",
+]

@@ -1,0 +1,118 @@
+"""Leader election / rotation for the virtual-grid hierarchy (Section 2).
+
+The paper delegates leader selection to existing protocols ([17, 33,
+47]) whose job is to "ensure the leadership role is rotated among the
+nodes of the network ... in an energy efficient manner".  This module
+provides that pluggable component for simulated deployments: each cell
+of the hierarchy elects which of its member sensors *plays* the leader
+role for the next epoch, either round-robin or by remaining energy.
+
+The leader role is logical -- the hierarchy's leader node ids stay
+stable (and so does all detector state, which in a real deployment
+travels with a model-transfer message; see :func:`handoff_cost_words`).
+What rotates is the *physical* sensor bearing the role, which is what
+spreads the relay/aggregation energy burden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._exceptions import ParameterError, TopologyError
+from repro._validation import require_positive_int
+from repro.network.topology import Hierarchy
+
+__all__ = ["LeaderAssignment", "RoundRobinElection", "EnergyAwareElection",
+           "handoff_cost_words"]
+
+
+@dataclass(frozen=True)
+class LeaderAssignment:
+    """Which physical sensor bears each logical leader role this epoch."""
+
+    epoch: int
+    #: logical leader node id -> physical leaf sensor id.
+    bearer: "dict[int, int]"
+
+    def bearer_of(self, leader: int) -> int:
+        """The physical sensor currently playing ``leader``."""
+        try:
+            return self.bearer[leader]
+        except KeyError:
+            raise TopologyError(f"{leader} is not a leader node") from None
+
+
+class _ElectionBase:
+    def __init__(self, hierarchy: Hierarchy, epoch_length: int) -> None:
+        require_positive_int("epoch_length", epoch_length)
+        self._hierarchy = hierarchy
+        self._epoch_length = epoch_length
+        self._leaders = [node for tier in hierarchy.levels[1:]
+                         for node in tier]
+        if not self._leaders:
+            raise TopologyError("hierarchy has no leader tiers to elect for")
+        #: Candidate bearers per leader: the leaf sensors of its subtree.
+        self._candidates = {leader: hierarchy.leaves_under(leader)
+                            for leader in self._leaders}
+
+    @property
+    def epoch_length(self) -> int:
+        """Ticks per election epoch."""
+        return self._epoch_length
+
+    def epoch_of(self, tick: int) -> int:
+        """The election epoch a tick belongs to."""
+        if tick < 0:
+            raise ParameterError(f"tick must be >= 0, got {tick}")
+        return tick // self._epoch_length
+
+
+class RoundRobinElection(_ElectionBase):
+    """Rotate each cell's leadership among its members, one per epoch.
+
+    Deterministic and state-free: epoch ``e`` assigns member
+    ``e mod len(cell)`` -- every sensor bears the role equally often.
+    """
+
+    def assignment(self, tick: int) -> LeaderAssignment:
+        """The assignment in force at ``tick``."""
+        epoch = self.epoch_of(tick)
+        bearer = {leader: candidates[epoch % len(candidates)]
+                  for leader, candidates in self._candidates.items()}
+        return LeaderAssignment(epoch=epoch, bearer=bearer)
+
+
+class EnergyAwareElection(_ElectionBase):
+    """Elect the member with the most remaining energy each epoch.
+
+    Ties break toward the lowest sensor id, making the election
+    deterministic given the energy map (as the cited protocols are,
+    given their local state).
+    """
+
+    def assignment(self, tick: int,
+                   spent_joules: "dict[int, float]") -> LeaderAssignment:
+        """The assignment at ``tick`` given per-sensor energy spent."""
+        epoch = self.epoch_of(tick)
+        bearer = {}
+        for leader, candidates in self._candidates.items():
+            bearer[leader] = min(
+                candidates,
+                key=lambda s: (spent_joules.get(s, 0.0), s))
+        return LeaderAssignment(epoch=epoch, bearer=bearer)
+
+
+def handoff_cost_words(sample_size: int, n_dims: int,
+                       sketch_words: int) -> int:
+    """Words transferred when a leader role moves between sensors.
+
+    The incoming bearer needs the role's detector state: the kernel
+    sample (``d |R|`` values plus timestamps) and the variance sketches.
+    This is the per-rotation communication price an election protocol
+    pays for balancing energy.
+    """
+    require_positive_int("sample_size", sample_size)
+    require_positive_int("n_dims", n_dims)
+    if sketch_words < 0:
+        raise ParameterError(f"sketch_words must be >= 0, got {sketch_words}")
+    return sample_size * (n_dims + 1) + sketch_words

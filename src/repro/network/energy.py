@@ -1,0 +1,115 @@
+"""Radio energy accounting for simulated deployments.
+
+The paper motivates everything by energy: "it is important to process as
+much of the data as possible in a decentralized fashion, so as to avoid
+unnecessary communication ... costs".  Figure 11 counts messages; this
+module extends the accounting to Joules with the standard first-order
+radio model (Heinzelman et al.):
+
+    E_tx(k bits over distance d) = E_elec * k + eps_amp * k * d^2
+    E_rx(k bits)                 = E_elec * k
+
+Distances come from the deployment positions of
+:class:`~repro.network.topology.Hierarchy`; message sizes from each
+message's :meth:`~repro.network.messages.Message.size_words` (16-bit
+words).  Pass an :class:`EnergyAccountant` to the
+:class:`~repro.network.simulator.NetworkSimulator` to accumulate
+per-node energy alongside the message counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro._exceptions import ParameterError
+from repro._validation import require_positive
+from repro.network.messages import Message
+from repro.network.topology import Hierarchy
+
+__all__ = ["RadioModel", "EnergyAccountant"]
+
+#: Bits per machine word (the paper's 16-bit architecture).
+BITS_PER_WORD = 16
+
+
+@dataclass(frozen=True)
+class RadioModel:
+    """First-order radio energy parameters.
+
+    Defaults are the classic LEACH-era constants: 50 nJ/bit electronics,
+    100 pJ/bit/m^2 amplifier.  ``range_scale`` converts the unit-square
+    deployment coordinates into metres (default: a 100 m field).
+    """
+
+    electronics_j_per_bit: float = 50e-9
+    amplifier_j_per_bit_m2: float = 100e-12
+    range_scale_m: float = 100.0
+
+    def __post_init__(self) -> None:
+        require_positive("electronics_j_per_bit", self.electronics_j_per_bit)
+        require_positive("amplifier_j_per_bit_m2", self.amplifier_j_per_bit_m2)
+        require_positive("range_scale_m", self.range_scale_m)
+
+    def transmit_energy(self, bits: int, distance_m: float) -> float:
+        """Energy to transmit ``bits`` over ``distance_m`` metres."""
+        if bits < 0 or distance_m < 0:
+            raise ParameterError("bits and distance must be non-negative")
+        return (self.electronics_j_per_bit * bits
+                + self.amplifier_j_per_bit_m2 * bits * distance_m**2)
+
+    def receive_energy(self, bits: int) -> float:
+        """Energy to receive ``bits``."""
+        if bits < 0:
+            raise ParameterError("bits must be non-negative")
+        return self.electronics_j_per_bit * bits
+
+
+class EnergyAccountant:
+    """Accumulates per-node radio energy over a simulated run."""
+
+    def __init__(self, hierarchy: Hierarchy,
+                 radio: RadioModel | None = None) -> None:
+        self._radio = radio if radio is not None else RadioModel()
+        self._positions = hierarchy.positions
+        self._spent: "dict[int, float]" = {node: 0.0
+                                           for node in hierarchy.parents}
+
+    @property
+    def radio(self) -> RadioModel:
+        """The radio parameters in use."""
+        return self._radio
+
+    def distance_m(self, sender: int, receiver: int) -> float:
+        """Physical distance between two nodes, in metres."""
+        sx, sy = self._positions[sender]
+        rx, ry = self._positions[receiver]
+        return math.hypot(sx - rx, sy - ry) * self._radio.range_scale_m
+
+    def record(self, sender: int, receiver: int, message: Message,
+               delivered: bool = True) -> None:
+        """Account one transmission: tx cost at the sender, and -- when
+        the message actually arrived -- rx cost at the receiver."""
+        bits = message.size_words() * BITS_PER_WORD
+        distance = self.distance_m(sender, receiver)
+        self._spent[sender] = self._spent.get(sender, 0.0) \
+            + self._radio.transmit_energy(bits, distance)
+        if delivered:
+            self._spent[receiver] = self._spent.get(receiver, 0.0) \
+                + self._radio.receive_energy(bits)
+
+    def spent(self, node: int) -> float:
+        """Joules spent by one node so far."""
+        return self._spent.get(node, 0.0)
+
+    def total_joules(self) -> float:
+        """Network-wide energy spent."""
+        return sum(self._spent.values())
+
+    def max_joules(self) -> float:
+        """The hottest node's spend -- the network-lifetime bottleneck."""
+        return max(self._spent.values(), default=0.0)
+
+    def per_node(self) -> "dict[int, float]":
+        """A copy of the per-node energy map."""
+        return dict(self._spent)

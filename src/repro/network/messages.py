@@ -1,0 +1,117 @@
+"""Message taxonomy and accounting (paper Sections 7, 8.1 and 10.3).
+
+Three message kinds move through the hierarchy:
+
+* :class:`ValueForward` -- a sample-changing observation propagated from
+  a child to its parent with probability ``f`` (D3 line 15, MGDD line 14);
+* :class:`OutlierReport` -- a value a node flagged, escalated to its
+  parent for re-checking (D3 lines 19 and 27);
+* :class:`ModelUpdate` -- the global-estimator update MGDD floods from
+  the top-level leader down to the leaves (MGDD line 23), either an
+  incremental single-sample change or a full model re-broadcast (the
+  Section 8.1 lazy scheme).
+
+Sizes are accounted in machine words (16-bit on the paper's motes): a
+d-dimensional value costs ``d`` words, plus bookkeeping fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Message",
+    "ValueForward",
+    "OutlierReport",
+    "ModelUpdate",
+    "MessageCounter",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class; concrete messages define their payload and size."""
+
+    def size_words(self) -> int:
+        """Logical payload size in machine words."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ValueForward(Message):
+    """A sample inclusion propagated upward with probability ``f``."""
+
+    value: np.ndarray
+
+    def size_words(self) -> int:
+        return int(np.asarray(self.value).size) + 1   # value + timestamp
+
+
+@dataclass(frozen=True)
+class OutlierReport(Message):
+    """A flagged value escalated for re-checking at the parent's level."""
+
+    value: np.ndarray
+    origin: int            # leaf id that produced the reading
+    flagged_level: int     # 1-based level of the node that flagged it
+    tick: int
+
+    def size_words(self) -> int:
+        return int(np.asarray(self.value).size) + 3
+
+
+@dataclass(frozen=True)
+class ModelUpdate(Message):
+    """A global-model update flowing down the hierarchy (MGDD).
+
+    ``slots``/``value`` describe an incremental change (these sample
+    slots of the global kernel sample were replaced by ``value``);
+    ``full_sample`` carries a complete re-broadcast instead (the lazy
+    scheme).  ``stddev`` refreshes the bandwidth input either way.
+    """
+
+    stddev: np.ndarray
+    slots: "tuple[int, ...]" = ()
+    value: "np.ndarray | None" = None
+    full_sample: "np.ndarray | None" = None
+    window_size: int = 0
+
+    def size_words(self) -> int:
+        words = int(np.asarray(self.stddev).size) + 1
+        if self.value is not None:
+            words += int(np.asarray(self.value).size) + len(self.slots)
+        if self.full_sample is not None:
+            words += int(np.asarray(self.full_sample).size)
+        return words
+
+
+@dataclass
+class MessageCounter:
+    """Counts messages and payload words by message class."""
+
+    counts: "dict[str, int]" = field(default_factory=dict)
+    words: "dict[str, int]" = field(default_factory=dict)
+
+    def record(self, message: Message) -> None:
+        """Account one transmitted message (one hop)."""
+        kind = type(message).__name__
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.words[kind] = self.words.get(kind, 0) + message.size_words()
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages across all kinds."""
+        return sum(self.counts.values())
+
+    @property
+    def total_words(self) -> int:
+        """Total payload words across all kinds."""
+        return sum(self.words.values())
+
+    def messages_per_tick(self, n_ticks: int) -> float:
+        """Average messages per simulator tick (= per second at 1 Hz)."""
+        if n_ticks <= 0:
+            return 0.0
+        return self.total_messages / n_ticks

@@ -1,0 +1,58 @@
+"""Resource metrics for simulated networks (paper Section 10.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.messages import MessageCounter
+
+__all__ = ["MemoryReport", "CommunicationReport"]
+
+#: The paper accounts memory in 16-bit words ("assuming a 16-bit
+#: architecture, i.e., 2 bytes per number").
+BYTES_PER_WORD = 2
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Per-node memory accounting, in machine words.
+
+    ``sample_words`` covers the chain sample (Theorem 1's ``O(d|R|)``
+    term); ``variance_words`` the EH sketches (the ``(d/eps^2) log|W|``
+    term); ``model_words`` any cached global model copy (MGDD leaves).
+    """
+
+    sample_words: int
+    variance_words: int
+    model_words: int = 0
+
+    @property
+    def total_words(self) -> int:
+        """Total logical words."""
+        return self.sample_words + self.variance_words + self.model_words
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes at the paper's 16-bit word size."""
+        return self.total_words * BYTES_PER_WORD
+
+
+@dataclass(frozen=True)
+class CommunicationReport:
+    """Network-wide message statistics over a simulated run."""
+
+    n_ticks: int
+    n_nodes: int
+    counter: MessageCounter
+
+    @property
+    def messages_per_second(self) -> float:
+        """Messages per tick; ticks are 1 second in the paper's setup."""
+        return self.counter.messages_per_tick(self.n_ticks)
+
+    @property
+    def messages_per_node_per_second(self) -> float:
+        """Average per-node message rate."""
+        if self.n_nodes == 0:
+            return 0.0
+        return self.messages_per_second / self.n_nodes

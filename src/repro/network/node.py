@@ -1,0 +1,65 @@
+"""Node protocol and detection logging for the network simulator.
+
+Concrete node behaviours (the D3, MGDD and centralized algorithms) live
+in :mod:`repro.detectors`; this module defines the contract the
+simulator drives them through, plus the shared detection log that
+experiments read back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, Tuple
+
+import numpy as np
+
+from repro.network.messages import Message
+
+__all__ = ["SimNode", "Outgoing", "Detection", "DetectionLog"]
+
+#: A message addressed to another node: (destination id, message).
+Outgoing = Tuple[int, Message]
+
+
+class SimNode(Protocol):
+    """What the simulator requires of every node implementation."""
+
+    node_id: int
+
+    def on_reading(self, value: np.ndarray, tick: int) -> "Iterable[Outgoing]":
+        """Handle this node's own sensor reading (leaves only)."""
+        ...
+
+    def on_message(self, message: Message, sender: int,
+                   tick: int) -> "Iterable[Outgoing]":
+        """Handle a message from a neighbour; return messages to send."""
+        ...
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One outlier flagged by some node during the simulation."""
+
+    tick: int
+    node_id: int
+    level: int          # 1-based hierarchy level of the flagging node
+    origin: int         # leaf that produced the reading
+    value: np.ndarray
+
+
+@dataclass
+class DetectionLog:
+    """Accumulates every outlier flagged anywhere in the network."""
+
+    detections: "list[Detection]" = field(default_factory=list)
+
+    def record(self, detection: Detection) -> None:
+        """Append one detection."""
+        self.detections.append(detection)
+
+    def at_level(self, level: int) -> "list[Detection]":
+        """All detections flagged by nodes of the given 1-based level."""
+        return [d for d in self.detections if d.level == level]
+
+    def __len__(self) -> int:
+        return len(self.detections)

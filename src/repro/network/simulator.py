@@ -1,0 +1,168 @@
+"""A TAG-style tick-driven network simulator (paper Section 10,
+"Implementation").
+
+The paper's prototype runs on the TAG simulator: a static topology, a
+continuous query installed on every node, and the hierarchy of Section 2
+imposed on top.  We reproduce the relevant substrate: at every tick each
+leaf consumes one reading from its stream; messages are routed along the
+tree edges and processed within the tick (sensor radio latency is far
+below the 1-second reading period the paper assumes); every transmitted
+message is accounted in a :class:`~repro.network.messages.MessageCounter`.
+Radio contention and energy draw are out of scope -- the paper uses TAG
+for topology and message accounting only (see DESIGN.md section 4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Mapping
+
+from repro._exceptions import SimulationError, TopologyError
+from repro.data.streams import StreamSet
+from repro.network.messages import MessageCounter
+from repro.network.node import SimNode
+from repro.network.topology import Hierarchy
+
+__all__ = ["NetworkSimulator"]
+
+#: Safety valve: more message deliveries than this within one tick means
+#: a routing loop in a node implementation.
+_MAX_DELIVERIES_PER_TICK = 1_000_000
+
+
+class NetworkSimulator:
+    """Drives a set of node behaviours over a hierarchy and stream set.
+
+    Parameters
+    ----------
+    hierarchy:
+        The tree topology of Section 2.
+    nodes:
+        One behaviour object per node id (see
+        :class:`~repro.network.node.SimNode`).
+    streams:
+        Per-leaf reading sequences; stream ``i`` feeds leaf id ``i``.
+    counter:
+        Message accounting sink (a fresh one is created when omitted).
+    energy:
+        Optional :class:`~repro.network.energy.EnergyAccountant`; when
+        given, every delivered message is charged to the sender and
+        receiver under the radio model.
+    loss_rate:
+        Probability that any transmitted message is silently lost
+        (failure injection; lost messages are still counted as sent and
+        still cost transmit energy, but are never delivered).
+    rng:
+        Randomness source for loss injection.
+    """
+
+    def __init__(self, hierarchy: Hierarchy, nodes: "Mapping[int, SimNode]",
+                 streams: StreamSet,
+                 counter: MessageCounter | None = None,
+                 energy=None, loss_rate: float = 0.0,
+                 rng=None) -> None:
+        if streams.n_sensors != len(hierarchy.leaf_ids):
+            raise TopologyError(
+                f"{len(hierarchy.leaf_ids)} leaves but {streams.n_sensors} streams")
+        missing = [nid for nid in hierarchy.parents if nid not in nodes]
+        if missing:
+            raise TopologyError(f"no behaviour registered for nodes {missing[:5]}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise SimulationError(
+                f"loss_rate must lie in [0, 1), got {loss_rate!r}")
+        self._hierarchy = hierarchy
+        self._nodes = dict(nodes)
+        self._streams = streams
+        self._counter = counter if counter is not None else MessageCounter()
+        self._energy = energy
+        self._loss_rate = loss_rate
+        if loss_rate > 0.0 and rng is None:
+            import numpy as np
+            rng = np.random.default_rng()
+        self._rng = rng
+        self._tick = 0
+        self._messages_lost = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hierarchy(self) -> Hierarchy:
+        """The topology being simulated."""
+        return self._hierarchy
+
+    @property
+    def counter(self) -> MessageCounter:
+        """Message accounting accumulated so far."""
+        return self._counter
+
+    @property
+    def tick(self) -> int:
+        """Number of completed ticks."""
+        return self._tick
+
+    @property
+    def messages_lost(self) -> int:
+        """Messages dropped by the loss injector so far."""
+        return self._messages_lost
+
+    @property
+    def n_ticks_available(self) -> int:
+        """Ticks the stream set can still feed."""
+        return self._streams.length - self._tick
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance one tick: every leaf reads once; messages drain fully."""
+        if self._tick >= self._streams.length:
+            raise SimulationError("streams exhausted; cannot step further")
+        queue: "deque[tuple[int, int, object]]" = deque()   # (dest, sender, msg)
+
+        for i, leaf in enumerate(self._hierarchy.leaf_ids):
+            reading = self._streams.reading(i, self._tick)
+            for dest, message in self._nodes[leaf].on_reading(reading, self._tick):
+                queue.append((dest, leaf, message))
+
+        deliveries = 0
+        while queue:
+            dest, sender, message = queue.popleft()
+            deliveries += 1
+            if deliveries > _MAX_DELIVERIES_PER_TICK:
+                raise SimulationError(
+                    "message storm: over "
+                    f"{_MAX_DELIVERIES_PER_TICK} deliveries in one tick")
+            if dest not in self._nodes:
+                raise SimulationError(f"message addressed to unknown node {dest}")
+            # Sending happens regardless of delivery: the message is
+            # counted and the sender pays transmit energy even when the
+            # radio loses it.
+            self._counter.record(message)
+            lost = (self._loss_rate > 0.0
+                    and self._rng.random() < self._loss_rate)
+            if self._energy is not None:
+                self._energy.record(sender, dest, message,
+                                    delivered=not lost)
+            if lost:
+                self._messages_lost += 1
+                continue
+            for nxt_dest, nxt_msg in self._nodes[dest].on_message(
+                    message, sender, self._tick):
+                queue.append((nxt_dest, dest, nxt_msg))
+        self._tick += 1
+
+    def run(self, n_ticks: int | None = None,
+            on_tick: "Callable[[int], None] | None" = None) -> None:
+        """Run ``n_ticks`` steps (all remaining when omitted).
+
+        ``on_tick(t)`` is invoked after each completed tick ``t`` --
+        experiments hook ground-truth evaluation in here.
+        """
+        if n_ticks is None:
+            n_ticks = self.n_ticks_available
+        if n_ticks < 0 or n_ticks > self.n_ticks_available:
+            raise SimulationError(
+                f"cannot run {n_ticks} ticks; only {self.n_ticks_available} available")
+        for _ in range(n_ticks):
+            self.step()
+            if on_tick is not None:
+                on_tick(self._tick - 1)

@@ -1,0 +1,148 @@
+"""Hierarchical sensor-network topologies (paper Section 2, Figure 1).
+
+The paper organises the network with overlapping virtual grids: several
+tiers of increasing granularity, one leader per cell per tier, each
+leader processing the measurements of the leaders of its sub-cells.  The
+hierarchical decomposition and leader election themselves are treated as
+pluggable (the paper cites [17, 33, 47]); we build the decomposition
+deterministically -- leaves are placed on a unit grid, consecutive
+spatial blocks of ``branching`` nodes share a leader, recursively up to a
+single root.
+
+The accuracy experiments use 32 leaf sensors with two tiers of leaders
+above them; with the default ``branching=4`` that yields level sizes
+32 / 8 / 2 / 1, matching the four "Level" series of Figures 7 and 9.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._exceptions import TopologyError
+from repro._validation import require_positive_int
+
+__all__ = ["Hierarchy", "build_hierarchy"]
+
+
+@dataclass(frozen=True)
+class Hierarchy:
+    """An immutable rooted tree over sensor-node ids.
+
+    Node ids are dense integers; leaves come first (``0 .. n_leaves-1``),
+    then each successive tier of leaders, ending with the root.
+    ``levels[0]`` lists the leaves ("level 1" in the paper's figures) and
+    ``levels[-1]`` holds the single root.
+    """
+
+    parents: "dict[int, int | None]"
+    children: "dict[int, tuple[int, ...]]"
+    levels: "tuple[tuple[int, ...], ...]"
+    positions: "dict[int, tuple[float, float]]" = field(repr=False)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count across all tiers."""
+        return len(self.parents)
+
+    @property
+    def n_levels(self) -> int:
+        """Number of tiers (leaves = level 1, root = level ``n_levels``)."""
+        return len(self.levels)
+
+    @property
+    def leaf_ids(self) -> "tuple[int, ...]":
+        """Ids of the leaf sensors."""
+        return self.levels[0]
+
+    @property
+    def root_id(self) -> int:
+        """Id of the top-level leader."""
+        return self.levels[-1][0]
+
+    def level_of(self, node: int) -> int:
+        """1-based level of ``node`` (1 = leaf tier)."""
+        for i, tier in enumerate(self.levels):
+            if node in tier:
+                return i + 1
+        raise TopologyError(f"unknown node id {node}")
+
+    def parent_of(self, node: int) -> "int | None":
+        """Parent id, or None for the root."""
+        return self.parents[node]
+
+    def children_of(self, node: int) -> "tuple[int, ...]":
+        """Direct children ids (empty for leaves)."""
+        return self.children[node]
+
+    def leaves_under(self, node: int) -> "tuple[int, ...]":
+        """All leaf ids in the subtree rooted at ``node``."""
+        kids = self.children[node]
+        if not kids:
+            return (node,)
+        out: "list[int]" = []
+        for child in kids:
+            out.extend(self.leaves_under(child))
+        return tuple(out)
+
+    def edges(self) -> "list[tuple[int, int]]":
+        """All (child, parent) edges."""
+        return [(node, parent) for node, parent in self.parents.items()
+                if parent is not None]
+
+
+def _leaf_positions(n_leaves: int) -> "dict[int, tuple[float, float]]":
+    """Leaves on a unit grid, row-major -- the 2-d plane of Section 2."""
+    side = int(math.ceil(math.sqrt(n_leaves)))
+    positions = {}
+    for i in range(n_leaves):
+        row, col = divmod(i, side)
+        positions[i] = ((col + 0.5) / side, (row + 0.5) / side)
+    return positions
+
+
+def build_hierarchy(n_leaves: int, branching: int = 4) -> Hierarchy:
+    """Build the virtual-grid hierarchy over ``n_leaves`` sensors.
+
+    Consecutive groups of ``branching`` nodes at each tier share a
+    leader in the next tier, until a single root remains.  Leader
+    positions are the centroids of their cells.
+    """
+    require_positive_int("n_leaves", n_leaves)
+    if branching < 2:
+        raise TopologyError(f"branching must be >= 2, got {branching}")
+
+    positions = _leaf_positions(n_leaves)
+    parents: "dict[int, int | None]" = {}
+    children: "dict[int, list[int]]" = {i: [] for i in range(n_leaves)}
+    levels: "list[tuple[int, ...]]" = [tuple(range(n_leaves))]
+    next_id = n_leaves
+
+    current = list(range(n_leaves))
+    while len(current) > 1:
+        tier: "list[int]" = []
+        for start in range(0, len(current), branching):
+            group = current[start:start + branching]
+            leader = next_id
+            next_id += 1
+            tier.append(leader)
+            children[leader] = list(group)
+            xs = [positions[g][0] for g in group]
+            ys = [positions[g][1] for g in group]
+            positions[leader] = (float(np.mean(xs)), float(np.mean(ys)))
+            for member in group:
+                parents[member] = leader
+        levels.append(tuple(tier))
+        current = tier
+    parents[current[0]] = None
+
+    return Hierarchy(
+        parents=parents,
+        children={k: tuple(v) for k, v in children.items()},
+        levels=tuple(levels),
+        positions=positions,
+    )

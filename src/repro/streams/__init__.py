@@ -1,0 +1,30 @@
+"""Streaming substrates: sliding windows, window sampling, windowed
+variance sketches and stream statistics (paper Section 5).
+"""
+
+from repro.streams.moments import EHMomentsSketch
+from repro.streams.quantiles import GKQuantileSummary
+from repro.streams.sampling import ChainSample, ReservoirSample
+from repro.streams.stats import StreamSummary, summarize, summarize_columns
+from repro.streams.variance import (
+    EHVarianceSketch,
+    ExactWindowedVariance,
+    MultiDimVarianceSketch,
+    theoretical_bound_words,
+)
+from repro.streams.window import SlidingWindow
+
+__all__ = [
+    "SlidingWindow",
+    "ChainSample",
+    "ReservoirSample",
+    "EHVarianceSketch",
+    "EHMomentsSketch",
+    "GKQuantileSummary",
+    "MultiDimVarianceSketch",
+    "ExactWindowedVariance",
+    "theoretical_bound_words",
+    "StreamSummary",
+    "summarize",
+    "summarize_columns",
+]

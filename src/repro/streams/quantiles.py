@@ -1,0 +1,135 @@
+"""Greenwald-Khanna epsilon-approximate quantile summaries.
+
+The paper's related work leans on order statistics in sensor networks
+(Greenwald & Khanna, PODS'04; Shrivastava et al., SenSys'04) as the
+alternative family of distribution summaries.  This module implements
+the classic GK summary so the model-based quantile estimates of
+:mod:`repro.apps.aggregates` can be compared against a dedicated
+order-statistics sketch (see ``benchmarks/test_ablations.py``).
+
+The summary maintains tuples ``(value, g, delta)`` such that for any
+rank query ``r`` it can return a value whose true rank is within
+``eps * n`` of ``r``, using ``O((1/eps) log(eps n))`` tuples.  This is
+the *unbounded-stream* variant (no sliding window) -- exactly the
+regime the paper contrasts its window-based kernel models against: the
+GK summary never forgets, so after a distribution shift its quantiles
+lag the window's (demonstrated in the tests).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._exceptions import ParameterError
+from repro._validation import require_fraction
+
+__all__ = ["GKQuantileSummary"]
+
+
+@dataclass(slots=True)
+class _Tuple:
+    value: float
+    g: int        # rank(value) - rank(previous value)
+    delta: int    # uncertainty of the rank
+
+
+class GKQuantileSummary:
+    """An epsilon-approximate quantile summary of an unbounded stream."""
+
+    def __init__(self, epsilon: float = 0.01) -> None:
+        require_fraction("epsilon", epsilon, inclusive_high=False)
+        self._epsilon = epsilon
+        self._tuples: "list[_Tuple]" = []
+        self._count = 0
+        self._since_compress = 0
+        # Compress once per 1/(2 eps) insertions, as in the paper.
+        self._compress_interval = max(1, int(1.0 / (2.0 * epsilon)))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def epsilon(self) -> float:
+        """Rank-error bound as a fraction of the stream length."""
+        return self._epsilon
+
+    @property
+    def count(self) -> int:
+        """Number of values observed."""
+        return self._count
+
+    @property
+    def tuple_count(self) -> int:
+        """Summary size in tuples."""
+        return len(self._tuples)
+
+    def memory_words(self) -> int:
+        """Logical footprint: three words per tuple."""
+        return 3 * len(self._tuples)
+
+    # ------------------------------------------------------------------
+
+    def insert(self, value: float) -> None:
+        """Observe one value."""
+        if not np.isfinite(value):
+            raise ParameterError(f"value must be finite, got {value!r}")
+        value = float(value)
+        self._count += 1
+        # Insertion position: first tuple with a strictly larger value
+        # (tuples stay sorted by value, so bisect applies).
+        position = bisect.bisect_right(
+            [t.value for t in self._tuples], value)
+        if position == 0 or position == len(self._tuples):
+            # New minimum or maximum: exact rank, delta = 0.
+            self._tuples.insert(position, _Tuple(value, 1, 0))
+        else:
+            cap = int(np.floor(2.0 * self._epsilon * self._count))
+            self._tuples.insert(
+                position, _Tuple(value, 1, max(0, cap - 1)))
+        self._since_compress += 1
+        if self._since_compress >= self._compress_interval:
+            self._compress()
+            self._since_compress = 0
+
+    def _compress(self) -> None:
+        # Right-to-left pass: merge tuple i into its successor whenever
+        # the combined uncertainty stays within the 2 eps n cap.  The
+        # extremes (first and last tuples) are kept exact.
+        if len(self._tuples) < 3:
+            return
+        cap = int(np.floor(2.0 * self._epsilon * self._count))
+        out = list(self._tuples)
+        i = len(out) - 2
+        while i >= 1:
+            merged_g = out[i].g + out[i + 1].g
+            if merged_g + out[i + 1].delta <= cap:
+                out[i + 1] = _Tuple(out[i + 1].value, merged_g,
+                                    out[i + 1].delta)
+                del out[i]
+            i -= 1
+        self._tuples = out
+
+    # ------------------------------------------------------------------
+
+    def query(self, q: float) -> float:
+        """The value at quantile ``q`` (rank error <= eps * count)."""
+        require_fraction("q", q, inclusive_low=True)
+        if not self._tuples:
+            raise ParameterError("no values inserted yet")
+        target = q * self._count
+        bound = self._epsilon * self._count
+        rank = 0
+        for i, t in enumerate(self._tuples):
+            rank += t.g
+            upper = rank + t.delta
+            if target - bound <= rank and upper <= target + bound:
+                return t.value
+            if rank > target + bound:
+                return self._tuples[max(0, i - 1)].value
+        return self._tuples[-1].value
+
+    def median(self) -> float:
+        """The approximate median."""
+        return self.query(0.5)

@@ -1,0 +1,243 @@
+"""Uniform sampling over streams and sliding windows (paper Section 5).
+
+The kernel estimator needs a uniform random sample ``R`` of the *current
+sliding window*, maintained in one pass with small memory.  The paper's
+prototype uses **chain sampling** (Babcock, Datar & Motwani, SODA 2002):
+each of the ``|R|`` sample slots runs an independent chain sampler whose
+active element is uniform over the window at all times.
+
+A chain sampler over window size ``W`` works as follows.  When the item
+with timestamp ``ts`` arrives it becomes the slot's active element with
+probability ``1 / min(ts + 1, W)`` (this reduces to reservoir sampling
+until the window first fills).  Whenever an item is stored, a *successor*
+timestamp is drawn uniformly from ``(ts, ts + W]``; when that item later
+arrives it is appended to the chain so that, the moment the active
+element expires, a replacement chosen uniformly from the then-current
+window is already on hand.  The expected chain length is O(1), giving
+O(d|R|) expected memory for the whole sample (Theorem 1's first term).
+
+A plain :class:`ReservoirSample` (uniform over the *entire* stream, never
+expiring) is included as a baseline; the property tests demonstrate why
+it is the wrong tool once the distribution drifts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Tuple
+
+import numpy as np
+
+from repro._exceptions import ParameterError
+from repro._validation import require_positive_int
+
+__all__ = ["ChainSample", "ReservoirSample"]
+
+
+@dataclass
+class _Chain:
+    """One chain-sampling slot: the active element plus queued successors."""
+
+    #: (timestamp, value) pairs; ``items[0]`` is the active sample element.
+    items: Deque[Tuple[int, np.ndarray]] = field(default_factory=deque)
+    #: Timestamp at which the next successor is due to be captured.
+    successor_ts: int = -1
+
+
+class ChainSample:
+    """A uniform sample of a sliding window, maintained by chain sampling.
+
+    Parameters
+    ----------
+    window_size:
+        The window length ``|W|`` in arrivals.
+    sample_size:
+        Number of slots ``|R|``.  Slots are independent, so the sample is
+        "with replacement": duplicates are possible and expected.
+    n_dims:
+        Dimensionality of the sampled values.
+    rng:
+        Source of randomness (``numpy.random.default_rng()`` by default).
+    """
+
+    def __init__(self, window_size: int, sample_size: int, n_dims: int = 1,
+                 rng: np.random.Generator | None = None) -> None:
+        require_positive_int("window_size", window_size)
+        require_positive_int("sample_size", sample_size)
+        require_positive_int("n_dims", n_dims)
+        self._window_size = window_size
+        self._sample_size = sample_size
+        self._n_dims = n_dims
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._chains = [_Chain() for _ in range(sample_size)]
+        self._timestamp = -1   # timestamp of the latest offered value
+
+    # ------------------------------------------------------------------
+
+    @property
+    def window_size(self) -> int:
+        """The window length ``|W|`` in arrivals."""
+        return self._window_size
+
+    @property
+    def sample_size(self) -> int:
+        """The number of slots ``|R|``."""
+        return self._sample_size
+
+    @property
+    def n_dims(self) -> int:
+        """Dimensionality of the sampled values."""
+        return self._n_dims
+
+    @property
+    def timestamp(self) -> int:
+        """Timestamp of the most recent arrival (-1 before any)."""
+        return self._timestamp
+
+    def __len__(self) -> int:
+        """Number of slots currently holding an active element."""
+        return sum(1 for chain in self._chains if chain.items)
+
+    # ------------------------------------------------------------------
+
+    def _draw_successor(self, ts: int) -> int:
+        # Uniform over (ts, ts + W]; rng.integers' high bound is exclusive.
+        return ts + int(self._rng.integers(1, self._window_size + 1))
+
+    def offer(self, value, timestamp: int | None = None) -> bool:
+        """Process one arrival; return True when it became an active element.
+
+        That return value is what drives line 14 of the D3 algorithm
+        ("if S(i) included in R_w, send S(i) to parent with probability
+        f"): sample-changing arrivals are the candidates for incremental
+        propagation up the hierarchy.  An arrival that is merely queued
+        on a chain (a future replacement) does not count as included.
+        """
+        return bool(self.offer_detailed(value, timestamp))
+
+    def offer_detailed(self, value, timestamp: int | None = None) -> "tuple[int, ...]":
+        """Like :meth:`offer`, but return the indices of the slots whose
+        active element the arrival replaced.
+
+        MGDD's top-level leader uses this to broadcast *incremental*
+        global-model updates: only the changed slots travel down the
+        hierarchy (Section 8.1).
+        """
+        point = np.asarray(value, dtype=float).reshape(-1)
+        if point.shape != (self._n_dims,):
+            raise ParameterError(
+                f"value must have {self._n_dims} coordinate(s), got shape {point.shape}")
+        if timestamp is None:
+            timestamp = self._timestamp + 1
+        if timestamp <= self._timestamp:
+            raise ParameterError(
+                f"timestamps must be strictly increasing "
+                f"(got {timestamp} after {self._timestamp})")
+        self._timestamp = timestamp
+
+        inclusion_prob = 1.0 / min(timestamp + 1, self._window_size)
+        # One random draw per slot; vectorised for the common large-|R| case.
+        draws = self._rng.random(self._sample_size)
+        changed: "list[int]" = []
+        for slot, (chain, draw) in enumerate(zip(self._chains, draws)):
+            if draw < inclusion_prob:
+                # The arrival replaces this slot's entire chain.
+                chain.items.clear()
+                chain.items.append((timestamp, point))
+                chain.successor_ts = self._draw_successor(timestamp)
+                changed.append(slot)
+            elif chain.items and timestamp == chain.successor_ts:
+                # Capture the successor chosen earlier; queue it.
+                chain.items.append((timestamp, point))
+                chain.successor_ts = self._draw_successor(timestamp)
+            # Expire the active element once it falls out of the window.
+            while chain.items and chain.items[0][0] <= timestamp - self._window_size:
+                chain.items.popleft()
+        return tuple(changed)
+
+    def values(self) -> np.ndarray:
+        """Active sample elements, shape ``(k, n_dims)`` with ``k <= |R|``.
+
+        ``k`` equals ``|R|`` from the first arrival onward; it can only be
+        smaller before any value has been offered.
+        """
+        active = [chain.items[0][1] for chain in self._chains if chain.items]
+        if not active:
+            return np.empty((0, self._n_dims), dtype=float)
+        return np.stack(active, axis=0)
+
+    # ------------------------------------------------------------------
+    # Resource accounting (Section 10.3)
+    # ------------------------------------------------------------------
+
+    def chain_lengths(self) -> np.ndarray:
+        """Current length of each slot's chain (active element included)."""
+        return np.array([len(chain.items) for chain in self._chains], dtype=np.int64)
+
+    def memory_words(self, *, words_per_value: int | None = None) -> int:
+        """Logical memory footprint in machine words.
+
+        Each stored chain entry costs ``d`` words for the value plus one
+        word for its timestamp; each slot also keeps one successor
+        timestamp.  This is the quantity the Section 10.3 experiment
+        accounts (16-bit words on the motes), independent of Python
+        object overhead.
+        """
+        if words_per_value is None:
+            words_per_value = self._n_dims
+        stored = int(self.chain_lengths().sum())
+        return stored * (words_per_value + 1) + self._sample_size
+
+
+class ReservoirSample:
+    """Classic reservoir sampling over the whole stream (no expiry).
+
+    Provided as a contrast to :class:`ChainSample`: its sample stays
+    uniform over *everything ever seen*, so after a distribution change
+    it keeps resurrecting stale values -- exactly what the sliding-window
+    semantics of the paper is designed to avoid.
+    """
+
+    def __init__(self, sample_size: int, n_dims: int = 1,
+                 rng: np.random.Generator | None = None) -> None:
+        require_positive_int("sample_size", sample_size)
+        require_positive_int("n_dims", n_dims)
+        self._sample_size = sample_size
+        self._n_dims = n_dims
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._reservoir = np.empty((sample_size, n_dims), dtype=float)
+        self._seen = 0
+
+    @property
+    def sample_size(self) -> int:
+        """Reservoir capacity."""
+        return self._sample_size
+
+    @property
+    def seen(self) -> int:
+        """Total number of values offered so far."""
+        return self._seen
+
+    def __len__(self) -> int:
+        return min(self._seen, self._sample_size)
+
+    def offer(self, value) -> bool:
+        """Process one arrival; return True when it entered the reservoir."""
+        point = np.asarray(value, dtype=float).reshape(-1)
+        if point.shape != (self._n_dims,):
+            raise ParameterError(
+                f"value must have {self._n_dims} coordinate(s), got shape {point.shape}")
+        self._seen += 1
+        if self._seen <= self._sample_size:
+            self._reservoir[self._seen - 1] = point
+            return True
+        slot = int(self._rng.integers(0, self._seen))
+        if slot < self._sample_size:
+            self._reservoir[slot] = point
+            return True
+        return False
+
+    def values(self) -> np.ndarray:
+        """Current reservoir contents, shape ``(k, n_dims)``."""
+        return self._reservoir[:len(self)].copy()

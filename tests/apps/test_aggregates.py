@@ -1,0 +1,103 @@
+"""Order statistics and aggregates from density models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ParameterError
+from repro.apps.aggregates import (
+    conditional_mean,
+    estimate_cdf,
+    estimate_iqr,
+    estimate_median,
+    estimate_quantile,
+)
+from repro.core.estimator import KernelDensityEstimator
+from repro.core.histogram import EquiDepthHistogram
+
+
+@pytest.fixture
+def model(gaussian_window):
+    return KernelDensityEstimator.from_window(
+        gaussian_window, 300, rng=np.random.default_rng(99))
+
+
+class TestCdf:
+    def test_monotone_and_normalised(self, model):
+        points, cdf = estimate_cdf(model)
+        assert (np.diff(cdf) >= -1e-12).all()
+        assert cdf[-1] == pytest.approx(1.0)
+        assert points.shape == cdf.shape
+
+    def test_matches_empirical_cdf(self, model, gaussian_window):
+        points, cdf = estimate_cdf(model, grid_size=128)
+        for x in (0.35, 0.40, 0.45):
+            # Compare at the grid point itself; near the cluster core one
+            # grid cell carries several percent of mass, hence the band.
+            index = int(np.searchsorted(points, x))
+            empirical = np.mean(gaussian_window <= points[index])
+            # Sampling noise of a 300-point subsample is ~1/sqrt(300)
+            # per CDF value; allow two sigma.
+            assert cdf[index] == pytest.approx(empirical, abs=0.12)
+
+    def test_requires_1d(self, rng):
+        model_2d = KernelDensityEstimator(rng.uniform(size=(50, 2)))
+        with pytest.raises(ParameterError):
+            estimate_cdf(model_2d)
+
+    def test_empty_domain_rejected(self, model):
+        # Beyond every kernel's reach (isolated values stop at 0.9 and
+        # the bandwidth is ~0.04).
+        with pytest.raises(ParameterError):
+            estimate_cdf(model, low=0.96, high=0.99)
+
+
+class TestQuantiles:
+    def test_median_matches_empirical(self, model, gaussian_window):
+        assert estimate_median(model) == pytest.approx(
+            np.median(gaussian_window), abs=0.01)
+
+    @pytest.mark.parametrize("q", [0.1, 0.25, 0.75, 0.9])
+    def test_quantiles_match_empirical(self, model, gaussian_window, q):
+        assert estimate_quantile(model, q) == pytest.approx(
+            np.quantile(gaussian_window, q), abs=0.02)
+
+    def test_quantiles_monotone_in_q(self, model):
+        values = [estimate_quantile(model, q)
+                  for q in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert values == sorted(values)
+
+    def test_iqr_positive_and_close(self, model, gaussian_window):
+        expected = (np.quantile(gaussian_window, 0.75)
+                    - np.quantile(gaussian_window, 0.25))
+        assert estimate_iqr(model) == pytest.approx(expected, abs=0.02)
+
+    def test_extreme_quantiles(self, model):
+        assert estimate_quantile(model, 0.0) <= estimate_quantile(model, 1.0)
+
+    def test_invalid_q(self, model):
+        with pytest.raises(ParameterError):
+            estimate_quantile(model, 1.5)
+
+    def test_histogram_model_supported(self, gaussian_window):
+        hist = EquiDepthHistogram.from_values(gaussian_window, 64)
+        assert estimate_median(hist) == pytest.approx(
+            np.median(gaussian_window), abs=0.02)
+
+
+class TestConditionalMean:
+    def test_matches_empirical(self, model, gaussian_window):
+        low, high = 0.35, 0.45
+        values = gaussian_window[(gaussian_window >= low)
+                                 & (gaussian_window <= high)]
+        assert conditional_mean(model, low, high) == pytest.approx(
+            values.mean(), abs=0.01)
+
+    def test_requires_mass(self, model):
+        with pytest.raises(ParameterError):
+            conditional_mean(model, 0.97, 0.99)
+
+    def test_invalid_interval(self, model):
+        with pytest.raises(ParameterError):
+            conditional_mean(model, 0.5, 0.4)

@@ -1,0 +1,89 @@
+"""Faulty-sensor detection (paper Section 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ParameterError
+from repro.apps.faulty_sensors import FaultySensorMonitor, RegionOutlierAlarm
+from repro.core.estimator import KernelDensityEstimator
+from repro.network.node import Detection
+
+
+def models_for(rng, shifts):
+    """One kernel model per child; child i's data is shifted by shifts[i]."""
+    return {i: KernelDensityEstimator(rng.normal(0.4 + shift, 0.03, 300))
+            for i, shift in enumerate(shifts)}
+
+
+class TestFaultySensorMonitor:
+    def test_healthy_peers_not_flagged(self, rng):
+        monitor = FaultySensorMonitor(threshold=0.35)
+        reports = monitor.check(models_for(rng, [0.0, 0.0, 0.0, 0.0]))
+        assert reports == []
+
+    def test_shifted_sensor_flagged(self, rng):
+        monitor = FaultySensorMonitor(threshold=0.35)
+        reports = monitor.check(models_for(rng, [0.0, 0.0, 0.0, 0.4]))
+        assert [r.sensor for r in reports] == [3]
+        assert reports[0].divergence > 0.35
+
+    def test_divergences_returned_for_all_children(self, rng):
+        monitor = FaultySensorMonitor()
+        divergences = monitor.divergences(models_for(rng, [0.0, 0.0, 0.3]))
+        assert set(divergences) == {0, 1, 2}
+        assert divergences[2] > divergences[0]
+
+    def test_stuck_sensor_flagged(self, rng):
+        models = models_for(rng, [0.0, 0.0, 0.0])
+        models[3] = KernelDensityEstimator(np.full(300, 0.4))   # stuck reading
+        monitor = FaultySensorMonitor(threshold=0.35)
+        assert [r.sensor for r in monitor.check(models)] == [3]
+
+    def test_needs_two_children(self, rng):
+        monitor = FaultySensorMonitor()
+        with pytest.raises(ParameterError):
+            monitor.check({0: KernelDensityEstimator(rng.uniform(size=10))})
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ParameterError):
+            FaultySensorMonitor(threshold=0.0)
+
+
+def detection(tick, origin):
+    return Detection(tick=tick, node_id=origin, level=1, origin=origin,
+                     value=np.array([0.9]))
+
+
+class TestRegionOutlierAlarm:
+    def test_fires_when_count_exceeded(self):
+        alarm = RegionOutlierAlarm(region_leaves=[0, 1], count_threshold=2,
+                                   time_window=100)
+        assert not alarm.observe(detection(1, 0))
+        assert not alarm.observe(detection(2, 1))
+        assert alarm.observe(detection(3, 0))
+
+    def test_out_of_region_detections_ignored(self):
+        alarm = RegionOutlierAlarm(region_leaves=[0], count_threshold=1,
+                                   time_window=100)
+        assert not alarm.observe(detection(1, 5))
+        assert not alarm.observe(detection(2, 5))
+        assert alarm.current_count == 0
+
+    def test_expiry_resets_count(self):
+        alarm = RegionOutlierAlarm(region_leaves=[0], count_threshold=2,
+                                   time_window=10)
+        alarm.observe(detection(0, 0))
+        alarm.observe(detection(1, 0))
+        assert alarm.current_count == 2
+        assert not alarm.observe(detection(50, 0))
+        assert alarm.current_count == 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ParameterError):
+            RegionOutlierAlarm(region_leaves=[], count_threshold=1,
+                               time_window=10)
+        with pytest.raises(ParameterError):
+            RegionOutlierAlarm(region_leaves=[0], count_threshold=0,
+                               time_window=10)

@@ -1,0 +1,88 @@
+"""In-network fault monitoring inside the simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ParameterError
+from repro.apps.monitoring import FaultLog, attach_fault_monitoring
+from repro.core.outliers import DistanceOutlierSpec
+from repro.data.streams import StreamSet
+from repro.detectors.d3 import D3Config, build_d3_network
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import build_hierarchy
+
+
+def run_monitored(offset_sensor=None, offset=0.25, n_ticks=2_000, seed=0,
+                  threshold=0.35):
+    hierarchy = build_hierarchy(8, 4)
+    config = D3Config(
+        spec=DistanceOutlierSpec(radius=0.01, count_threshold=5),
+        window_size=400, sample_size=60, sample_fraction=1.0, warmup=10_000)
+    network = build_d3_network(hierarchy, config, 1,
+                               rng=np.random.default_rng(seed))
+    rng = np.random.default_rng(seed + 1)
+    arrays = []
+    for sensor in range(8):
+        base = np.clip(rng.normal(0.4, 0.03, (n_ticks, 1)), 0, 1)
+        if sensor == offset_sensor:
+            base = np.clip(base + offset, 0, 1)
+        arrays.append(base)
+    from repro.apps.faulty_sensors import FaultySensorMonitor
+    log = attach_fault_monitoring(
+        network.nodes, hierarchy, level=2,
+        monitor=FaultySensorMonitor(threshold=threshold, grid_size=32),
+        check_every=256, rng=np.random.default_rng(seed + 2))
+    sim = NetworkSimulator(hierarchy, network.nodes,
+                           StreamSet.from_arrays(arrays))
+    sim.run()
+    return log
+
+
+class TestMonitoring:
+    def test_healthy_network_stays_quiet(self):
+        log = run_monitored(offset_sensor=None, seed=3)
+        assert log.flagged_sensors() == set()
+
+    def test_miscalibrated_sensor_flagged(self):
+        log = run_monitored(offset_sensor=2, offset=0.3, seed=3)
+        assert 2 in log.flagged_sensors()
+        # Only the drifted sensor is implicated.
+        assert log.flagged_sensors() == {2}
+
+    def test_events_carry_location(self):
+        log = run_monitored(offset_sensor=5, offset=0.3, seed=4)
+        assert len(log) > 0
+        hierarchy = build_hierarchy(8, 4)
+        for event in log.events:
+            assert event.report.sensor == 5
+            assert event.leader == hierarchy.parent_of(5)
+
+    def test_wrapping_preserves_leader_function(self):
+        """Escalated traffic still flows through wrapped leaders."""
+        hierarchy = build_hierarchy(8, 4)
+        config = D3Config(
+            spec=DistanceOutlierSpec(radius=0.01, count_threshold=5),
+            window_size=300, sample_size=30, sample_fraction=0.5,
+            warmup=300)
+        network = build_d3_network(hierarchy, config, 1,
+                                   rng=np.random.default_rng(7))
+        attach_fault_monitoring(network.nodes, hierarchy, level=2,
+                                rng=np.random.default_rng(8))
+        rng = np.random.default_rng(9)
+        arrays = [np.clip(rng.normal(0.4, 0.02, (400, 1)), 0, 1)
+                  for _ in range(8)]
+        arrays[0][350] = 0.9
+        sim = NetworkSimulator(hierarchy, network.nodes,
+                               StreamSet.from_arrays(arrays))
+        sim.run()
+        assert any(d.level == 2 and d.tick == 350
+                   for d in network.log.detections)
+
+    def test_invalid_level(self):
+        hierarchy = build_hierarchy(8, 4)
+        with pytest.raises(ParameterError):
+            attach_fault_monitoring({}, hierarchy, level=1)
+        with pytest.raises(ParameterError):
+            attach_fault_monitoring({}, hierarchy, level=9)

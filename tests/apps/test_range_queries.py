@@ -1,0 +1,116 @@
+"""Spatio-temporal query answering (paper Section 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ParameterError
+from repro.apps.range_queries import Region, SpatioTemporalQueryEngine
+
+
+POSITIONS = {0: (0.1, 0.1), 1: (0.9, 0.1), 2: (0.1, 0.9), 3: (0.9, 0.9)}
+
+
+def feed(engine, data, sensors=POSITIONS):
+    """data[sensor] is an array of readings, one per tick."""
+    for tick in range(len(next(iter(data.values())))):
+        for sensor in sensors:
+            engine.observe(sensor, [data[sensor][tick]], tick)
+
+
+class TestRegion:
+    def test_contains(self):
+        region = Region(0.0, 0.5, 0.0, 0.5)
+        assert region.contains((0.1, 0.1))
+        assert not region.contains((0.9, 0.1))
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ParameterError):
+            Region(0.5, 0.0, 0.0, 1.0)
+
+
+class TestAverageQueries:
+    def test_average_per_region(self, rng):
+        engine = SpatioTemporalQueryEngine(POSITIONS, epoch_length=64,
+                                           rng=rng)
+        data = {0: np.full(256, 0.2), 1: np.full(256, 0.8),
+                2: np.full(256, 0.2), 3: np.full(256, 0.8)}
+        feed(engine, data)
+        left = Region(0.0, 0.5, 0.0, 1.0)
+        right = Region(0.5, 1.0, 0.0, 1.0)
+        assert engine.average(left, 0, 191)[0] == pytest.approx(0.2, abs=0.01)
+        assert engine.average(right, 0, 191)[0] == pytest.approx(0.8, abs=0.01)
+
+    def test_average_over_time_slice(self, rng):
+        engine = SpatioTemporalQueryEngine(POSITIONS, epoch_length=32, rng=rng)
+        series = np.concatenate([np.full(96, 0.1), np.full(96, 0.9)])
+        feed(engine, {s: series for s in POSITIONS})
+        everywhere = Region(0.0, 1.0, 0.0, 1.0)
+        early = engine.average(everywhere, 0, 63)[0]
+        late = engine.average(everywhere, 96, 159)[0]
+        assert early == pytest.approx(0.1, abs=0.02)
+        assert late == pytest.approx(0.9, abs=0.02)
+
+    def test_no_overlapping_epoch_rejected(self, rng):
+        engine = SpatioTemporalQueryEngine(POSITIONS, epoch_length=64, rng=rng)
+        feed(engine, {s: np.full(32, 0.5) for s in POSITIONS})  # epoch open
+        with pytest.raises(ParameterError, match="no closed epoch"):
+            engine.average(Region(0, 1, 0, 1), 0, 31)
+
+    def test_inverted_time_interval_rejected(self, rng):
+        engine = SpatioTemporalQueryEngine(POSITIONS, rng=rng)
+        with pytest.raises(ParameterError):
+            engine.average(Region(0, 1, 0, 1), 10, 5)
+
+
+class TestCountQueries:
+    def test_range_count_approximates_truth(self, rng):
+        engine = SpatioTemporalQueryEngine(POSITIONS, epoch_length=128,
+                                           sample_size=128, rng=rng)
+        data = {s: rng.normal(0.5, 0.05, 512) for s in POSITIONS}
+        feed(engine, data)
+        everywhere = Region(0.0, 1.0, 0.0, 1.0)
+        estimate = engine.range_count(everywhere, 0, 383, [0.45], [0.55])
+        truth = sum(np.sum((data[s][:384] >= 0.45) & (data[s][:384] <= 0.55))
+                    for s in POSITIONS)
+        assert estimate == pytest.approx(truth, rel=0.2)
+
+    def test_selectivity_bounded(self, rng):
+        engine = SpatioTemporalQueryEngine(POSITIONS, epoch_length=64, rng=rng)
+        feed(engine, {s: rng.uniform(size=256) for s in POSITIONS})
+        sel = engine.selectivity(Region(0, 1, 0, 1), 0, 191, [0.0], [0.3])
+        assert 0.0 <= sel <= 1.0
+        assert sel == pytest.approx(0.3, abs=0.12)
+
+    def test_merged_model_answers_queries(self, rng):
+        engine = SpatioTemporalQueryEngine(POSITIONS, epoch_length=64, rng=rng)
+        feed(engine, {s: rng.normal(0.4, 0.03, 192) for s in POSITIONS})
+        model = engine.merged_model(Region(0, 1, 0, 1), 0, 127)
+        assert model.range_probability(0.3, 0.5) > 0.9
+
+
+class TestLifecycle:
+    def test_old_epochs_discarded(self, rng):
+        engine = SpatioTemporalQueryEngine(POSITIONS, epoch_length=16,
+                                           n_epochs_retained=2, rng=rng)
+        feed(engine, {s: np.full(160, 0.5) for s in POSITIONS})
+        with pytest.raises(ParameterError, match="no closed epoch"):
+            engine.average(Region(0, 1, 0, 1), 0, 15)   # evicted epoch
+
+    def test_unknown_sensor_rejected(self, rng):
+        engine = SpatioTemporalQueryEngine(POSITIONS, rng=rng)
+        with pytest.raises(ParameterError, match="unknown sensor"):
+            engine.observe(99, [0.5], 0)
+
+    def test_time_must_not_go_backwards(self, rng):
+        engine = SpatioTemporalQueryEngine(POSITIONS, epoch_length=4, rng=rng)
+        engine.observe(0, [0.5], 10)
+        with pytest.raises(ParameterError):
+            engine.observe(0, [0.5], 1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ParameterError):
+            SpatioTemporalQueryEngine({})
+        with pytest.raises(ParameterError):
+            SpatioTemporalQueryEngine(POSITIONS, epoch_length=0)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator; re-seeded per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def gaussian_window(rng) -> np.ndarray:
+    """A 1-d window: one Gaussian cluster plus a few isolated values."""
+    bulk = rng.normal(0.4, 0.03, 3_000)
+    isolated = rng.uniform(0.7, 0.9, 8)
+    values = np.concatenate([bulk, isolated])
+    rng.shuffle(values)
+    return values
+
+
+@pytest.fixture
+def plateau_window(rng) -> np.ndarray:
+    """A 1-d window with two uniform plateaus and a sparse gap."""
+    a = rng.uniform(0.30, 0.42, 3_000)
+    b = rng.uniform(0.50, 0.58, 2_000)
+    gap = rng.uniform(0.43, 0.49, 25)
+    values = np.concatenate([a, b, gap])
+    rng.shuffle(values)
+    return values

@@ -1,0 +1,130 @@
+"""KL / Jensen-Shannon divergences (paper Section 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._exceptions import ParameterError
+from repro.core.divergence import (
+    jensen_shannon_divergence,
+    kl_divergence,
+    model_js_divergence,
+)
+from repro.core.estimator import KernelDensityEstimator
+from repro.core.histogram import EquiDepthHistogram
+
+
+class TestKL:
+    def test_zero_for_identical(self):
+        p = np.array([0.25, 0.25, 0.5])
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([0.25, 0.75])
+        expected = 0.5 * np.log2(2) + 0.5 * np.log2(0.5 / 0.75)
+        assert kl_divergence(p, q) == pytest.approx(expected)
+
+    def test_infinite_when_q_lacks_support(self):
+        # Exactly the failure mode Section 6 cites for kernel models.
+        assert kl_divergence([0.5, 0.5], [1.0, 0.0]) == float("inf")
+
+    def test_asymmetric(self):
+        p = np.array([0.8, 0.2])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_requires_normalised_input(self):
+        with pytest.raises(ParameterError, match="sum to 1"):
+            kl_divergence([0.5, 0.4], [0.5, 0.5])
+
+    def test_normalize_flag(self):
+        assert kl_divergence([5, 5], [5, 5], normalize=True) == pytest.approx(0.0)
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ParameterError):
+            kl_divergence([-0.5, 1.5], [0.5, 0.5])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            kl_divergence([1.0], [0.5, 0.5])
+
+    def test_zero_total_mass_rejected(self):
+        with pytest.raises(ParameterError):
+            kl_divergence([0.0, 0.0], [0.5, 0.5], normalize=True)
+
+
+class TestJensenShannon:
+    def test_zero_for_identical(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert jensen_shannon_divergence(p, p) == pytest.approx(0.0)
+
+    def test_symmetric(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.2, 0.8])
+        assert jensen_shannon_divergence(p, q) == pytest.approx(
+            jensen_shannon_divergence(q, p))
+
+    def test_finite_on_disjoint_support(self):
+        # Disjoint distributions are maximally distant: JS = 1 bit.
+        assert jensen_shannon_divergence([1.0, 0.0], [0.0, 1.0]) \
+            == pytest.approx(1.0)
+
+    def test_bounded_by_one(self):
+        p = np.array([0.99, 0.01])
+        q = np.array([0.01, 0.99])
+        assert 0.0 <= jensen_shannon_divergence(p, q) <= 1.0
+
+    def test_normalize_flag(self):
+        value = jensen_shannon_divergence([3, 1], [1, 3], normalize=True)
+        assert 0.0 < value < 1.0
+
+
+class TestModelJS:
+    def test_same_model_near_zero(self, gaussian_window):
+        kde = KernelDensityEstimator.from_window(gaussian_window, 100)
+        assert model_js_divergence(kde, kde) == pytest.approx(0.0, abs=1e-9)
+
+    def test_close_models_small_distance(self, gaussian_window, rng):
+        a = KernelDensityEstimator.from_window(gaussian_window, 150, rng=rng)
+        b = KernelDensityEstimator.from_window(gaussian_window, 150, rng=rng)
+        assert model_js_divergence(a, b) < 0.05
+
+    def test_shifted_models_larger_distance(self, rng):
+        a = KernelDensityEstimator(rng.normal(0.3, 0.05, 200))
+        b = KernelDensityEstimator(rng.normal(0.6, 0.05, 200))
+        c = KernelDensityEstimator(rng.normal(0.3, 0.05, 200))
+        assert model_js_divergence(a, b) > 5 * model_js_divergence(a, c)
+
+    def test_kernel_vs_histogram_comparable(self, gaussian_window):
+        kde = KernelDensityEstimator.from_window(gaussian_window, 100)
+        hist = EquiDepthHistogram.from_values(gaussian_window, 100)
+        assert model_js_divergence(kde, hist) < 0.1
+
+    def test_dimension_mismatch_rejected(self, rng):
+        a = KernelDensityEstimator(rng.uniform(size=20))
+        b = KernelDensityEstimator(rng.uniform(size=(20, 2)))
+        with pytest.raises(ParameterError):
+            model_js_divergence(a, b)
+
+    def test_2d_models(self, rng):
+        a = KernelDensityEstimator(rng.uniform(0.2, 0.5, size=(100, 2)))
+        b = KernelDensityEstimator(rng.uniform(0.5, 0.8, size=(100, 2)))
+        assert model_js_divergence(a, b, grid_size=16) > 0.3
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=1e-6, max_value=1.0), min_size=2, max_size=16),
+       st.lists(st.floats(min_value=1e-6, max_value=1.0), min_size=2, max_size=16))
+def test_js_properties(p_raw, q_raw):
+    """JS is symmetric, bounded in [0, 1] bits, zero iff p == q."""
+    size = min(len(p_raw), len(q_raw))
+    p = np.array(p_raw[:size])
+    q = np.array(q_raw[:size])
+    forward = jensen_shannon_divergence(p, q, normalize=True)
+    backward = jensen_shannon_divergence(q, p, normalize=True)
+    assert forward == pytest.approx(backward, abs=1e-9)
+    assert 0.0 <= forward <= 1.0
+    assert jensen_shannon_divergence(p, p, normalize=True) == pytest.approx(0.0)

@@ -1,0 +1,160 @@
+"""Equi-depth histogram baseline (paper Section 10 comparisons)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._exceptions import EmptyModelError, ParameterError
+from repro.core.histogram import EquiDepthHistogram
+
+
+class TestConstruction:
+    def test_bucket_count_close_to_budget(self, rng):
+        hist = EquiDepthHistogram.from_values(rng.uniform(size=1000), 50)
+        assert 40 <= hist.n_buckets <= 50
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(EmptyModelError):
+            EquiDepthHistogram.from_values(np.empty((0, 1)), 10)
+
+    def test_invalid_bucket_budget_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            EquiDepthHistogram.from_values(rng.uniform(size=10), 0)
+
+    def test_degenerate_constant_data(self):
+        hist = EquiDepthHistogram.from_values(np.full(100, 0.5), 10)
+        assert hist.range_probability(0.4, 0.6) == pytest.approx(1.0)
+
+    def test_window_size_default(self, rng):
+        hist = EquiDepthHistogram.from_values(rng.uniform(size=123), 8)
+        assert hist.window_size == 123
+
+    def test_2d_bucket_budget_split(self, rng):
+        hist = EquiDepthHistogram.from_values(rng.uniform(size=(500, 2)), 49)
+        assert hist.n_dims == 2
+        assert hist.n_buckets <= 49
+
+
+class TestRangeProbability:
+    def test_total_mass_one(self, rng):
+        hist = EquiDepthHistogram.from_values(rng.uniform(size=2000), 64)
+        assert hist.range_probability(-1.0, 2.0) == pytest.approx(1.0)
+
+    def test_equi_depth_buckets_have_equal_mass(self, rng):
+        values = rng.uniform(size=10_000)
+        hist = EquiDepthHistogram.from_values(values, 10)
+        # Uniform data: each decile holds ~10% of the mass.
+        assert hist.range_probability(0.0, np.quantile(values, 0.1)) \
+            == pytest.approx(0.1, abs=0.02)
+
+    def test_matches_empirical_mass(self, gaussian_window):
+        hist = EquiDepthHistogram.from_values(gaussian_window, 100)
+        empirical = np.mean((gaussian_window >= 0.35) & (gaussian_window <= 0.45))
+        assert hist.range_probability(0.35, 0.45) == pytest.approx(
+            empirical, abs=0.03)
+
+    def test_batch_matches_scalar(self, gaussian_window):
+        hist = EquiDepthHistogram.from_values(gaussian_window, 50)
+        lows = np.array([[0.3], [0.7]])
+        highs = np.array([[0.5], [0.9]])
+        batch = hist.range_probability(lows, highs)
+        for i in range(2):
+            assert batch[i] == pytest.approx(
+                hist.range_probability(lows[i], highs[i]))
+
+    def test_inverted_interval_rejected(self, gaussian_window):
+        hist = EquiDepthHistogram.from_values(gaussian_window, 20)
+        with pytest.raises(ParameterError):
+            hist.range_probability(0.6, 0.4)
+
+    def test_2d_box_mass(self, rng):
+        values = rng.uniform(size=(5_000, 2))
+        hist = EquiDepthHistogram.from_values(values, 100)
+        quarter = hist.range_probability([0.0, 0.0], [0.5, 0.5])
+        assert quarter == pytest.approx(0.25, abs=0.05)
+
+
+class TestNeighborhoodCount:
+    def test_matches_exact_count(self, gaussian_window):
+        hist = EquiDepthHistogram.from_values(gaussian_window, 150)
+        estimated = hist.neighborhood_count(0.4, 0.02)
+        exact = np.sum(np.abs(gaussian_window - 0.4) <= 0.02)
+        assert estimated == pytest.approx(exact, rel=0.25)
+
+    def test_invalid_radius_rejected(self, gaussian_window):
+        hist = EquiDepthHistogram.from_values(gaussian_window, 20)
+        with pytest.raises(ParameterError):
+            hist.neighborhood_count(0.4, -0.1)
+
+
+class TestGridProbabilities:
+    def test_sums_to_one_for_interior_data(self, rng):
+        hist = EquiDepthHistogram.from_values(rng.uniform(0.2, 0.8, 1000), 32)
+        grid = hist.grid_probabilities(16)
+        assert grid.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_2d_grid_shape(self, rng):
+        hist = EquiDepthHistogram.from_values(rng.uniform(size=(500, 2)), 36)
+        assert hist.grid_probabilities(8).shape == (8, 8)
+
+    def test_invalid_arguments(self, rng):
+        hist = EquiDepthHistogram.from_values(rng.uniform(size=50), 8)
+        with pytest.raises(ParameterError):
+            hist.grid_probabilities(0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=3, max_size=60),
+       st.floats(min_value=0.0, max_value=1.0),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_histogram_probability_axioms(values, a, b):
+    hist = EquiDepthHistogram.from_values(np.array(values), 8)
+    lo, hi = min(a, b), max(a, b)
+    inner = hist.range_probability(lo, hi)
+    assert 0.0 <= inner <= 1.0
+    assert inner <= hist.range_probability(lo - 0.2, hi + 0.2) + 1e-12
+
+
+class TestOnlineHistogram:
+    """The dynamic (GK-summary-driven) equi-depth histogram."""
+
+    def test_close_to_offline_upper_bound(self, gaussian_window):
+        from repro.streams.quantiles import GKQuantileSummary
+        summary = GKQuantileSummary(0.01)
+        for value in gaussian_window:
+            summary.insert(float(value))
+        online = EquiDepthHistogram.from_quantile_summary(
+            summary, 64, window_size=gaussian_window.shape[0])
+        offline = EquiDepthHistogram.from_values(gaussian_window, 64)
+        for low, high in ((0.35, 0.45), (0.3, 0.5), (0.0, 0.41)):
+            assert online.range_probability(low, high) == pytest.approx(
+                offline.range_probability(low, high), abs=0.05)
+
+    def test_neighborhood_counts_usable(self, gaussian_window):
+        from repro.streams.quantiles import GKQuantileSummary
+        summary = GKQuantileSummary(0.01)
+        for value in gaussian_window:
+            summary.insert(float(value))
+        online = EquiDepthHistogram.from_quantile_summary(
+            summary, 100, window_size=gaussian_window.shape[0])
+        exact = np.sum(np.abs(gaussian_window - 0.4) <= 0.02)
+        assert online.neighborhood_count(0.4, 0.02) == pytest.approx(
+            exact, rel=0.35)
+
+    def test_degenerate_summary(self):
+        from repro.streams.quantiles import GKQuantileSummary
+        summary = GKQuantileSummary(0.1)
+        summary.insert(0.5)
+        online = EquiDepthHistogram.from_quantile_summary(
+            summary, 8, window_size=1)
+        assert online.range_probability(0.4, 0.6) == pytest.approx(1.0)
+
+    def test_invalid_bucket_budget(self, gaussian_window):
+        from repro.streams.quantiles import GKQuantileSummary
+        summary = GKQuantileSummary(0.1)
+        summary.insert(0.5)
+        with pytest.raises(ParameterError):
+            EquiDepthHistogram.from_quantile_summary(summary, 0,
+                                                     window_size=1)

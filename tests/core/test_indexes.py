@@ -1,0 +1,164 @@
+"""Incremental exact neighbour-count indexes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._exceptions import ParameterError
+from repro.core.indexes import (
+    GridCountIndex,
+    SortedWindowIndex1D,
+    WindowedNeighborIndex,
+)
+
+
+class TestSortedWindowIndex:
+    def test_counts_match_reference(self, rng):
+        index = SortedWindowIndex1D(window_size=50)
+        window: "list[float]" = []
+        for value in rng.uniform(size=200):
+            index.insert(float(value))
+            window.append(float(value))
+            window = window[-50:]
+            assert len(index) == len(window)
+            lo, hi = 0.25, 0.4
+            expected = sum(1 for v in window if lo <= v <= hi)
+            assert index.count_in(lo, hi) == expected
+
+    def test_expiry_returns_oldest(self):
+        index = SortedWindowIndex1D(window_size=2)
+        assert index.insert(1.0) is None
+        assert index.insert(2.0) is None
+        assert index.insert(3.0) == 1.0
+
+    def test_neighbor_count_inclusive(self):
+        index = SortedWindowIndex1D(window_size=5)
+        for value in (0.1, 0.2, 0.3):
+            index.insert(value)
+        assert index.neighbor_count(0.2, 0.1) == 3
+
+    def test_duplicates_supported(self):
+        index = SortedWindowIndex1D(window_size=4)
+        for value in (0.5, 0.5, 0.5):
+            index.insert(value)
+        assert index.count_in(0.5, 0.5) == 3
+        index.insert(0.5)
+        index.insert(0.5)   # expires one duplicate
+        assert index.count_in(0.5, 0.5) == 4
+
+    def test_values_sorted(self, rng):
+        index = SortedWindowIndex1D(window_size=10)
+        for value in rng.uniform(size=10):
+            index.insert(float(value))
+        values = index.values()
+        assert (np.diff(values) >= 0).all()
+
+    def test_invalid_inputs(self):
+        index = SortedWindowIndex1D(window_size=3)
+        with pytest.raises(ParameterError):
+            index.insert(float("nan"))
+        with pytest.raises(ParameterError):
+            index.count_in(0.5, 0.4)
+        with pytest.raises(ParameterError):
+            index.neighbor_count(0.5, 0.0)
+
+
+class TestGridCountIndex:
+    def test_counts_match_brute_force_1d(self, rng):
+        index = GridCountIndex(cell_width=0.05)
+        points = rng.uniform(size=300)
+        for p in points:
+            index.insert([p])
+        for query in (0.1, 0.5, 0.93):
+            expected = int(np.sum(np.abs(points - query) <= 0.03))
+            assert index.neighbor_count([query], 0.03) == expected
+
+    def test_counts_match_brute_force_2d(self, rng):
+        index = GridCountIndex(cell_width=0.1, n_dims=2)
+        points = rng.uniform(size=(400, 2))
+        for p in points:
+            index.insert(p)
+        query = np.array([0.4, 0.6])
+        expected = int(np.sum(
+            (np.abs(points - query) <= 0.07).all(axis=1)))
+        assert index.neighbor_count(query, 0.07) == expected
+
+    def test_remove(self, rng):
+        index = GridCountIndex(cell_width=0.1)
+        index.insert([0.5])
+        index.insert([0.5])
+        index.remove([0.5])
+        assert index.neighbor_count([0.5], 0.01) == 1
+        index.remove([0.5])
+        assert len(index) == 0
+
+    def test_remove_absent_rejected(self):
+        index = GridCountIndex(cell_width=0.1)
+        with pytest.raises(ParameterError, match="not in the index"):
+            index.remove([0.5])
+
+    def test_negative_coordinates_supported(self):
+        index = GridCountIndex(cell_width=0.1)
+        index.insert([-0.25])
+        assert index.neighbor_count([-0.3], 0.1) == 1
+
+    def test_3d_path(self, rng):
+        index = GridCountIndex(cell_width=0.2, n_dims=3)
+        points = rng.uniform(size=(100, 3))
+        for p in points:
+            index.insert(p)
+        expected = int(np.sum(
+            (np.abs(points - 0.5) <= 0.15).all(axis=1)))
+        assert index.neighbor_count([0.5, 0.5, 0.5], 0.15) == expected
+
+    def test_dimension_mismatch_rejected(self):
+        index = GridCountIndex(cell_width=0.1, n_dims=2)
+        with pytest.raises(ParameterError):
+            index.insert([0.5])
+
+
+class TestWindowedNeighborIndex:
+    def test_tracks_window_exactly(self, rng):
+        index = WindowedNeighborIndex(window_size=40, cell_width=0.05)
+        stream = rng.uniform(size=150)
+        for i, value in enumerate(stream):
+            index.insert([value])
+            window = stream[max(0, i - 39):i + 1]
+            expected = int(np.sum(np.abs(window - 0.5) <= 0.04))
+            assert index.neighbor_count([0.5], 0.04) == expected
+
+    def test_expired_point_returned(self):
+        index = WindowedNeighborIndex(window_size=1, cell_width=0.1)
+        index.insert([0.3])
+        expired = index.insert([0.7])
+        assert expired.tolist() == [0.3]
+        assert index.neighbor_count([0.3], 0.05) == 0
+
+    def test_2d_window(self, rng):
+        index = WindowedNeighborIndex(window_size=30, cell_width=0.1,
+                                      n_dims=2)
+        stream = rng.uniform(size=(80, 2))
+        for p in stream:
+            index.insert(p)
+        window = stream[-30:]
+        expected = int(np.sum(
+            (np.abs(window - 0.5) <= 0.1).all(axis=1)))
+        assert index.neighbor_count([0.5, 0.5], 0.1) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=80),
+       st.integers(min_value=1, max_value=30),
+       st.floats(min_value=0.01, max_value=0.3))
+def test_sorted_and_grid_agree(values, window_size, radius):
+    """Two independent exact implementations must agree everywhere."""
+    sorted_index = SortedWindowIndex1D(window_size)
+    grid_index = WindowedNeighborIndex(window_size, cell_width=radius)
+    for value in values:
+        sorted_index.insert(value)
+        grid_index.insert([value])
+    for query in (0.0, 0.25, 0.5, 0.99):
+        assert sorted_index.neighbor_count(query, radius) == \
+            grid_index.neighbor_count([query], radius)

@@ -1,0 +1,108 @@
+"""Kernel function properties (paper Section 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.kernels import (
+    EPANECHNIKOV,
+    GAUSSIAN,
+    EpanechnikovKernel,
+    GaussianKernel,
+    kernel_by_name,
+)
+
+ALL_KERNELS = [EPANECHNIKOV, GAUSSIAN]
+
+
+class TestEpanechnikov:
+    def test_profile_peak_at_zero(self):
+        assert EPANECHNIKOV.profile(np.array(0.0)) == pytest.approx(0.75)
+
+    def test_profile_vanishes_outside_support(self):
+        assert EPANECHNIKOV.profile(np.array([-1.5, 1.01, 2.0])).tolist() == [0, 0, 0]
+
+    def test_profile_matches_paper_formula(self):
+        u = np.linspace(-1, 1, 21)
+        np.testing.assert_allclose(EPANECHNIKOV.profile(u), 0.75 * (1 - u**2))
+
+    def test_cdf_endpoints(self):
+        assert EPANECHNIKOV.cdf(np.array(-1.0)) == pytest.approx(0.0)
+        assert EPANECHNIKOV.cdf(np.array(1.0)) == pytest.approx(1.0)
+        assert EPANECHNIKOV.cdf(np.array(0.0)) == pytest.approx(0.5)
+
+    def test_cdf_clamps_beyond_support(self):
+        assert EPANECHNIKOV.cdf(np.array(-9.0)) == 0.0
+        assert EPANECHNIKOV.cdf(np.array(9.0)) == 1.0
+
+    def test_support_radius(self):
+        assert EPANECHNIKOV.support_radius == 1.0
+
+    def test_cdf_is_antiderivative_of_profile(self):
+        u = np.linspace(-1, 1, 2001)
+        numeric = np.cumsum(EPANECHNIKOV.profile(u)) * (u[1] - u[0])
+        np.testing.assert_allclose(EPANECHNIKOV.cdf(u), numeric, atol=2e-3)
+
+
+class TestGaussian:
+    def test_profile_peak(self):
+        assert GAUSSIAN.profile(np.array(0.0)) == pytest.approx(
+            1 / np.sqrt(2 * np.pi))
+
+    def test_cdf_midpoint(self):
+        assert GAUSSIAN.cdf(np.array(0.0)) == pytest.approx(0.5)
+
+    def test_practical_support_contains_nearly_all_mass(self):
+        s = GAUSSIAN.support_radius
+        assert GAUSSIAN.cdf(np.array(s)) - GAUSSIAN.cdf(np.array(-s)) \
+            == pytest.approx(1.0, abs=1e-12)
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+class TestCommonProperties:
+    def test_profile_nonnegative(self, kernel):
+        u = np.linspace(-3, 3, 101)
+        assert (kernel.profile(u) >= 0).all()
+
+    def test_profile_symmetric(self, kernel):
+        u = np.linspace(0, 2, 41)
+        np.testing.assert_allclose(kernel.profile(u), kernel.profile(-u))
+
+    def test_profile_integrates_to_one(self, kernel):
+        u = np.linspace(-10, 10, 20001)
+        integral = np.trapezoid(kernel.profile(u), u)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_cdf_monotone(self, kernel):
+        u = np.linspace(-3, 3, 301)
+        assert (np.diff(kernel.cdf(u)) >= -1e-15).all()
+
+    def test_cdf_bounded(self, kernel):
+        u = np.linspace(-20, 20, 101)
+        c = kernel.cdf(u)
+        assert (c >= 0).all() and (c <= 1).all()
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(kernel_by_name("epanechnikov"), EpanechnikovKernel)
+        assert isinstance(kernel_by_name("gaussian"), GaussianKernel)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            kernel_by_name("uniform")
+
+
+@given(st.floats(min_value=-5, max_value=5))
+def test_epanechnikov_cdf_in_unit_interval(u):
+    value = float(EPANECHNIKOV.cdf(np.array(u)))
+    assert 0.0 <= value <= 1.0
+
+
+@given(st.floats(min_value=-5, max_value=5),
+       st.floats(min_value=-5, max_value=5))
+def test_epanechnikov_cdf_monotone_pairwise(a, b):
+    lo, hi = min(a, b), max(a, b)
+    assert EPANECHNIKOV.cdf(np.array(lo)) <= EPANECHNIKOV.cdf(np.array(hi)) + 1e-15

@@ -1,0 +1,96 @@
+"""Every density model honours the same DensityModel contract.
+
+The outlier tests are written against the protocol; this suite runs one
+battery of contract checks across all implementations (kernel models,
+both histogram variants, and a codec round-tripped model) so they stay
+interchangeable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import KernelDensityEstimator
+from repro.core.histogram import EquiDepthHistogram
+from repro.core.model import DensityModel
+from repro.network.codec import decode_model_state, encode_model_state
+from repro.streams.quantiles import GKQuantileSummary
+
+
+def _kernel_model(window):
+    return KernelDensityEstimator.from_window(window, 150,
+                                              rng=np.random.default_rng(0))
+
+
+def _offline_histogram(window):
+    return EquiDepthHistogram.from_values(window, 150)
+
+
+def _online_histogram(window):
+    summary = GKQuantileSummary(0.01)
+    for value in window:
+        summary.insert(float(value))
+    return EquiDepthHistogram.from_quantile_summary(
+        summary, 150, window_size=window.shape[0])
+
+
+def _roundtripped_kernel(window):
+    model = _kernel_model(window)
+    payload = encode_model_state(model.sample, window.std(keepdims=True),
+                                 model.window_size)
+    sample, stddev, size = decode_model_state(payload)
+    return KernelDensityEstimator(sample, stddev=stddev, window_size=size)
+
+
+MAKERS = {
+    "kernel": _kernel_model,
+    "histogram-offline": _offline_histogram,
+    "histogram-online": _online_histogram,
+    "kernel-roundtripped": _roundtripped_kernel,
+}
+
+
+@pytest.fixture(params=sorted(MAKERS), scope="module")
+def model(request):
+    rng = np.random.default_rng(42)
+    window = np.concatenate([rng.normal(0.4, 0.03, 3_000),
+                             rng.uniform(0.7, 0.9, 10)])
+    return MAKERS[request.param](window)
+
+
+class TestProtocolContract:
+    def test_satisfies_runtime_protocol(self, model):
+        assert isinstance(model, DensityModel)
+
+    def test_dimensions_and_window(self, model):
+        assert model.n_dims == 1
+        assert model.window_size >= 3_000
+
+    def test_probability_axioms(self, model):
+        total = float(np.asarray(model.range_probability(-1.0, 2.0)))
+        assert total == pytest.approx(1.0, abs=0.02)
+        narrow = float(np.asarray(model.range_probability(0.39, 0.41)))
+        wide = float(np.asarray(model.range_probability(0.3, 0.5)))
+        assert 0.0 <= narrow <= wide <= 1.0
+
+    def test_neighborhood_count_scales(self, model):
+        dense = float(np.asarray(model.neighborhood_count(0.40, 0.02)))
+        sparse = float(np.asarray(model.neighborhood_count(0.95, 0.02)))
+        assert dense > 100
+        assert sparse < dense / 10
+
+    def test_grid_probabilities_normalise(self, model):
+        grid = model.grid_probabilities(32)
+        assert grid.shape == (32,)
+        assert grid.sum() == pytest.approx(1.0, abs=0.05)
+        assert (grid >= 0).all()
+
+    def test_count_estimates_agree_across_models(self, model):
+        """Every implementation lands in the same ballpark on the bulk."""
+        rng = np.random.default_rng(42)
+        window = np.concatenate([rng.normal(0.4, 0.03, 3_000),
+                                 rng.uniform(0.7, 0.9, 10)])
+        exact = int(np.sum(np.abs(window - 0.4) <= 0.02))
+        estimate = float(np.asarray(model.neighborhood_count(0.40, 0.02)))
+        assert estimate == pytest.approx(exact, rel=0.35)

@@ -1,0 +1,97 @@
+"""Distance-based outlier tests (paper Sections 3 and 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ParameterError
+from repro.core.estimator import KernelDensityEstimator
+from repro.core.outliers import (
+    DistanceOutlierDetector,
+    DistanceOutlierSpec,
+    is_distance_outlier,
+)
+
+
+class TestSpec:
+    def test_valid(self):
+        spec = DistanceOutlierSpec(radius=0.01, count_threshold=45)
+        assert spec.radius == 0.01
+        assert spec.count_threshold == 45
+
+    @pytest.mark.parametrize("radius", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_radius(self, radius):
+        with pytest.raises(ParameterError):
+            DistanceOutlierSpec(radius=radius, count_threshold=10)
+
+    @pytest.mark.parametrize("threshold", [0.0, -5.0, float("nan")])
+    def test_invalid_threshold(self, threshold):
+        with pytest.raises(ParameterError):
+            DistanceOutlierSpec(radius=0.01, count_threshold=threshold)
+
+    def test_frozen(self):
+        spec = DistanceOutlierSpec(radius=0.01, count_threshold=5)
+        with pytest.raises(AttributeError):
+            spec.radius = 0.02
+
+
+class TestIsOutlier:
+    @pytest.fixture
+    def model(self, gaussian_window):
+        return KernelDensityEstimator.from_window(gaussian_window)
+
+    def test_isolated_value_flagged(self, model):
+        spec = DistanceOutlierSpec(radius=0.01, count_threshold=20)
+        decision = is_distance_outlier(model, [0.95], spec)
+        assert decision.is_outlier
+        assert decision.neighbor_count < 20
+
+    def test_cluster_value_not_flagged(self, model):
+        spec = DistanceOutlierSpec(radius=0.01, count_threshold=20)
+        decision = is_distance_outlier(model, [0.40], spec)
+        assert not decision.is_outlier
+        assert decision.neighbor_count > 20
+
+    def test_threshold_boundary_is_strict_less(self, gaussian_window):
+        model = KernelDensityEstimator.from_window(gaussian_window)
+        count = float(np.asarray(model.neighborhood_count([0.4], 0.01)).reshape(()))
+        exactly = DistanceOutlierSpec(radius=0.01, count_threshold=count)
+        decision = is_distance_outlier(model, [0.4], exactly)
+        assert not decision.is_outlier   # N(p, r) < t, not <=
+
+
+class TestDetector:
+    def test_check_and_batch_agree(self, gaussian_window):
+        model = KernelDensityEstimator.from_window(gaussian_window, 200)
+        spec = DistanceOutlierSpec(radius=0.01, count_threshold=15)
+        detector = DistanceOutlierDetector(model, spec)
+        points = np.array([[0.4], [0.8], [0.39]])
+        mask, counts = detector.check_batch(points)
+        for i, point in enumerate(points):
+            single = detector.check(point)
+            assert mask[i] == single.is_outlier
+            assert counts[i] == pytest.approx(single.neighbor_count)
+
+    def test_batch_accepts_flat_1d(self, gaussian_window):
+        model = KernelDensityEstimator.from_window(gaussian_window, 100)
+        detector = DistanceOutlierDetector(
+            model, DistanceOutlierSpec(radius=0.01, count_threshold=15))
+        mask, counts = detector.check_batch(np.array([0.4, 0.9]))
+        assert mask.shape == (2,)
+        assert not mask[0] and mask[1]
+
+    def test_exposes_model_and_spec(self, gaussian_window):
+        model = KernelDensityEstimator.from_window(gaussian_window, 50)
+        spec = DistanceOutlierSpec(radius=0.02, count_threshold=9)
+        detector = DistanceOutlierDetector(model, spec)
+        assert detector.model is model
+        assert detector.spec is spec
+
+    def test_2d_detection(self, rng):
+        cluster = rng.normal(0.4, 0.02, size=(2000, 2))
+        model = KernelDensityEstimator.from_window(cluster)
+        detector = DistanceOutlierDetector(
+            model, DistanceOutlierSpec(radius=0.02, count_threshold=10))
+        assert detector.check([0.9, 0.9]).is_outlier
+        assert not detector.check([0.4, 0.4]).is_outlier

@@ -1,0 +1,92 @@
+"""Synthetic engine dataset (Figure 5 stand-in)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ParameterError
+from repro.data.engine import (
+    ENGINE_FIGURE5_ROW,
+    FAILURE_FRACTION,
+    make_engine_stream,
+    make_engine_streams,
+)
+from repro.streams.stats import summarize
+
+
+class TestFigure5Match:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        return make_engine_stream(rng=np.random.default_rng(42))[:, 0]
+
+    def test_min_max(self, stream):
+        target_min, target_max = ENGINE_FIGURE5_ROW[0], ENGINE_FIGURE5_ROW[1]
+        assert stream.min() == pytest.approx(target_min, abs=0.01)
+        assert stream.max() == pytest.approx(target_max, abs=0.005)
+
+    def test_mean_median(self, stream):
+        summary = summarize(stream)
+        assert summary.mean == pytest.approx(ENGINE_FIGURE5_ROW[2], abs=0.01)
+        assert summary.median == pytest.approx(ENGINE_FIGURE5_ROW[3], abs=0.005)
+
+    def test_stddev(self, stream):
+        assert summarize(stream).stddev == pytest.approx(
+            ENGINE_FIGURE5_ROW[4], abs=0.012)
+
+    def test_strong_negative_skew(self, stream):
+        skew = summarize(stream).skew
+        assert skew == pytest.approx(ENGINE_FIGURE5_ROW[5], abs=1.5)
+        assert skew < -5
+
+
+class TestFailureWindow:
+    def test_failure_is_contiguous_and_low(self):
+        stream = make_engine_stream(10_000, rng=np.random.default_rng(1))[:, 0]
+        low = np.flatnonzero(stream < 0.3)
+        assert low.size == pytest.approx(FAILURE_FRACTION * 10_000, rel=0.3)
+        # Contiguity: the low block spans a compact index range.
+        assert low[-1] - low[0] < 2 * low.size
+
+    def test_failure_position_configurable(self):
+        stream = make_engine_stream(
+            10_000, failure_start_fraction=0.2,
+            rng=np.random.default_rng(1))[:, 0]
+        low = np.flatnonzero(stream < 0.3)
+        assert 1_500 < low[0] < 2_500
+
+    def test_no_failure(self):
+        stream = make_engine_stream(5_000, failure_fraction=0.0,
+                                    rng=np.random.default_rng(1))[:, 0]
+        assert (stream > 0.35).all()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n": 0},
+        {"failure_fraction": 1.0},
+        {"failure_start_fraction": 1.5},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ParameterError):
+            make_engine_stream(**{"n": 100, **kwargs})
+
+
+class TestStreams:
+    def test_fifteen_sensors_share_the_event(self):
+        streams = make_engine_streams(n_sensors=5, n=8_000, seed=11)
+        assert len(streams) == 5
+        starts = []
+        for stream in streams:
+            low = np.flatnonzero(stream[:, 0] < 0.3)
+            assert low.size > 0
+            starts.append(low[0])
+        # A machine-level failure: every sensor sees it at the same time.
+        assert max(starts) - min(starts) < 50
+
+    def test_sensors_observe_independent_noise(self):
+        streams = make_engine_streams(n_sensors=2, n=2_000, seed=11)
+        assert not np.allclose(streams[0], streams[1])
+
+    def test_reproducible(self):
+        a = make_engine_streams(n_sensors=2, n=500, seed=3)
+        b = make_engine_streams(n_sensors=2, n=500, seed=3)
+        np.testing.assert_array_equal(a[0], b[0])

@@ -1,0 +1,62 @@
+"""Synthetic environmental dataset (Figure 5 stand-in)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.environment import (
+    DEWPOINT_FIGURE5_ROW,
+    PRESSURE_FIGURE5_ROW,
+    make_environment_stream,
+    make_environment_streams,
+)
+from repro.streams.stats import summarize
+
+
+class TestFigure5Match:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        return make_environment_stream(rng=np.random.default_rng(2))
+
+    def test_shape(self, stream):
+        assert stream.shape == (35_000, 2)
+
+    def test_pressure_moments(self, stream):
+        summary = summarize(stream[:, 0])
+        assert summary.mean == pytest.approx(PRESSURE_FIGURE5_ROW[2], abs=0.03)
+        assert summary.median == pytest.approx(PRESSURE_FIGURE5_ROW[3], abs=0.03)
+        assert summary.stddev == pytest.approx(PRESSURE_FIGURE5_ROW[4], abs=0.02)
+
+    def test_dewpoint_moments(self, stream):
+        summary = summarize(stream[:, 1])
+        assert summary.mean == pytest.approx(DEWPOINT_FIGURE5_ROW[2], abs=0.015)
+        assert summary.median == pytest.approx(DEWPOINT_FIGURE5_ROW[3], abs=0.015)
+        assert summary.stddev == pytest.approx(DEWPOINT_FIGURE5_ROW[4], abs=0.01)
+
+    def test_bounds_respected(self, stream):
+        assert stream[:, 0].min() >= PRESSURE_FIGURE5_ROW[0]
+        assert stream[:, 0].max() <= PRESSURE_FIGURE5_ROW[1]
+        assert stream[:, 1].min() >= DEWPOINT_FIGURE5_ROW[0]
+        assert stream[:, 1].max() <= DEWPOINT_FIGURE5_ROW[1]
+
+    def test_attributes_positively_correlated(self, stream):
+        # Storms depress both pressure and dew-point.
+        assert np.corrcoef(stream[:, 0], stream[:, 1])[0, 1] > 0.3
+
+    def test_temporal_smoothness(self, stream):
+        # Weather drifts: consecutive readings are close.
+        steps = np.abs(np.diff(stream[:, 0]))
+        assert np.median(steps) < 0.05
+
+
+class TestStreams:
+    def test_per_sensor_independence(self):
+        streams = make_environment_streams(3, n=2_000, seed=8)
+        assert len(streams) == 3
+        assert not np.allclose(streams[0], streams[1])
+
+    def test_reproducible(self):
+        a = make_environment_streams(2, n=500, seed=4)
+        b = make_environment_streams(2, n=500, seed=4)
+        np.testing.assert_array_equal(a[1], b[1])

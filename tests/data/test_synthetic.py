@@ -1,0 +1,152 @@
+"""Synthetic workload generators (paper Section 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ParameterError
+from repro.data.synthetic import (
+    DEFAULT_MEANS,
+    DriftingGaussianStream,
+    MixtureSpec,
+    PlateauSpec,
+    make_mixture_stream,
+    make_mixture_streams,
+    make_plateau_stream,
+    make_plateau_streams,
+)
+
+
+class TestMixture:
+    def test_shape_and_domain(self, rng):
+        values = make_mixture_stream(5_000, 2, rng=rng)
+        assert values.shape == (5_000, 2)
+        assert (values >= 0).all() and (values <= 1).all()
+
+    def test_bulk_concentrates_near_component_means(self, rng):
+        values = make_mixture_stream(20_000, 1, rng=rng)[:, 0]
+        bulk = values[values < 0.5]
+        nearest = np.min(np.abs(bulk[:, None] - np.array(DEFAULT_MEANS)), axis=1)
+        assert np.quantile(nearest, 0.95) < 0.06   # within ~2 sigma
+
+    def test_noise_fraction(self, rng):
+        values = make_mixture_stream(20_000, 1, rng=rng)[:, 0]
+        # Count well past the 0.45 cluster's tail; noise is uniform on
+        # [0.5, 1], so ~88% of it lies above 0.56.
+        noise = np.mean(values >= 0.56)
+        assert noise == pytest.approx(0.005 * 0.88, abs=0.003)
+
+    def test_zero_noise(self, rng):
+        spec = MixtureSpec(noise_fraction=0.0)
+        values = make_mixture_stream(5_000, 1, spec=spec, rng=rng)[:, 0]
+        assert (values < 0.6).all()
+
+    def test_streams_differ_per_sensor(self):
+        streams = make_mixture_streams(3, 100, seed=5)
+        assert len(streams) == 3
+        assert not np.allclose(streams[0], streams[1])
+
+    def test_reproducible_with_seed(self):
+        a = make_mixture_streams(2, 50, seed=42)
+        b = make_mixture_streams(2, 50, seed=42)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    @pytest.mark.parametrize("kwargs", [
+        {"means": ()},
+        {"cluster_std": 0.0},
+        {"noise_fraction": -0.1},
+        {"noise_low": 0.9, "noise_high": 0.5},
+    ])
+    def test_invalid_spec(self, kwargs):
+        with pytest.raises(ParameterError):
+            MixtureSpec(**kwargs)
+
+
+class TestPlateau:
+    def test_regions(self, rng):
+        spec = PlateauSpec()
+        values = make_plateau_stream(20_000, 1, spec=spec, rng=rng)[:, 0]
+        in_a = (values >= 0.30) & (values <= 0.42)
+        in_b = (values >= 0.50) & (values <= 0.58)
+        in_gap = (values > 0.42) & (values < 0.50)
+        assert in_a.sum() + in_b.sum() + in_gap.sum() == values.shape[0]
+        assert in_gap.mean() == pytest.approx(0.005, abs=0.003)
+
+    def test_density_equalised_in_1d(self, rng):
+        values = make_plateau_stream(50_000, 1, rng=rng)[:, 0]
+        density_a = np.mean((values >= 0.30) & (values <= 0.42)) / 0.12
+        density_b = np.mean((values >= 0.50) & (values <= 0.58)) / 0.08
+        assert density_a == pytest.approx(density_b, rel=0.05)
+
+    def test_density_equalised_in_2d(self, rng):
+        values = make_plateau_stream(50_000, 2, rng=rng)
+        in_a = ((values >= 0.30) & (values <= 0.42)).all(axis=1)
+        in_b = ((values >= 0.50) & (values <= 0.58)).all(axis=1)
+        density_a = in_a.mean() / 0.12**2
+        density_b = in_b.mean() / 0.08**2
+        assert density_a == pytest.approx(density_b, rel=0.08)
+
+    def test_explicit_weight_respected(self, rng):
+        spec = PlateauSpec(weight_a=0.9)
+        values = make_plateau_stream(20_000, 1, spec=spec, rng=rng)[:, 0]
+        assert np.mean(values <= 0.42) > 0.85
+
+    def test_streams_reproducible(self):
+        a = make_plateau_streams(2, 64, seed=3)
+        b = make_plateau_streams(2, 64, seed=3)
+        np.testing.assert_array_equal(a[1], b[1])
+
+    @pytest.mark.parametrize("kwargs", [
+        {"plateau_a": (0.5, 0.4)},
+        {"gap": (0.5, 0.5)},
+        {"weight_a": 1.0},
+        {"noise_fraction": 1.0},
+    ])
+    def test_invalid_spec(self, kwargs):
+        with pytest.raises(ParameterError):
+            PlateauSpec(**kwargs)
+
+
+class TestDriftingStream:
+    def test_mean_schedule(self):
+        stream = DriftingGaussianStream(means=(0.3, 0.5), shift_every=100)
+        assert stream.mean_at(0) == 0.3
+        assert stream.mean_at(99) == 0.3
+        assert stream.mean_at(100) == 0.5
+        assert stream.mean_at(200) == 0.3
+
+    def test_generate_tracks_schedule(self, rng):
+        stream = DriftingGaussianStream(means=(0.2, 0.8), std=0.01,
+                                        shift_every=500, rng=rng)
+        values = stream.generate(1_000)
+        assert values[:500].mean() == pytest.approx(0.2, abs=0.01)
+        assert values[500:].mean() == pytest.approx(0.8, abs=0.01)
+
+    def test_true_interval_probabilities_sum_to_one(self):
+        stream = DriftingGaussianStream()
+        edges = np.linspace(-1, 2, 200)
+        probs = stream.true_interval_probabilities(0, edges)
+        assert probs.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_true_pdf_peaks_at_mean(self):
+        stream = DriftingGaussianStream(means=(0.3,), std=0.05)
+        xs = np.linspace(0, 1, 101)
+        pdf = stream.true_pdf(0, xs)
+        assert xs[np.argmax(pdf)] == pytest.approx(0.3, abs=0.01)
+
+    def test_generate_with_offset(self, rng):
+        stream = DriftingGaussianStream(means=(0.2, 0.8), std=0.01,
+                                        shift_every=10, rng=rng)
+        values = stream.generate(10, start=10)
+        assert values.mean() == pytest.approx(0.8, abs=0.02)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"means": ()},
+        {"std": 0.0},
+        {"shift_every": 0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ParameterError):
+            DriftingGaussianStream(**kwargs)

@@ -1,0 +1,49 @@
+"""Centralized baseline (Figure 11)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.streams import StreamSet
+from repro.detectors.centralized import build_centralized_network
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import build_hierarchy
+
+
+def run(n_leaves, branching, ticks, collect=False, seed=0):
+    hierarchy = build_hierarchy(n_leaves, branching)
+    network = build_centralized_network(hierarchy, collect_at_root=collect)
+    rng = np.random.default_rng(seed)
+    streams = StreamSet.from_arrays(
+        [rng.uniform(size=(ticks, 1)) for _ in range(n_leaves)])
+    sim = NetworkSimulator(hierarchy, network.nodes, streams)
+    sim.run()
+    return hierarchy, network, sim
+
+
+class TestMessageVolume:
+    def test_every_reading_travels_full_depth(self):
+        hierarchy, _, sim = run(16, 4, ticks=10)
+        # Levels [16, 4, 1]: each reading crosses 2 edges.
+        assert sim.counter.total_messages == 16 * 2 * 10
+
+    def test_rate_is_deterministic(self):
+        _, _, first = run(8, 2, ticks=5, seed=1)
+        _, _, second = run(8, 2, ticks=5, seed=2)
+        assert first.counter.total_messages == second.counter.total_messages
+
+    def test_single_node_network_sends_nothing(self):
+        _, _, sim = run(1, 4, ticks=5)
+        assert sim.counter.total_messages == 0
+
+
+class TestRootCollection:
+    def test_root_sees_every_reading(self):
+        hierarchy, network, _ = run(8, 4, ticks=7, collect=True)
+        root = network.nodes[hierarchy.root_id]
+        assert len(root.received) == 8 * 7
+
+    def test_collection_off_by_default(self):
+        hierarchy, network, _ = run(8, 4, ticks=7)
+        root = network.nodes[hierarchy.root_id]
+        assert root.received == []

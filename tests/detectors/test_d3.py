@@ -1,0 +1,216 @@
+"""D3 distributed deviation detection (paper Section 7, Figure 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ParameterError
+from repro.core.outliers import DistanceOutlierSpec
+from repro.data.streams import StreamSet
+from repro.detectors.d3 import (
+    D3Config,
+    D3LeafNode,
+    D3ParentNode,
+    build_d3_network,
+    expected_parent_arrival_window,
+)
+from repro.network.messages import OutlierReport, ValueForward
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import build_hierarchy
+
+SPEC = DistanceOutlierSpec(radius=0.01, count_threshold=5)
+
+
+def small_config(**overrides):
+    defaults = dict(spec=SPEC, window_size=400, sample_size=40,
+                    sample_fraction=0.5, warmup=400)
+    defaults.update(overrides)
+    return D3Config(**defaults)
+
+
+def cluster_streams(rng, n_leaves, length, outlier_ticks=()):
+    """Gaussian streams; selected ticks of leaf 0 carry isolated values."""
+    arrays = []
+    for leaf in range(n_leaves):
+        values = np.clip(rng.normal(0.4, 0.02, size=(length, 1)), 0, 1)
+        if leaf == 0:
+            for tick in outlier_ticks:
+                values[tick] = 0.85
+        arrays.append(values)
+    return StreamSet.from_arrays(arrays)
+
+
+class TestConfig:
+    def test_defaults_follow_paper(self):
+        config = D3Config(spec=SPEC)
+        assert config.window_size == 10_000
+        assert config.sample_size == 500
+        assert config.sample_fraction == 0.5
+        assert config.parent_window == "fixed"
+
+    def test_effective_warmup_defaults_to_window(self):
+        assert D3Config(spec=SPEC, window_size=1_000,
+                        sample_size=50).effective_warmup == 1_000
+        assert D3Config(spec=SPEC, warmup=7).effective_warmup == 7
+
+    @pytest.mark.parametrize("kwargs", [
+        {"window_size": 0},
+        {"sample_size": 0},
+        {"sample_fraction": 0.0},
+        {"sample_fraction": 1.5},
+        {"sample_size": 200, "window_size": 100},
+        {"parent_window": "bogus"},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ParameterError):
+            D3Config(spec=SPEC, **kwargs)
+
+
+class TestArrivalWindow:
+    def test_fixed_mode_independent_of_fanout(self):
+        config = small_config()
+        assert expected_parent_arrival_window(2, config) == \
+            expected_parent_arrival_window(8, config)
+
+    def test_union_mode_scales_with_children(self):
+        config = small_config(parent_window="union")
+        assert expected_parent_arrival_window(8, config) == \
+            4 * expected_parent_arrival_window(2, config)
+
+    def test_never_below_sample_size(self):
+        config = small_config(sample_fraction=0.01)
+        assert expected_parent_arrival_window(2, config) >= config.sample_size
+
+
+class TestBuilder:
+    def test_node_types_per_level(self):
+        hierarchy = build_hierarchy(16, 4)
+        network = build_d3_network(hierarchy, small_config(), 1,
+                                   rng=np.random.default_rng(0))
+        for leaf in hierarchy.leaf_ids:
+            assert isinstance(network.nodes[leaf], D3LeafNode)
+        for tier in hierarchy.levels[1:]:
+            for node in tier:
+                assert isinstance(network.nodes[node], D3ParentNode)
+
+    def test_shared_log(self):
+        hierarchy = build_hierarchy(4, 4)
+        network = build_d3_network(hierarchy, small_config(), 1,
+                                   rng=np.random.default_rng(0))
+        assert len(network.log) == 0
+
+
+class TestDetectionFlow:
+    def test_leaf_flags_isolated_value_and_escalates(self, rng):
+        hierarchy = build_hierarchy(4, 4)
+        config = small_config()
+        network = build_d3_network(hierarchy, config, 1,
+                                   rng=np.random.default_rng(1))
+        outlier_tick = 450
+        streams = cluster_streams(rng, 4, 500, outlier_ticks=(outlier_tick,))
+        sim = NetworkSimulator(hierarchy, network.nodes, streams)
+        sim.run()
+        level1 = [d for d in network.log.at_level(1) if d.tick == outlier_tick]
+        assert len(level1) == 1
+        assert level1[0].origin == 0
+        assert level1[0].value[0] == pytest.approx(0.85)
+        # The parent re-checked and confirmed (its union data is also
+        # concentrated at 0.4).
+        level2 = [d for d in network.log.at_level(2) if d.tick == outlier_tick]
+        assert len(level2) == 1
+
+    def test_no_detection_before_warmup(self, rng):
+        hierarchy = build_hierarchy(4, 4)
+        network = build_d3_network(hierarchy, small_config(warmup=1_000), 1,
+                                   rng=np.random.default_rng(1))
+        streams = cluster_streams(rng, 4, 500, outlier_ticks=(450,))
+        sim = NetworkSimulator(hierarchy, network.nodes, streams)
+        sim.run()
+        assert len(network.log) == 0
+
+    def test_cluster_values_not_flagged(self, rng):
+        hierarchy = build_hierarchy(4, 4)
+        network = build_d3_network(hierarchy, small_config(), 1,
+                                   rng=np.random.default_rng(2))
+        streams = cluster_streams(rng, 4, 600)
+        sim = NetworkSimulator(hierarchy, network.nodes, streams)
+        sim.run()
+        # A clean Gaussian cluster produces (almost) no flags: well under
+        # 1% of the 4 x 200 post-warmup arrivals.
+        assert len(network.log.at_level(1)) <= 8
+
+    def test_forwarding_volume_proportional_to_f(self, rng):
+        hierarchy = build_hierarchy(4, 4)
+        volumes = {}
+        for f in (0.25, 1.0):
+            network = build_d3_network(
+                hierarchy, small_config(sample_fraction=f, warmup=10_000), 1,
+                rng=np.random.default_rng(3))
+            streams = cluster_streams(np.random.default_rng(4), 4, 900)
+            sim = NetworkSimulator(hierarchy, network.nodes, streams)
+            sim.run()
+            volumes[f] = sim.counter.counts.get("ValueForward", 0)
+        # Leaf sends scale linearly with f (relayed traffic adds a bit
+        # of superlinearity, hence the generous band).
+        assert volumes[1.0] / volumes[0.25] == pytest.approx(4.0, rel=0.5)
+
+
+class TestParentWindowModes:
+    def test_fixed_mode_count_scaling(self, rng):
+        hierarchy = build_hierarchy(4, 4)
+        config = small_config(parent_window="fixed")
+        network = build_d3_network(hierarchy, config, 1,
+                                   rng=np.random.default_rng(5))
+        streams = cluster_streams(rng, 4, 600)
+        NetworkSimulator(hierarchy, network.nodes, streams).run()
+        parent = network.nodes[hierarchy.root_id]
+        assert parent.state.count_window_size == config.window_size
+
+    def test_union_mode_count_scaling(self, rng):
+        hierarchy = build_hierarchy(4, 4)
+        config = small_config(parent_window="union")
+        network = build_d3_network(hierarchy, config, 1,
+                                   rng=np.random.default_rng(5))
+        streams = cluster_streams(rng, 4, 600)
+        NetworkSimulator(hierarchy, network.nodes, streams).run()
+        parent = network.nodes[hierarchy.root_id]
+        assert parent.state.count_window_size == 4 * config.window_size
+
+
+class TestLeafUnitBehaviour:
+    def test_leaf_ignores_messages(self):
+        from repro.network.node import DetectionLog
+        leaf = D3LeafNode(0, None, 1, small_config(), 1, DetectionLog(),
+                          np.random.default_rng(0))
+        report = OutlierReport(value=np.array([0.5]), origin=0,
+                               flagged_level=1, tick=0)
+        assert leaf.on_message(report, sender=9, tick=0) == []
+
+    def test_parent_has_no_readings(self):
+        from repro.network.node import DetectionLog
+        parent = D3ParentNode(5, None, 2, 4, 4, small_config(), 1,
+                              DetectionLog(), np.random.default_rng(0))
+        assert parent.on_reading(np.array([0.5]), 0) == []
+
+    def test_parent_ignores_reports_before_model_ready(self):
+        from repro.network.node import DetectionLog
+        log = DetectionLog()
+        parent = D3ParentNode(5, None, 2, 4, 4, small_config(warmup=0), 1,
+                              log, np.random.default_rng(0))
+        report = OutlierReport(value=np.array([0.9]), origin=0,
+                               flagged_level=1, tick=3)
+        assert parent.on_message(report, sender=0, tick=3) == []
+        assert len(log) == 0
+
+    def test_parent_forwards_sample_with_probability_one(self):
+        from repro.network.node import DetectionLog
+        parent = D3ParentNode(5, parent=9, level=2, n_children=4,
+                              n_leaves_under=4,
+                              config=small_config(sample_fraction=1.0),
+                              n_dims=1, log=DetectionLog(),
+                              rng=np.random.default_rng(0))
+        message = ValueForward(value=np.array([0.5]))
+        out = parent.on_message(message, sender=0, tick=0)
+        # First arrival always enters the (empty) chain sample.
+        assert out == [(9, message)]

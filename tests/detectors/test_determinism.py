@@ -1,0 +1,70 @@
+"""Reproducibility: same seed, same simulation, bit for bit."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mdef import MDEFSpec
+from repro.core.outliers import DistanceOutlierSpec
+from repro.data.streams import StreamSet
+from repro.data.synthetic import make_mixture_streams, make_plateau_streams
+from repro.detectors.d3 import D3Config, build_d3_network
+from repro.detectors.mgdd import MGDDConfig, build_mgdd_network
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import build_hierarchy
+
+
+def run_d3(seed):
+    hierarchy = build_hierarchy(8, 4)
+    config = D3Config(
+        spec=DistanceOutlierSpec(radius=0.01, count_threshold=5),
+        window_size=300, sample_size=30, sample_fraction=0.5, warmup=300)
+    network = build_d3_network(hierarchy, config, 1,
+                               rng=np.random.default_rng(seed))
+    streams = StreamSet.from_arrays(make_mixture_streams(8, 600, seed=seed))
+    sim = NetworkSimulator(hierarchy, network.nodes, streams)
+    sim.run()
+    detections = [(d.tick, d.origin, d.level, float(d.value[0]))
+                  for d in network.log.detections]
+    return detections, dict(sim.counter.counts)
+
+
+def run_mgdd(seed):
+    hierarchy = build_hierarchy(8, 4)
+    config = MGDDConfig(
+        spec=MDEFSpec(sampling_radius=0.08, counting_radius=0.01,
+                      min_mdef=0.8),
+        window_size=300, sample_size=30, sample_fraction=0.5, warmup=300)
+    network = build_mgdd_network(hierarchy, config, 1,
+                                 rng=np.random.default_rng(seed))
+    streams = StreamSet.from_arrays(make_plateau_streams(8, 600, seed=seed))
+    sim = NetworkSimulator(hierarchy, network.nodes, streams)
+    sim.run()
+    detections = [(d.tick, d.origin) for d in network.log.detections]
+    return detections, dict(sim.counter.counts)
+
+
+class TestDeterminism:
+    def test_d3_identical_across_invocations(self):
+        first = run_d3(seed=9)
+        second = run_d3(seed=9)
+        assert first == second
+
+    def test_d3_differs_across_seeds(self):
+        _, counts_a = run_d3(seed=9)
+        _, counts_b = run_d3(seed=10)
+        assert counts_a != counts_b
+
+    def test_mgdd_identical_across_invocations(self):
+        assert run_mgdd(seed=4) == run_mgdd(seed=4)
+
+    def test_harness_experiment_reproducible(self):
+        from repro.eval.harness import ExperimentConfig, run_accuracy_run
+        config = ExperimentConfig(algorithm="d3", n_leaves=4,
+                                  window_size=250, measure_ticks=150,
+                                  truth_stride=4, n_runs=1)
+        a = run_accuracy_run(config, seed=3)
+        b = run_accuracy_run(config, seed=3)
+        for level in a.levels:
+            assert a.levels[level].kernel == b.levels[level].kernel
+            assert a.n_true_outliers[level] == b.n_true_outliers[level]

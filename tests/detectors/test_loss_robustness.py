@@ -1,0 +1,82 @@
+"""Failure injection: the detectors under message loss.
+
+The paper targets unattended deployments; radio loss is the everyday
+failure mode.  D3's leaf detection is loss-immune by construction (it
+uses only local state); what degrades is cross-level escalation and the
+parents' sample freshness.  MGDD's leaf detection *does* depend on the
+network (global-model updates), so loss slows its model dissemination.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mdef import MDEFSpec
+from repro.core.outliers import DistanceOutlierSpec
+from repro.data.streams import StreamSet
+from repro.data.synthetic import make_plateau_streams
+from repro.detectors.d3 import D3Config, build_d3_network
+from repro.detectors.mgdd import MGDDConfig, build_mgdd_network
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import build_hierarchy
+
+
+def d3_run(loss_rate, rng_seed=0):
+    hierarchy = build_hierarchy(8, 4)
+    config = D3Config(
+        spec=DistanceOutlierSpec(radius=0.01, count_threshold=5),
+        window_size=400, sample_size=40, sample_fraction=0.5, warmup=400)
+    network = build_d3_network(hierarchy, config, 1,
+                               rng=np.random.default_rng(rng_seed))
+    rng = np.random.default_rng(rng_seed + 1)
+    arrays = [np.clip(rng.normal(0.4, 0.02, (600, 1)), 0, 1)
+              for _ in range(8)]
+    arrays[0][500] = 0.9   # a blatant outlier after warmup
+    streams = StreamSet.from_arrays(arrays)
+    sim = NetworkSimulator(hierarchy, network.nodes, streams,
+                           loss_rate=loss_rate,
+                           rng=np.random.default_rng(rng_seed + 2))
+    sim.run()
+    return network, sim
+
+
+class TestD3UnderLoss:
+    def test_leaf_detection_unaffected(self):
+        lossless, _ = d3_run(loss_rate=0.0)
+        lossy, sim = d3_run(loss_rate=0.5)
+        assert sim.messages_lost > 0
+        hit = [d for d in lossy.log.at_level(1)
+               if d.tick == 500 and d.origin == 0]
+        assert len(hit) == 1   # local decision needs no radio
+
+    def test_escalation_degrades_gracefully(self):
+        # With heavy loss some reports never reach the parents, but the
+        # system keeps running and never crashes or misroutes.
+        lossy, sim = d3_run(loss_rate=0.8, rng_seed=3)
+        level1 = len(lossy.log.at_level(1))
+        level2 = len(lossy.log.at_level(2))
+        assert level2 <= level1
+        assert sim.counter.total_messages > 0
+
+
+class TestMGDDUnderLoss:
+    def test_model_dissemination_survives_moderate_loss(self):
+        hierarchy = build_hierarchy(8, 4)
+        config = MGDDConfig(
+            spec=MDEFSpec(sampling_radius=0.08, counting_radius=0.01,
+                          min_mdef=0.8),
+            window_size=400, sample_size=40, sample_fraction=0.5,
+            warmup=400)
+        network = build_mgdd_network(hierarchy, config, 1,
+                                     rng=np.random.default_rng(5))
+        streams = StreamSet.from_arrays(make_plateau_streams(8, 900, seed=6))
+        sim = NetworkSimulator(hierarchy, network.nodes, streams,
+                               loss_rate=0.3,
+                               rng=np.random.default_rng(7))
+        sim.run()
+        assert sim.messages_lost > 0
+        # Updates keep flowing; every leaf ends up with a usable model.
+        filled = [network.nodes[leaf].global_copy.model() is not None
+                  for leaf in hierarchy.leaf_ids]
+        assert all(filled)

@@ -1,0 +1,110 @@
+"""The batteries-included single-sensor detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ParameterError
+from repro.core.mdef import MDEFSpec
+from repro.core.outliers import DistanceOutlierSpec
+from repro.detectors.single import OnlineOutlierDetector
+
+DIST = DistanceOutlierSpec(radius=0.01, count_threshold=5)
+MDEF = MDEFSpec(sampling_radius=0.08, counting_radius=0.01, min_mdef=0.8)
+
+
+class TestDistanceMode:
+    def test_flags_spikes_after_warmup(self, rng):
+        detector = OnlineOutlierDetector(500, 50, DIST, rng=rng)
+        stream = rng.normal(0.4, 0.02, 1_200)
+        spikes = {700, 900, 1_100}
+        for tick in spikes:
+            stream[tick] = 0.85
+        flagged = []
+        for tick, value in enumerate(stream):
+            decision = detector.process(value)
+            if decision is not None and decision.is_outlier:
+                flagged.append(tick)
+        assert spikes <= set(flagged)
+        assert len(set(flagged) - spikes) < 10
+        assert detector.readings_flagged == len(flagged)
+        assert detector.readings_seen == 1_200
+
+    def test_returns_none_during_warmup(self, rng):
+        detector = OnlineOutlierDetector(100, 10, DIST, rng=rng)
+        for _ in range(100):
+            assert detector.process(0.4) is None
+        assert not detector.is_warm
+        assert detector.process(0.4) is not None
+        assert detector.is_warm
+
+    def test_custom_warmup(self, rng):
+        detector = OnlineOutlierDetector(100, 10, DIST, warmup=5, rng=rng)
+        outputs = [detector.process(rng.normal(0.4, 0.02)) for _ in range(8)]
+        assert outputs[4] is None
+        assert outputs[6] is not None
+
+    def test_decision_carries_count(self, rng):
+        detector = OnlineOutlierDetector(200, 40, DIST, warmup=200, rng=rng)
+        decision = None
+        for value in rng.normal(0.4, 0.02, 300):
+            decision = detector.process(value)
+        assert decision is not None
+        assert decision.neighbor_count > DIST.count_threshold
+
+    def test_memory_footprint_small(self, rng):
+        detector = OnlineOutlierDetector(2_000, 100, DIST, rng=rng)
+        for value in rng.normal(0.4, 0.02, 3_000):
+            detector.process(value)
+        # Far below the 2000-word window it summarises.
+        assert detector.memory_words() < 1_000
+
+
+class TestMDEFMode:
+    def test_flags_gap_values(self, plateau_window):
+        detector = OnlineOutlierDetector(
+            1_500, 150, MDEF, warmup=1_500,
+            rng=np.random.default_rng(0))
+        flagged_gap = checked_gap = 0
+        for tick, value in enumerate(plateau_window):
+            decision = detector.process(value)
+            if decision is None:
+                continue
+            if 0.43 < value < 0.49:
+                checked_gap += 1
+                flagged_gap += bool(decision.is_outlier)
+        assert checked_gap > 0
+        assert flagged_gap / checked_gap > 0.5
+
+    def test_mdef_decision_type(self, plateau_window):
+        from repro.core.mdef import MDEFDecision
+        detector = OnlineOutlierDetector(
+            500, 60, MDEF, warmup=500, rng=np.random.default_rng(1))
+        decision = None
+        for value in plateau_window[:700]:
+            decision = detector.process(value)
+        assert isinstance(decision, MDEFDecision)
+
+
+class TestValidation:
+    def test_bad_spec_type(self):
+        with pytest.raises(ParameterError, match="spec must be"):
+            OnlineOutlierDetector(100, 10, spec="distance")
+
+    def test_sample_larger_than_window(self):
+        with pytest.raises(ParameterError):
+            OnlineOutlierDetector(10, 20, DIST)
+
+    def test_negative_warmup(self):
+        with pytest.raises(ParameterError):
+            OnlineOutlierDetector(100, 10, DIST, warmup=-1)
+
+    def test_2d_readings(self, rng):
+        detector = OnlineOutlierDetector(
+            300, 60, DistanceOutlierSpec(radius=0.02, count_threshold=5),
+            n_dims=2, warmup=300, rng=rng)
+        for _ in range(300):
+            detector.process(rng.normal(0.4, 0.02, size=2))
+        decision = detector.process([0.9, 0.9])
+        assert decision.is_outlier

@@ -1,0 +1,74 @@
+"""The shared per-node estimator state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ParameterError
+from repro.detectors._state import StreamModelState
+
+
+def make_state(**overrides):
+    defaults = dict(arrival_window=200, sample_size=20, n_dims=1,
+                    rng=np.random.default_rng(0))
+    defaults.update(overrides)
+    return StreamModelState(**defaults)
+
+
+class TestLifecycle:
+    def test_no_model_before_min_arrivals(self):
+        state = make_state(min_arrivals=10)
+        for _ in range(9):
+            state.observe(np.array([0.5]))
+        assert state.model() is None
+        state.observe(np.array([0.5]))
+        assert state.model() is not None
+
+    def test_default_min_arrivals(self):
+        state = make_state(sample_size=80)
+        assert state._min_arrivals == 10   # sample_size // 8
+
+    def test_model_cached_between_refreshes(self, rng):
+        state = make_state(model_refresh=50, min_arrivals=2)
+        for _ in range(10):
+            state.observe(rng.uniform(size=1))
+        first = state.model()
+        state.observe(rng.uniform(size=1))
+        assert state.model() is first      # cached
+        for _ in range(60):
+            state.observe(rng.uniform(size=1))
+        assert state.model() is not first  # refreshed
+
+    def test_count_window_size_applied_on_rebuild(self, rng):
+        state = make_state(model_refresh=1, min_arrivals=2)
+        for _ in range(5):
+            state.observe(rng.uniform(size=1))
+        state.count_window_size = 12_345
+        state.observe(rng.uniform(size=1))
+        assert state.model().window_size == 12_345
+
+    def test_observe_returns_changed_slots(self):
+        state = make_state()
+        changed = state.observe(np.array([0.4]))
+        assert len(changed) == 20   # first arrival fills all slots
+
+    def test_memory_words_positive(self, rng):
+        state = make_state()
+        for _ in range(50):
+            state.observe(rng.uniform(size=1))
+        assert state.memory_words() > 0
+
+    def test_invalid_model_refresh(self):
+        with pytest.raises(ParameterError):
+            make_state(model_refresh=0)
+
+    def test_model_reflects_recent_distribution(self, rng):
+        state = make_state(arrival_window=100, sample_size=30,
+                           min_arrivals=2, model_refresh=4)
+        for _ in range(150):
+            state.observe(rng.normal(0.2, 0.01, size=1))
+        for _ in range(150):
+            state.observe(rng.normal(0.8, 0.01, size=1))
+        model = state.model()
+        assert model.mean()[0] == pytest.approx(0.8, abs=0.05)

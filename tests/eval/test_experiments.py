@@ -1,0 +1,149 @@
+"""Figure-reproduction functions (tiny configurations for CI speed)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import (
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure11,
+    memory_experiment,
+)
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure5(n_engine=20_000, n_environment=10_000, seed=0)
+
+    def test_three_rows(self, result):
+        assert [row.dataset for row in result.rows] == \
+            ["Engine", "Pressure", "Dew-point"]
+
+    def test_measured_close_to_published(self, result):
+        engine = result.rows[0]
+        # mean / median / std within loose tolerances.
+        assert engine.measured[2] == pytest.approx(engine.published[2], abs=0.01)
+        assert engine.measured[3] == pytest.approx(engine.published[3], abs=0.01)
+        assert engine.measured[4] == pytest.approx(engine.published[4], abs=0.015)
+
+    def test_table_renders(self, result):
+        text = result.format_table()
+        assert "Engine" in text and "Skew" in text
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure6(window_size=512, sample_size=64, shift_every=1_024,
+                       n_shifts=2, eval_every=64, seed=3)
+
+    def test_stable_distance_is_small(self, result):
+        # Paper: max distance ~0.004 while the distribution is stable.
+        assert result.max_stable_distance() < 0.05
+
+    def test_shift_produces_spike(self, result):
+        shift_idx = [i for i, t in enumerate(result.ticks)
+                     if t >= result.shift_every][0]
+        spike = max(result.leaf[shift_idx:shift_idx + 4])
+        assert spike > 5 * result.max_stable_distance()
+
+    def test_adaptation_latency_within_window_scale(self, result):
+        latency = result.adaptation_latency(threshold=0.1)
+        assert 0 < latency <= 2 * 512
+
+    def test_parent_series_track_leaf(self, result):
+        for f, series in result.parent.items():
+            assert len(series) == len(result.leaf)
+            assert min(series) < 0.05
+
+    def test_table_renders(self, result):
+        assert "Parent f=0.5" in result.format_table()
+
+
+class TestAccuracySweeps:
+    def test_figure7_structure(self):
+        result = figure7(window_size=400, n_leaves=4,
+                         sample_ratios=(0.05,), n_runs=1, seed=2,
+                         compare_histogram=False)
+        assert ("d3", 0.05) in result.entries
+        assert ("mgdd", 0.05) in result.entries
+        d3 = result.entries[("d3", 0.05)]
+        assert set(d3.levels) == {1, 2}
+        assert "Figure 7" in result.format_table()
+
+    def test_figure8_sweeps_fraction(self):
+        result = figure8(window_size=400, n_leaves=4,
+                         fractions=(0.5, 1.0), n_runs=1, seed=2)
+        assert set(result.entries) == {("mgdd", 0.5), ("mgdd", 1.0)}
+
+
+class TestFigure11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure11(leaf_counts=(8, 32), window_size=128,
+                        measure_ticks=64, seed=0)
+
+    def test_centralized_dominates(self, result):
+        for row in result.rows:
+            assert row.centralized > row.mgdd
+            assert row.centralized > row.d3
+            assert row.centralized / row.d3 > 10
+
+    def test_rates_scale_with_network(self, result):
+        small, large = result.rows
+        assert large.centralized > small.centralized
+        assert large.d3 > small.d3
+
+    def test_centralized_rate_exact(self, result):
+        # Every reading crosses every tree edge on its path to the root.
+        small = result.rows[0]   # 8 leaves, branching 4 -> depth 2
+        assert small.centralized == pytest.approx(8 * 2)
+
+    def test_table_renders(self, result):
+        assert "Centralized" in result.format_table()
+
+
+class TestMemoryExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return memory_experiment(window_sizes=(4_000,), epsilons=(0.2,),
+                                 n_values=10_000, seed=0)
+
+    def test_below_bound(self, result):
+        row = result.rows[0]
+        assert row.measured_words < row.bound_words
+        # The paper's band is 55-65% below; ours lands nearby.
+        assert 0.3 < row.fraction_below_bound < 0.8
+
+    def test_total_state_within_paper_budget(self, result):
+        assert result.total_state_bytes < result.paper_budget_bytes
+
+    def test_table_renders(self, result):
+        assert "variance-sketch memory" in result.format_table()
+
+
+class TestSelectivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.eval.experiments import selectivity_experiment
+        return selectivity_experiment(window_size=1_500, sample_size=100,
+                                      query_widths=(0.05,), n_queries=40,
+                                      seed=3)
+
+    def test_three_estimators_per_width(self, result):
+        estimators = {row.estimator for row in result.rows}
+        assert estimators == {"kernel (online)", "histogram (offline)",
+                              "histogram (online GK)"}
+
+    def test_errors_are_small_fractions(self, result):
+        for row in result.rows:
+            assert 0.0 <= row.mean_abs_error <= row.max_abs_error <= 1.0
+            assert row.mean_abs_error < 0.1
+
+    def test_table_renders(self, result):
+        assert "selectivity" in result.format_table()

@@ -1,0 +1,72 @@
+"""CSV export of experiment results."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro._exceptions import ParameterError
+from repro.eval.experiments import figure5, figure11, memory_experiment
+from repro.eval.export import export_result, export_rows
+
+
+def read_csv(path):
+    with open(path) as handle:
+        return list(csv.reader(handle))
+
+
+class TestExportRows:
+    def test_roundtrip(self, tmp_path):
+        path = export_rows(tmp_path / "out.csv", ["a", "b"],
+                           [[1, 2], [3, 4]])
+        rows = read_csv(path)
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_width_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ParameterError):
+            export_rows(tmp_path / "out.csv", ["a"], [[1, 2]])
+
+
+class TestExportResult:
+    def test_figure5(self, tmp_path):
+        result = figure5(n_engine=5_000, n_environment=5_000, seed=0)
+        rows = read_csv(export_result(result, tmp_path / "fig5.csv"))
+        assert rows[0][0] == "dataset"
+        assert len(rows) == 1 + 2 * 3   # header + paper/ours per dataset
+
+    def test_figure11(self, tmp_path):
+        result = figure11(leaf_counts=(4,), window_size=64,
+                          measure_ticks=16, seed=0)
+        rows = read_csv(export_result(result, tmp_path / "fig11.csv"))
+        assert rows[0][:2] == ["n_leaves", "n_nodes"]
+        assert len(rows) == 2
+
+    def test_memory(self, tmp_path):
+        result = memory_experiment(window_sizes=(1_000,), n_values=3_000)
+        rows = read_csv(export_result(result, tmp_path / "mem.csv"))
+        assert rows[0][0] == "window_size"
+        assert len(rows) == 2
+
+    def test_unknown_type_rejected(self, tmp_path):
+        with pytest.raises(ParameterError, match="don't know"):
+            export_result(object(), tmp_path / "x.csv")
+
+
+class TestExportMoreTypes:
+    def test_figure6(self, tmp_path):
+        from repro.eval.experiments import figure6
+        result = figure6(window_size=128, sample_size=16, shift_every=256,
+                         n_shifts=1, eval_every=64, seed=0)
+        rows = read_csv(export_result(result, tmp_path / "fig6.csv"))
+        assert rows[0][0] == "tick"
+        assert rows[0][-1].startswith("parent_f_")
+        assert len(rows) == 1 + len(result.ticks)
+
+    def test_accuracy_sweep(self, tmp_path):
+        from repro.eval.experiments import figure8
+        result = figure8(window_size=300, n_leaves=4, fractions=(0.5,),
+                         n_runs=1, seed=1)
+        rows = read_csv(export_result(result, tmp_path / "sweep.csv"))
+        assert rows[0][0] == "algorithm"
+        assert rows[1][0] == "mgdd"

@@ -1,0 +1,61 @@
+"""Precision/recall accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.eval.metrics import PrecisionRecall, precision_recall
+
+
+class TestPrecisionRecall:
+    def test_basic(self):
+        pr = precision_recall(reported={1, 2, 3}, truth={2, 3, 4})
+        assert pr.true_positives == 2
+        assert pr.false_positives == 1
+        assert pr.false_negatives == 1
+        assert pr.precision == pytest.approx(2 / 3)
+        assert pr.recall == pytest.approx(2 / 3)
+
+    def test_perfect(self):
+        pr = precision_recall({1, 2}, {1, 2})
+        assert pr.precision == 1.0 and pr.recall == 1.0
+        assert pr.f1 == 1.0
+
+    def test_nothing_reported_nothing_true(self):
+        pr = precision_recall(set(), set())
+        assert pr.precision == 1.0
+        assert pr.recall == 1.0
+        assert pr.f1 == 1.0
+
+    def test_nothing_reported_some_true(self):
+        pr = precision_recall(set(), {1})
+        assert pr.precision == 1.0   # no false claims
+        assert pr.recall == 0.0
+        assert pr.f1 == 0.0
+
+    def test_everything_false(self):
+        pr = precision_recall({9}, {1})
+        assert pr.precision == 0.0
+        assert pr.recall == 0.0
+
+    def test_duplicates_collapsed(self):
+        pr = precision_recall([1, 1, 2], [2, 2])
+        assert pr.true_positives == 1
+        assert pr.false_positives == 1
+
+    def test_tuple_keys(self):
+        pr = precision_recall({(5, 0)}, {(5, 0), (6, 1)})
+        assert pr.true_positives == 1
+        assert pr.n_true_outliers == 2
+
+
+@given(st.sets(st.integers(min_value=0, max_value=50)),
+       st.sets(st.integers(min_value=0, max_value=50)))
+def test_confusion_counts_partition(reported, truth):
+    pr = precision_recall(reported, truth)
+    assert pr.true_positives + pr.false_positives == len(reported)
+    assert pr.true_positives + pr.false_negatives == len(truth)
+    assert 0.0 <= pr.precision <= 1.0
+    assert 0.0 <= pr.recall <= 1.0
+    assert 0.0 <= pr.f1 <= 1.0

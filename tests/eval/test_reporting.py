@@ -1,0 +1,35 @@
+"""ASCII table rendering."""
+
+from __future__ import annotations
+
+from repro.eval.reporting import format_value, render_table
+
+
+class TestFormatValue:
+    def test_floats_three_decimals(self):
+        assert format_value(0.98765) == "0.988"
+
+    def test_ints_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_strings_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["A", "Blong"], [[1, 2.0], [333, 4.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        header, rule, first, second = lines
+        assert header.startswith("A")
+        assert set(rule) <= {"-", " "}
+        assert len(first) == len(second)
+
+    def test_title(self):
+        text = render_table(["X"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_wide_cells_expand_columns(self):
+        text = render_table(["X"], [["a-very-long-cell"]])
+        assert "a-very-long-cell" in text

@@ -1,0 +1,175 @@
+"""Incremental ground-truth machinery vs the offline brute-force detectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ParameterError
+from repro.core.baselines import (
+    brute_force_distance_outliers,
+    brute_force_mdef_outliers,
+)
+from repro.core.mdef import MDEFSpec
+from repro.core.outliers import DistanceOutlierSpec
+from repro.data.synthetic import make_plateau_streams
+from repro.eval.truth import (
+    DistanceTruth,
+    GlobalMDEFTruth,
+    NodeWindow,
+    WindowBank,
+)
+from repro.network.topology import build_hierarchy
+
+
+class TestNodeWindow:
+    def test_batch_insert_and_evict(self):
+        window = NodeWindow(4, 1)
+        out = window.insert(np.array([[1.0], [2.0], [3.0], [4.0]]))
+        assert out.shape == (0, 1)
+        evicted = window.insert(np.array([[5.0], [6.0]]))
+        assert sorted(evicted[:, 0]) == [1.0, 2.0]
+        assert sorted(window.values()[:, 0]) == [3.0, 4.0, 5.0, 6.0]
+
+    def test_wrap_around_split_insert(self):
+        window = NodeWindow(3, 1)
+        window.insert(np.array([[1.0], [2.0]]))
+        window.insert(np.array([[3.0], [4.0]]))
+        assert sorted(window.values()[:, 0]) == [2.0, 3.0, 4.0]
+
+    def test_batch_larger_than_capacity_rejected(self):
+        with pytest.raises(ParameterError):
+            NodeWindow(2, 1).insert(np.zeros((3, 1)))
+
+
+class TestWindowBank:
+    def test_union_mode_capacities(self):
+        hierarchy = build_hierarchy(4, 2)
+        bank = WindowBank(hierarchy, window_size=10, n_dims=1, mode="union")
+        rng = np.random.default_rng(0)
+        for _ in range(12):
+            bank.insert_tick(rng.uniform(size=(4, 1)))
+        assert bank.window_values(0).shape[0] == 10
+        assert bank.window_values(hierarchy.root_id).shape[0] == 40
+
+    def test_fixed_mode_capacities(self):
+        hierarchy = build_hierarchy(4, 2)
+        bank = WindowBank(hierarchy, window_size=10, n_dims=1, mode="fixed")
+        rng = np.random.default_rng(0)
+        for _ in range(12):
+            bank.insert_tick(rng.uniform(size=(4, 1)))
+        assert bank.window_values(hierarchy.root_id).shape[0] == 10
+
+    def test_fixed_root_holds_most_recent_union_values(self):
+        hierarchy = build_hierarchy(2, 2)
+        bank = WindowBank(hierarchy, window_size=4, n_dims=1, mode="fixed")
+        for t in range(5):
+            bank.insert_tick(np.array([[float(t)], [float(t) + 0.5]]))
+        assert sorted(bank.window_values(hierarchy.root_id)[:, 0]) \
+            == [3.0, 3.5, 4.0, 4.5]
+
+    def test_invalid_mode(self):
+        with pytest.raises(ParameterError):
+            WindowBank(build_hierarchy(2, 2), 4, 1, mode="elastic")
+
+    def test_arrival_shape_checked(self):
+        bank = WindowBank(build_hierarchy(2, 2), 4, 1)
+        with pytest.raises(ParameterError):
+            bank.insert_tick(np.zeros((3, 1)))
+
+    def test_histogram_built_from_window(self, rng):
+        hierarchy = build_hierarchy(2, 2)
+        bank = WindowBank(hierarchy, 50, 1)
+        for _ in range(60):
+            bank.insert_tick(rng.uniform(size=(2, 1)))
+        hist = bank.histogram(hierarchy.root_id, 8)
+        assert hist.range_probability(-1, 2) == pytest.approx(1.0)
+
+
+class TestDistanceTruth:
+    def test_matches_brute_force_per_level(self, rng):
+        hierarchy = build_hierarchy(4, 2)
+        spec = DistanceOutlierSpec(radius=0.02, count_threshold=4)
+        bank = WindowBank(hierarchy, window_size=60, n_dims=1, mode="fixed")
+        truth = DistanceTruth(bank, hierarchy, spec)
+        streams = [np.clip(rng.normal(0.4, 0.03, (100, 1)), 0, 1)
+                   for _ in range(4)]
+        streams[0][80] = 0.9   # one isolated arrival
+        labels_at_80 = None
+        for t in range(100):
+            arrivals = np.stack([s[t] for s in streams])
+            bank.insert_tick(arrivals)
+            if t == 80:
+                labels_at_80 = truth.labels_for_tick(arrivals)
+        # Cross-check every level against the offline algorithm.
+        arrivals = np.stack([s[80] for s in streams])
+        for level_idx, tier in enumerate(hierarchy.levels):
+            # Rebuild the level's windows as of tick 80 from raw streams.
+            for node in tier:
+                leaves = hierarchy.leaves_under(node)
+                union = np.concatenate(
+                    [streams[leaf][:81] for leaf in leaves])[-60:] \
+                    if len(leaves) == 1 else None
+            # The isolated arrival must be flagged at every level.
+            assert labels_at_80[level_idx + 1][0]
+        # Ordinary arrivals are not flagged at level 1.
+        assert not labels_at_80[1][1:].any()
+
+    def test_offline_equivalence_single_node(self, rng):
+        """With one leaf the incremental labels equal BruteForce-D."""
+        hierarchy = build_hierarchy(1, 2)
+        spec = DistanceOutlierSpec(radius=0.02, count_threshold=5)
+        bank = WindowBank(hierarchy, window_size=50, n_dims=1)
+        truth = DistanceTruth(bank, hierarchy, spec)
+        stream = np.concatenate([rng.normal(0.4, 0.02, 70),
+                                 [0.9, 0.41, 0.95]]).reshape(-1, 1)
+        flags = []
+        for t in range(stream.shape[0]):
+            arrivals = stream[t].reshape(1, 1)
+            bank.insert_tick(arrivals)
+            flags.append(bool(truth.labels_for_tick(arrivals)[1][0]))
+        # Re-derive each label with the offline detector on the window.
+        for t in (70, 71, 72):
+            window = stream[max(0, t - 49):t + 1]
+            offline = brute_force_distance_outliers(window, spec)
+            assert flags[t] == offline[-1]
+
+
+class TestGlobalMDEFTruth:
+    def test_matches_brute_force_on_final_window(self):
+        hierarchy = build_hierarchy(4, 2)
+        spec = MDEFSpec(0.08, 0.01, min_mdef=0.8)
+        window_size = 400
+        bank = WindowBank(hierarchy, window_size, 1, mode="fixed")
+        truth = GlobalMDEFTruth(bank, hierarchy, spec)
+        streams = make_plateau_streams(4, 200, seed=1)
+        streams[2][150] = [0.46]   # plant a gap arrival
+        flagged = {}
+        for t in range(200):
+            arrivals = np.stack([s[t] for s in streams])
+            truth.record_insert(arrivals)
+            bank.insert_tick(arrivals)
+            if t == 150:
+                flagged = truth.labels_for_tick(arrivals)
+        assert flagged[2]
+        # Validate against the offline detector over the same window.
+        union = np.concatenate(
+            [np.stack([s[t] for s in streams]) for t in range(151)])[-window_size:]
+        offline = brute_force_mdef_outliers(union, spec)
+        assert offline[-2]   # the planted value sits near the window end
+
+    def test_grid_consistent_with_recount(self, rng):
+        hierarchy = build_hierarchy(2, 2)
+        spec = MDEFSpec(0.08, 0.01)
+        bank = WindowBank(hierarchy, 30, 1, mode="fixed")
+        truth = GlobalMDEFTruth(bank, hierarchy, spec)
+        for t in range(50):
+            arrivals = rng.uniform(size=(2, 1))
+            truth.record_insert(arrivals)
+            bank.insert_tick(arrivals)
+        window = bank.window_values(hierarchy.root_id)
+        recount = np.zeros_like(truth._grid)
+        idx = np.clip((window[:, 0] / spec.cell_width).astype(int),
+                      0, recount.shape[0] - 1)
+        np.add.at(recount, idx, 1)
+        np.testing.assert_array_equal(truth._grid, recount)

@@ -1,0 +1,115 @@
+"""16-bit wire encoding of model state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._exceptions import ParameterError
+from repro.core.estimator import KernelDensityEstimator
+from repro.network.codec import (
+    decode_model_state,
+    decode_values,
+    encode_model_state,
+    encode_values,
+    quantization_step,
+)
+
+
+class TestValueCodec:
+    def test_roundtrip_error_below_quantisation(self, rng):
+        values = rng.uniform(size=(50, 2))
+        decoded = decode_values(encode_values(values), (50, 2))
+        assert np.abs(decoded - values).max() <= quantization_step()
+
+    def test_two_bytes_per_number(self, rng):
+        values = rng.uniform(size=123)
+        assert len(encode_values(values)) == 123 * 2
+
+    def test_endpoints_exact(self):
+        decoded = decode_values(encode_values(np.array([0.0, 1.0])), (2,))
+        assert decoded.tolist() == [0.0, 1.0]
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(ParameterError):
+            encode_values(np.array([1.5]))
+        with pytest.raises(ParameterError):
+            encode_values(np.array([float("nan")]))
+
+    def test_shape_mismatch_rejected(self, rng):
+        payload = encode_values(rng.uniform(size=4))
+        with pytest.raises(ParameterError):
+            decode_values(payload, (5,))
+
+
+class TestModelCodec:
+    def test_roundtrip(self, rng):
+        sample = rng.uniform(size=(64, 2))
+        stddev = np.array([0.05, 0.08])
+        payload = encode_model_state(sample, stddev, window_size=10_240)
+        out_sample, out_stddev, out_window = decode_model_state(payload)
+        assert out_window == 10_240
+        np.testing.assert_allclose(out_sample, sample,
+                                   atol=quantization_step())
+        np.testing.assert_allclose(out_stddev, stddev,
+                                   atol=quantization_step())
+
+    def test_payload_size_matches_word_accounting(self, rng):
+        sample = rng.uniform(size=(100, 1))
+        payload = encode_model_state(sample, np.array([0.1]), 500)
+        # header (4 words) + stddev (1) + sample (100), 2 bytes each.
+        assert len(payload) == (4 + 1 + 100) * 2
+
+    def test_decoded_model_operationally_identical(self, gaussian_window):
+        model = KernelDensityEstimator.from_window(gaussian_window, 200)
+        payload = encode_model_state(model.sample,
+                                     gaussian_window.std(keepdims=True),
+                                     model.window_size)
+        sample, stddev, window = decode_model_state(payload)
+        clone = KernelDensityEstimator(sample, stddev=stddev,
+                                       window_size=window)
+        for p in (0.35, 0.40, 0.45, 0.8):
+            original = float(np.asarray(model.neighborhood_count(p, 0.01)))
+            decoded = float(np.asarray(clone.neighborhood_count(p, 0.01)))
+            assert decoded == pytest.approx(original, rel=0.01, abs=0.5)
+
+    def test_large_window_size(self, rng):
+        payload = encode_model_state(rng.uniform(size=(2, 1)),
+                                     np.array([0.1]), 2**20)
+        assert decode_model_state(payload)[2] == 2**20
+
+    @pytest.mark.parametrize("mutator", [
+        lambda p: p[:5],                 # truncated header
+        lambda p: p + b"\x00\x00",       # trailing garbage
+    ])
+    def test_corrupt_payload_rejected(self, rng, mutator):
+        payload = encode_model_state(rng.uniform(size=(4, 1)),
+                                     np.array([0.1]), 100)
+        with pytest.raises(ParameterError):
+            decode_model_state(mutator(payload))
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ParameterError):
+            encode_model_state(rng.uniform(size=4), np.array([0.1]), 10)
+        with pytest.raises(ParameterError):
+            encode_model_state(rng.uniform(size=(4, 1)),
+                               np.array([0.1, 0.2]), 10)
+        with pytest.raises(ParameterError):
+            encode_model_state(rng.uniform(size=(4, 1)),
+                               np.array([0.1]), 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=40),
+       st.integers(min_value=1, max_value=3),
+       st.integers(min_value=1, max_value=2**31))
+def test_model_codec_roundtrip_property(n, d, window):
+    rng = np.random.default_rng(n * 100 + d)
+    sample = rng.uniform(size=(n, d))
+    stddev = rng.uniform(0, 1, size=d)
+    out_sample, out_stddev, out_window = decode_model_state(
+        encode_model_state(sample, stddev, window))
+    assert out_window == window
+    assert np.abs(out_sample - sample).max() <= quantization_step()
+    assert np.abs(out_stddev - stddev).max() <= quantization_step()

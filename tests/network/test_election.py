@@ -1,0 +1,102 @@
+"""Leader election / rotation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._exceptions import ParameterError, TopologyError
+from repro.network.election import (
+    EnergyAwareElection,
+    RoundRobinElection,
+    handoff_cost_words,
+)
+from repro.network.topology import build_hierarchy
+
+
+class TestRoundRobin:
+    def test_every_member_serves_equally(self):
+        hierarchy = build_hierarchy(8, 4)
+        election = RoundRobinElection(hierarchy, epoch_length=10)
+        leader = hierarchy.levels[1][0]
+        members = hierarchy.leaves_under(leader)
+        served = [election.assignment(epoch * 10).bearer_of(leader)
+                  for epoch in range(2 * len(members))]
+        for member in members:
+            assert served.count(member) == 2
+
+    def test_assignment_stable_within_epoch(self):
+        hierarchy = build_hierarchy(8, 4)
+        election = RoundRobinElection(hierarchy, epoch_length=100)
+        a = election.assignment(5)
+        b = election.assignment(99)
+        assert a.bearer == b.bearer
+        assert a.epoch == b.epoch == 0
+
+    def test_bearer_is_a_subtree_member(self):
+        hierarchy = build_hierarchy(16, 4)
+        election = RoundRobinElection(hierarchy, epoch_length=1)
+        for tick in range(8):
+            assignment = election.assignment(tick)
+            for leader, bearer in assignment.bearer.items():
+                assert bearer in hierarchy.leaves_under(leader)
+
+    def test_root_rotation_covers_all_leaves(self):
+        hierarchy = build_hierarchy(8, 4)
+        election = RoundRobinElection(hierarchy, epoch_length=1)
+        root = hierarchy.root_id
+        bearers = {election.assignment(t).bearer_of(root) for t in range(8)}
+        assert bearers == set(hierarchy.leaf_ids)
+
+    def test_unknown_leader_rejected(self):
+        hierarchy = build_hierarchy(8, 4)
+        election = RoundRobinElection(hierarchy, epoch_length=1)
+        with pytest.raises(TopologyError):
+            election.assignment(0).bearer_of(0)   # a leaf, not a leader
+
+    def test_single_node_hierarchy_rejected(self):
+        with pytest.raises(TopologyError):
+            RoundRobinElection(build_hierarchy(1), epoch_length=1)
+
+    def test_negative_tick_rejected(self):
+        election = RoundRobinElection(build_hierarchy(4, 4), epoch_length=5)
+        with pytest.raises(ParameterError):
+            election.assignment(-1)
+
+
+class TestEnergyAware:
+    def test_least_spent_member_elected(self):
+        hierarchy = build_hierarchy(4, 4)
+        election = EnergyAwareElection(hierarchy, epoch_length=10)
+        spent = {0: 5.0, 1: 1.0, 2: 9.0, 3: 4.0}
+        assignment = election.assignment(0, spent)
+        assert assignment.bearer_of(hierarchy.root_id) == 1
+
+    def test_ties_break_to_lowest_id(self):
+        hierarchy = build_hierarchy(4, 4)
+        election = EnergyAwareElection(hierarchy, epoch_length=10)
+        assignment = election.assignment(0, {})
+        assert assignment.bearer_of(hierarchy.root_id) == 0
+
+    def test_rotation_balances_energy(self):
+        """Repeatedly charging the bearer and re-electing equalises spend."""
+        hierarchy = build_hierarchy(4, 4)
+        election = EnergyAwareElection(hierarchy, epoch_length=1)
+        spent = {leaf: 0.0 for leaf in hierarchy.leaf_ids}
+        for epoch in range(40):
+            bearer = election.assignment(epoch, spent).bearer_of(
+                hierarchy.root_id)
+            spent[bearer] += 1.0
+        values = list(spent.values())
+        assert max(values) - min(values) <= 1.0
+
+
+class TestHandoffCost:
+    def test_formula(self):
+        # |R| (d + 1) value+timestamp words plus the sketches.
+        assert handoff_cost_words(100, 2, sketch_words=60) == 100 * 3 + 60
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            handoff_cost_words(0, 1, 10)
+        with pytest.raises(ParameterError):
+            handoff_cost_words(10, 1, -1)

@@ -1,0 +1,130 @@
+"""Radio energy accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ParameterError
+from repro.data.streams import StreamSet
+from repro.detectors.centralized import build_centralized_network
+from repro.detectors.d3 import D3Config, build_d3_network
+from repro.core.outliers import DistanceOutlierSpec
+from repro.network.energy import BITS_PER_WORD, EnergyAccountant, RadioModel
+from repro.network.messages import ValueForward
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import build_hierarchy
+
+
+class TestRadioModel:
+    def test_transmit_grows_with_distance_squared(self):
+        radio = RadioModel()
+        near = radio.transmit_energy(100, 10.0)
+        far = radio.transmit_energy(100, 20.0)
+        amplifier_near = near - radio.receive_energy(100)
+        amplifier_far = far - radio.receive_energy(100)
+        assert amplifier_far == pytest.approx(4 * amplifier_near)
+
+    def test_receive_is_electronics_only(self):
+        radio = RadioModel()
+        assert radio.receive_energy(16) == pytest.approx(
+            radio.electronics_j_per_bit * 16)
+
+    def test_negative_inputs_rejected(self):
+        radio = RadioModel()
+        with pytest.raises(ParameterError):
+            radio.transmit_energy(-1, 10.0)
+        with pytest.raises(ParameterError):
+            radio.receive_energy(-1)
+
+    def test_invalid_constants_rejected(self):
+        with pytest.raises(ParameterError):
+            RadioModel(electronics_j_per_bit=0.0)
+
+
+class TestAccountant:
+    def test_single_message_charged_both_ends(self):
+        hierarchy = build_hierarchy(4, 4)
+        accountant = EnergyAccountant(hierarchy)
+        message = ValueForward(value=np.array([0.5]))
+        leaf, root = 0, hierarchy.root_id
+        accountant.record(leaf, root, message)
+        bits = message.size_words() * BITS_PER_WORD
+        distance = accountant.distance_m(leaf, root)
+        assert accountant.spent(leaf) == pytest.approx(
+            accountant.radio.transmit_energy(bits, distance))
+        assert accountant.spent(root) == pytest.approx(
+            accountant.radio.receive_energy(bits))
+
+    def test_lost_message_charges_sender_only(self):
+        hierarchy = build_hierarchy(4, 4)
+        accountant = EnergyAccountant(hierarchy)
+        message = ValueForward(value=np.array([0.5]))
+        accountant.record(0, hierarchy.root_id, message, delivered=False)
+        assert accountant.spent(0) > 0
+        assert accountant.spent(hierarchy.root_id) == 0.0
+
+    def test_totals(self):
+        hierarchy = build_hierarchy(4, 4)
+        accountant = EnergyAccountant(hierarchy)
+        message = ValueForward(value=np.array([0.5]))
+        for leaf in hierarchy.leaf_ids:
+            accountant.record(leaf, hierarchy.root_id, message)
+        assert accountant.total_joules() == pytest.approx(
+            sum(accountant.per_node().values()))
+        assert accountant.max_joules() == accountant.spent(hierarchy.root_id)
+
+
+class TestSimulatorIntegration:
+    def _run(self, builder, hierarchy, streams, **sim_kwargs):
+        network = builder()
+        accountant = EnergyAccountant(hierarchy)
+        sim = NetworkSimulator(hierarchy, network.nodes, streams,
+                               energy=accountant, **sim_kwargs)
+        sim.run()
+        return accountant, sim
+
+    def test_centralized_costs_more_than_d3(self, rng):
+        hierarchy = build_hierarchy(16, 4)
+        streams = StreamSet.from_arrays(
+            [np.clip(rng.normal(0.4, 0.03, (400, 1)), 0, 1)
+             for _ in range(16)])
+        config = D3Config(
+            spec=DistanceOutlierSpec(radius=0.01, count_threshold=1e9),
+            window_size=200, sample_size=20, sample_fraction=0.25,
+            warmup=10_000)
+        central, _ = self._run(
+            lambda: build_centralized_network(hierarchy), hierarchy, streams)
+        d3, _ = self._run(
+            lambda: build_d3_network(hierarchy, config, 1,
+                                     rng=np.random.default_rng(0)),
+            hierarchy, streams)
+        assert central.total_joules() > 10 * d3.total_joules()
+        # The root-adjacent relays are the hottest nodes either way.
+        assert central.max_joules() > d3.max_joules()
+
+    def test_loss_injection_counts_and_still_charges_tx(self, rng):
+        hierarchy = build_hierarchy(8, 4)
+        streams = StreamSet.from_arrays(
+            [rng.uniform(size=(50, 1)) for _ in range(8)])
+        network = build_centralized_network(hierarchy)
+        accountant = EnergyAccountant(hierarchy)
+        sim = NetworkSimulator(hierarchy, network.nodes, streams,
+                               energy=accountant, loss_rate=0.5,
+                               rng=np.random.default_rng(1))
+        sim.run()
+        # Half the messages vanish (binomially).
+        assert 0.3 < sim.messages_lost / sim.counter.total_messages < 0.7
+        # Lost level-1 messages are never relayed: fewer total sends
+        # than the lossless 8 * 2 per tick.
+        assert sim.counter.total_messages < 50 * 16
+        assert accountant.total_joules() > 0
+
+    def test_invalid_loss_rate(self, rng):
+        hierarchy = build_hierarchy(2, 2)
+        streams = StreamSet.from_arrays([rng.uniform(size=(5, 1))] * 2)
+        network = build_centralized_network(hierarchy)
+        from repro._exceptions import SimulationError
+        with pytest.raises(SimulationError):
+            NetworkSimulator(hierarchy, network.nodes, streams,
+                             loss_rate=1.5)

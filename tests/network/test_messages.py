@@ -1,0 +1,64 @@
+"""Message taxonomy and accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.messages import (
+    Message,
+    MessageCounter,
+    ModelUpdate,
+    OutlierReport,
+    ValueForward,
+)
+
+
+class TestSizes:
+    def test_value_forward(self):
+        msg = ValueForward(value=np.array([0.1, 0.2]))
+        assert msg.size_words() == 3   # 2 coords + timestamp
+
+    def test_outlier_report(self):
+        msg = OutlierReport(value=np.array([0.1]), origin=3,
+                            flagged_level=1, tick=7)
+        assert msg.size_words() == 4
+
+    def test_incremental_model_update(self):
+        msg = ModelUpdate(stddev=np.array([0.05]), slots=(1, 4),
+                          value=np.array([0.3]), window_size=100)
+        # stddev(1) + window(1) + value(1) + 2 slots
+        assert msg.size_words() == 5
+
+    def test_full_model_update(self):
+        msg = ModelUpdate(stddev=np.array([0.05, 0.04]),
+                          full_sample=np.zeros((10, 2)), window_size=100)
+        assert msg.size_words() == 2 + 1 + 20
+
+    def test_base_class_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Message().size_words()
+
+
+class TestCounter:
+    def test_counts_by_kind(self):
+        counter = MessageCounter()
+        counter.record(ValueForward(value=np.array([0.1])))
+        counter.record(ValueForward(value=np.array([0.2])))
+        counter.record(OutlierReport(value=np.array([0.1]), origin=0,
+                                     flagged_level=1, tick=0))
+        assert counter.counts == {"ValueForward": 2, "OutlierReport": 1}
+        assert counter.total_messages == 3
+
+    def test_words_accumulate(self):
+        counter = MessageCounter()
+        counter.record(ValueForward(value=np.array([0.1, 0.2])))
+        assert counter.total_words == 3
+        assert counter.words["ValueForward"] == 3
+
+    def test_rate(self):
+        counter = MessageCounter()
+        for _ in range(10):
+            counter.record(ValueForward(value=np.array([0.1])))
+        assert counter.messages_per_tick(5) == 2.0
+        assert counter.messages_per_tick(0) == 0.0

@@ -1,0 +1,35 @@
+"""Resource reports (paper Section 10.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.messages import MessageCounter, ValueForward
+from repro.network.metrics import CommunicationReport, MemoryReport
+
+
+class TestMemoryReport:
+    def test_totals(self):
+        report = MemoryReport(sample_words=1000, variance_words=150,
+                              model_words=200)
+        assert report.total_words == 1350
+        assert report.total_bytes == 2700   # 16-bit words
+
+    def test_model_words_default_zero(self):
+        report = MemoryReport(sample_words=10, variance_words=5)
+        assert report.total_words == 15
+
+
+class TestCommunicationReport:
+    def test_rates(self):
+        counter = MessageCounter()
+        for _ in range(100):
+            counter.record(ValueForward(value=np.array([0.1])))
+        report = CommunicationReport(n_ticks=50, n_nodes=10, counter=counter)
+        assert report.messages_per_second == 2.0
+        assert report.messages_per_node_per_second == 0.2
+
+    def test_zero_nodes(self):
+        report = CommunicationReport(n_ticks=10, n_nodes=0,
+                                     counter=MessageCounter())
+        assert report.messages_per_node_per_second == 0.0

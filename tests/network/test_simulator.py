@@ -1,0 +1,151 @@
+"""Tick-driven network simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import SimulationError, TopologyError
+from repro.data.streams import StreamSet
+from repro.network.messages import ValueForward
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import build_hierarchy
+
+
+class ForwardingLeaf:
+    """Forwards every reading to its parent."""
+
+    def __init__(self, node_id, parent):
+        self.node_id = node_id
+        self._parent = parent
+
+    def on_reading(self, value, tick):
+        if self._parent is None:
+            return []
+        return [(self._parent, ValueForward(value=np.array(value)))]
+
+    def on_message(self, message, sender, tick):
+        return []
+
+
+class CollectingNode:
+    """Absorbs everything; optionally relays upward."""
+
+    def __init__(self, node_id, parent=None):
+        self.node_id = node_id
+        self._parent = parent
+        self.received = []
+
+    def on_reading(self, value, tick):
+        return []
+
+    def on_message(self, message, sender, tick):
+        self.received.append((tick, sender, message))
+        if self._parent is not None:
+            return [(self._parent, message)]
+        return []
+
+
+class LoopingNode(CollectingNode):
+    """Pathological: bounces every message back to the sender."""
+
+    def on_message(self, message, sender, tick):
+        return [(sender, message)]
+
+
+def build_sim(n_leaves=4, branching=4, length=10, relays=False):
+    hierarchy = build_hierarchy(n_leaves, branching)
+    rng = np.random.default_rng(0)
+    streams = StreamSet.from_arrays(
+        [rng.uniform(size=(length, 1)) for _ in range(n_leaves)])
+    nodes = {}
+    for node in hierarchy.parents:
+        if node in hierarchy.leaf_ids:
+            nodes[node] = ForwardingLeaf(node, hierarchy.parent_of(node))
+        else:
+            parent = hierarchy.parent_of(node) if relays else None
+            nodes[node] = CollectingNode(node, parent)
+    return hierarchy, nodes, streams
+
+
+class TestStepping:
+    def test_messages_delivered_and_counted(self):
+        hierarchy, nodes, streams = build_sim()
+        sim = NetworkSimulator(hierarchy, nodes, streams)
+        sim.step()
+        root = nodes[hierarchy.root_id]
+        assert len(root.received) == 4
+        assert sim.counter.total_messages == 4
+        assert sim.tick == 1
+
+    def test_relays_multiply_hops(self):
+        hierarchy, nodes, streams = build_sim(n_leaves=16, relays=True)
+        sim = NetworkSimulator(hierarchy, nodes, streams)
+        sim.step()
+        # 16 leaf->L2 messages, each relayed L2->root: 32 transmissions.
+        assert sim.counter.total_messages == 32
+        assert len(nodes[hierarchy.root_id].received) == 16
+
+    def test_run_all_remaining(self):
+        hierarchy, nodes, streams = build_sim(length=7)
+        sim = NetworkSimulator(hierarchy, nodes, streams)
+        sim.run()
+        assert sim.tick == 7
+        assert sim.n_ticks_available == 0
+
+    def test_step_past_end_rejected(self):
+        hierarchy, nodes, streams = build_sim(length=2)
+        sim = NetworkSimulator(hierarchy, nodes, streams)
+        sim.run(2)
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_run_too_many_rejected(self):
+        hierarchy, nodes, streams = build_sim(length=3)
+        sim = NetworkSimulator(hierarchy, nodes, streams)
+        with pytest.raises(SimulationError):
+            sim.run(4)
+
+    def test_on_tick_called_in_order(self):
+        hierarchy, nodes, streams = build_sim(length=5)
+        sim = NetworkSimulator(hierarchy, nodes, streams)
+        seen = []
+        sim.run(5, on_tick=seen.append)
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_message_storm_detected(self):
+        """Two nodes bouncing one message forever must trip the guard."""
+        hierarchy, nodes, streams = build_sim(n_leaves=4)
+        root = hierarchy.root_id
+        nodes[root] = LoopingNode(root)
+        for leaf in hierarchy.leaf_ids:
+            looper = LoopingNode(leaf)
+            looper.on_reading = (
+                lambda v, t, p=hierarchy.parent_of(leaf):
+                [(p, ValueForward(value=np.array(v)))])
+            nodes[leaf] = looper
+        sim = NetworkSimulator(hierarchy, nodes, streams)
+        with pytest.raises(SimulationError, match="storm"):
+            sim.step()
+
+
+class TestValidation:
+    def test_stream_count_mismatch(self):
+        hierarchy, nodes, _ = build_sim(n_leaves=4)
+        wrong = StreamSet.from_arrays([np.zeros((5, 1))] * 3)
+        with pytest.raises(TopologyError):
+            NetworkSimulator(hierarchy, nodes, wrong)
+
+    def test_missing_node_behaviour(self):
+        hierarchy, nodes, streams = build_sim(n_leaves=4)
+        del nodes[hierarchy.root_id]
+        with pytest.raises(TopologyError, match="no behaviour"):
+            NetworkSimulator(hierarchy, nodes, streams)
+
+    def test_unknown_destination(self):
+        hierarchy, nodes, streams = build_sim(n_leaves=2, branching=2)
+        leaf = nodes[0]
+        leaf.on_reading = lambda v, t: [(999, ValueForward(value=np.array(v)))]
+        sim = NetworkSimulator(hierarchy, nodes, streams)
+        with pytest.raises(SimulationError, match="unknown node"):
+            sim.step()

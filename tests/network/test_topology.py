@@ -1,0 +1,105 @@
+"""Hierarchy construction (paper Section 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._exceptions import TopologyError
+from repro.network.topology import build_hierarchy
+
+
+class TestPaperTopology:
+    """32 leaves with two tiers of leaders above (plus the root)."""
+
+    def test_level_sizes(self):
+        h = build_hierarchy(32, branching=4)
+        assert [len(tier) for tier in h.levels] == [32, 8, 2, 1]
+        assert h.n_levels == 4
+
+    def test_leaves_and_root(self):
+        h = build_hierarchy(32, branching=4)
+        assert h.leaf_ids == tuple(range(32))
+        assert h.root_id == h.levels[-1][0]
+        assert h.parent_of(h.root_id) is None
+
+    def test_every_nonroot_has_parent_one_level_up(self):
+        h = build_hierarchy(32, branching=4)
+        for level_idx, tier in enumerate(h.levels[:-1]):
+            for node in tier:
+                parent = h.parent_of(node)
+                assert parent in h.levels[level_idx + 1]
+
+    def test_leaves_under_root_is_everything(self):
+        h = build_hierarchy(32, branching=4)
+        assert sorted(h.leaves_under(h.root_id)) == list(range(32))
+
+    def test_leaves_under_leaf_is_itself(self):
+        h = build_hierarchy(32, branching=4)
+        assert h.leaves_under(5) == (5,)
+
+    def test_level_of(self):
+        h = build_hierarchy(32, branching=4)
+        assert h.level_of(0) == 1
+        assert h.level_of(h.root_id) == 4
+
+    def test_level_of_unknown_node(self):
+        h = build_hierarchy(4, branching=2)
+        with pytest.raises(TopologyError):
+            h.level_of(999)
+
+    def test_edges_count(self):
+        h = build_hierarchy(32, branching=4)
+        assert len(h.edges()) == h.n_nodes - 1
+
+
+class TestGeneralShapes:
+    def test_single_leaf(self):
+        h = build_hierarchy(1)
+        assert h.n_nodes == 1
+        assert h.root_id == 0
+        assert h.leaf_ids == (0,)
+
+    def test_non_divisible_leaf_count(self):
+        h = build_hierarchy(10, branching=4)
+        assert [len(t) for t in h.levels] == [10, 3, 1]
+
+    def test_positions_inside_unit_square(self):
+        h = build_hierarchy(25, branching=5)
+        for x, y in h.positions.values():
+            assert 0.0 <= x <= 1.0 and 0.0 <= y <= 1.0
+
+    def test_leader_position_is_cell_centroid(self):
+        h = build_hierarchy(4, branching=4)
+        leader = h.root_id
+        xs = [h.positions[leaf][0] for leaf in h.leaf_ids]
+        assert h.positions[leader][0] == pytest.approx(sum(xs) / 4)
+
+    def test_invalid_branching(self):
+        with pytest.raises(TopologyError):
+            build_hierarchy(8, branching=1)
+
+    def test_invalid_leaf_count(self):
+        from repro._exceptions import ParameterError
+        with pytest.raises(ParameterError):
+            build_hierarchy(0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=200),
+       st.integers(min_value=2, max_value=8))
+def test_structural_invariants(n_leaves, branching):
+    h = build_hierarchy(n_leaves, branching)
+    # Every node appears in exactly one level.
+    all_nodes = [node for tier in h.levels for node in tier]
+    assert sorted(all_nodes) == sorted(h.parents)
+    assert len(set(all_nodes)) == h.n_nodes
+    # Exactly one root; every other node's parent is its ancestor tier.
+    roots = [n for n, p in h.parents.items() if p is None]
+    assert roots == [h.root_id]
+    # Children/parents agree.
+    for node, parent in h.parents.items():
+        if parent is not None:
+            assert node in h.children_of(parent)
+    # The root covers every leaf exactly once.
+    assert sorted(h.leaves_under(h.root_id)) == list(range(n_leaves))

@@ -1,0 +1,109 @@
+"""Greenwald-Khanna quantile summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._exceptions import ParameterError
+from repro.streams.quantiles import GKQuantileSummary
+
+
+def rank_error(data: np.ndarray, estimate: float, q: float) -> float:
+    return abs(np.searchsorted(np.sort(data), estimate) / len(data) - q)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("epsilon", [0.01, 0.05])
+    def test_rank_error_within_epsilon(self, rng, epsilon):
+        data = rng.uniform(size=10_000)
+        summary = GKQuantileSummary(epsilon)
+        for value in data:
+            summary.insert(float(value))
+        for q in (0.05, 0.25, 0.5, 0.75, 0.95):
+            assert rank_error(data, summary.query(q), q) <= epsilon + 1e-9
+
+    def test_skewed_distribution(self, rng):
+        data = rng.exponential(1.0, 8_000)
+        summary = GKQuantileSummary(0.02)
+        for value in data:
+            summary.insert(float(value))
+        assert rank_error(data, summary.median(), 0.5) <= 0.02
+
+    def test_extreme_quantiles_exact_at_ends(self, rng):
+        data = rng.uniform(size=2_000)
+        summary = GKQuantileSummary(0.05)
+        for value in data:
+            summary.insert(float(value))
+        assert summary.query(0.0) == pytest.approx(data.min())
+        assert summary.query(1.0) == pytest.approx(data.max())
+
+    def test_no_forgetting_after_shift(self, rng):
+        """The GK summary covers the whole stream -- exactly why the
+        paper's sliding-window models exist."""
+        summary = GKQuantileSummary(0.01)
+        old = rng.normal(0.2, 0.01, 5_000)
+        new = rng.normal(0.8, 0.01, 5_000)
+        for value in np.concatenate([old, new]):
+            summary.insert(float(value))
+        # The all-time median straddles both regimes; the recent-window
+        # median would be ~0.8.
+        assert 0.2 < summary.median() < 0.8
+
+
+class TestResources:
+    def test_sublinear_summary_size(self, rng):
+        summary = GKQuantileSummary(0.02)
+        for value in rng.uniform(size=50_000):
+            summary.insert(float(value))
+        # O((1/eps) log(eps n)) tuples; generous numeric bound.
+        assert summary.tuple_count < (1 / 0.02) * 12
+        assert summary.memory_words() == 3 * summary.tuple_count
+
+    def test_summary_grows_with_precision(self, rng):
+        data = rng.uniform(size=20_000)
+        fine = GKQuantileSummary(0.005)
+        coarse = GKQuantileSummary(0.05)
+        for value in data:
+            fine.insert(float(value))
+            coarse.insert(float(value))
+        assert fine.tuple_count > coarse.tuple_count
+
+
+class TestAPI:
+    def test_query_before_insert_rejected(self):
+        with pytest.raises(ParameterError):
+            GKQuantileSummary(0.1).query(0.5)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ParameterError):
+            GKQuantileSummary(0.0)
+        with pytest.raises(ParameterError):
+            GKQuantileSummary(1.0)
+
+    def test_invalid_query(self, rng):
+        summary = GKQuantileSummary(0.1)
+        summary.insert(0.5)
+        with pytest.raises(ParameterError):
+            summary.query(1.5)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ParameterError):
+            GKQuantileSummary(0.1).insert(float("nan"))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=-100, max_value=100),
+                min_size=10, max_size=400))
+def test_median_rank_error_property(values):
+    data = np.array(values)
+    summary = GKQuantileSummary(0.1)
+    for value in data:
+        summary.insert(float(value))
+    # Duplicated values make ranks ambiguous; allow the tie width.
+    estimate = summary.median()
+    sorted_data = np.sort(data)
+    lo = np.searchsorted(sorted_data, estimate, side="left") / len(data)
+    hi = np.searchsorted(sorted_data, estimate, side="right") / len(data)
+    assert lo - 0.1 - 1e-9 <= 0.5 <= hi + 0.1 + 1e-9

@@ -1,0 +1,81 @@
+"""Sliding window ring buffer."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._exceptions import ParameterError
+from repro.streams.window import SlidingWindow
+
+
+class TestBasics:
+    def test_grows_until_capacity(self):
+        window = SlidingWindow(3)
+        for i in range(3):
+            assert window.append([float(i)]) is None
+            assert len(window) == i + 1
+        assert window.is_full
+
+    def test_eviction_returns_oldest(self):
+        window = SlidingWindow(2)
+        window.append([1.0])
+        window.append([2.0])
+        evicted = window.append([3.0])
+        assert evicted.tolist() == [1.0]
+
+    def test_values_oldest_first(self):
+        window = SlidingWindow(3)
+        for i in range(5):
+            window.append([float(i)])
+        assert window.values()[:, 0].tolist() == [2.0, 3.0, 4.0]
+
+    def test_newest(self):
+        window = SlidingWindow(4)
+        window.append([7.0])
+        window.append([8.0])
+        assert window.newest().tolist() == [8.0]
+
+    def test_newest_on_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            SlidingWindow(2).newest()
+
+    def test_clear(self):
+        window = SlidingWindow(2)
+        window.append([1.0])
+        window.clear()
+        assert len(window) == 0
+        window.append([5.0])
+        assert window.values()[:, 0].tolist() == [5.0]
+
+    def test_multidimensional_values(self):
+        window = SlidingWindow(2, n_dims=3)
+        window.append([1.0, 2.0, 3.0])
+        assert window.values().shape == (1, 3)
+
+    def test_wrong_dimension_rejected(self):
+        window = SlidingWindow(2, n_dims=2)
+        with pytest.raises(ParameterError):
+            window.append([1.0])
+
+    @pytest.mark.parametrize("capacity", [0, -1])
+    def test_invalid_capacity(self, capacity):
+        with pytest.raises(ParameterError):
+            SlidingWindow(capacity)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=20),
+       st.lists(st.floats(min_value=-100, max_value=100), max_size=100))
+def test_matches_deque_reference(capacity, values):
+    """The ring buffer behaves exactly like a bounded deque."""
+    window = SlidingWindow(capacity)
+    reference: deque = deque(maxlen=capacity)
+    for value in values:
+        window.append([value])
+        reference.append(value)
+        assert len(window) == len(reference)
+        np.testing.assert_allclose(window.values()[:, 0], list(reference))

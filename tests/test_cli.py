@@ -1,0 +1,70 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_reproduce_defaults(self):
+        args = build_parser().parse_args(["reproduce"])
+        assert args.exhibit == "all"
+        assert args.window == 1_500
+
+    def test_reproduce_exhibit_choices(self):
+        args = build_parser().parse_args(["reproduce", "figure5"])
+        assert args.exhibit == "figure5"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "figure99"])
+
+    def test_detect_arguments(self):
+        args = build_parser().parse_args(
+            ["detect", "readings.txt", "--radius", "0.02"])
+        assert args.path == "readings.txt"
+        assert args.radius == 0.02
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro 1.0.0" in out
+        assert "figure11" in out
+
+    def test_reproduce_figure5(self, capsys):
+        assert main(["reproduce", "figure5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "Engine" in out
+
+    def test_reproduce_memory(self, capsys):
+        assert main(["reproduce", "memory"]) == 0
+        assert "variance-sketch memory" in capsys.readouterr().out
+
+    def test_detect_flags_planted_outliers(self, tmp_path, capsys, rng):
+        values = rng.normal(0.4, 0.02, 1_500)
+        values[1_200] = 0.9
+        values[1_300] = 0.95
+        path = tmp_path / "readings.txt"
+        path.write_text("\n".join(f"{v:.6f}" for v in values))
+        assert main(["detect", str(path), "--window", "1000",
+                     "--sample", "64", "--threshold", "5"]) == 0
+        captured = capsys.readouterr()
+        assert "line 1200" in captured.out
+        assert "line 1300" in captured.out
+        assert "flagged" in captured.err
+
+    def test_detect_handles_csv_and_blank_lines(self, tmp_path, capsys, rng):
+        lines = [f"{v:.4f},extra" for v in rng.normal(0.4, 0.02, 50)]
+        lines.insert(10, "")
+        path = tmp_path / "readings.csv"
+        path.write_text("\n".join(lines))
+        assert main(["detect", str(path), "--window", "30",
+                     "--sample", "8"]) == 0

@@ -1,0 +1,48 @@
+"""The package's public surface stays importable and coherent."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = ["repro.core", "repro.streams", "repro.network",
+               "repro.detectors", "repro.data", "repro.apps", "repro.eval"]
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_all_resolvable():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_all_resolvable(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__")
+    for name in module.__all__:
+        assert getattr(module, name, None) is not None, f"{module_name}.{name}"
+
+
+def test_quickstart_from_docstring():
+    """The usage example in the package docstring actually runs."""
+    import numpy as np
+
+    window = np.random.default_rng(0).normal(0.4, 0.03, 5_000)
+    model = repro.KernelDensityEstimator.from_window(window, sample_size=250)
+    spec = repro.DistanceOutlierSpec(radius=0.01, count_threshold=20)
+    assert model.neighborhood_count(0.7, spec.radius) < spec.count_threshold
+    assert model.neighborhood_count(0.4, spec.radius) >= spec.count_threshold
+
+
+def test_errors_form_one_hierarchy():
+    assert issubclass(repro.ParameterError, repro.ReproError)
+    assert issubclass(repro.EmptyModelError, repro.ReproError)
+    assert issubclass(repro.TopologyError, repro.ReproError)
+    assert issubclass(repro.SimulationError, repro.ReproError)
+    assert issubclass(repro.ParameterError, ValueError)

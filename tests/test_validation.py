@@ -1,0 +1,76 @@
+"""Argument-validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ParameterError
+from repro._validation import (
+    as_point,
+    as_points,
+    require_fraction,
+    require_nonnegative_int,
+    require_positive,
+    require_positive_int,
+)
+
+
+class TestScalars:
+    def test_require_positive(self):
+        assert require_positive("x", 0.5) == 0.5
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ParameterError, match="x"):
+                require_positive("x", bad)
+
+    def test_require_positive_int(self):
+        assert require_positive_int("n", 3) == 3
+        assert require_positive_int("n", np.int64(3)) == 3
+        for bad in (0, -1):
+            with pytest.raises(ParameterError):
+                require_positive_int("n", bad)
+        with pytest.raises(ParameterError):
+            require_positive_int("n", 3.0)
+        with pytest.raises(ParameterError):
+            require_positive_int("n", True)
+
+    def test_require_nonnegative_int(self):
+        assert require_nonnegative_int("n", 0) == 0
+        with pytest.raises(ParameterError):
+            require_nonnegative_int("n", -1)
+
+    def test_require_fraction_bounds(self):
+        assert require_fraction("f", 0.5) == 0.5
+        assert require_fraction("f", 1.0) == 1.0
+        with pytest.raises(ParameterError):
+            require_fraction("f", 0.0)
+        assert require_fraction("f", 0.0, inclusive_low=True) == 0.0
+        with pytest.raises(ParameterError):
+            require_fraction("f", 1.0, inclusive_high=False)
+        with pytest.raises(ParameterError):
+            require_fraction("f", float("nan"))
+
+
+class TestArrays:
+    def test_as_points_shapes(self):
+        assert as_points("v", [1.0, 2.0]).shape == (2, 1)
+        assert as_points("v", 3.0).shape == (1, 1)
+        assert as_points("v", [[1.0, 2.0]]).shape == (1, 2)
+
+    def test_as_points_dimension_pin(self):
+        with pytest.raises(ParameterError, match="column"):
+            as_points("v", [[1.0, 2.0]], n_dims=3)
+
+    def test_as_points_rejects_3d_and_nonfinite(self):
+        with pytest.raises(ParameterError):
+            as_points("v", np.zeros((2, 2, 2)))
+        with pytest.raises(ParameterError):
+            as_points("v", [float("nan")])
+
+    def test_as_point(self):
+        assert as_point("p", 0.5, 1).tolist() == [0.5]
+        assert as_point("p", [0.1, 0.2], 2).shape == (2,)
+        with pytest.raises(ParameterError):
+            as_point("p", [0.1], 2)
+        with pytest.raises(ParameterError):
+            as_point("p", [float("inf")], 1)
