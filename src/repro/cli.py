@@ -11,6 +11,9 @@ Commands
     print flagged lines.
 ``info``
     Print the package version and the experiment inventory.
+``bench-throughput``
+    Measure batched vs scalar ingest throughput (single node and D3
+    network) and write ``BENCH_throughput.json``.
 """
 
 from __future__ import annotations
@@ -58,6 +61,25 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--seed", type=int, default=0)
 
     commands.add_parser("info", help="version and experiment inventory")
+
+    bench = commands.add_parser(
+        "bench-throughput",
+        help="measure batched vs scalar ingest throughput")
+    bench.add_argument("--window", type=int, default=2_000,
+                       help="sliding-window size |W|")
+    bench.add_argument("--sample", type=int, default=100,
+                       help="kernel sample slots |R|")
+    bench.add_argument("--readings", type=int, default=20_000,
+                       help="single-node readings to ingest")
+    bench.add_argument("--batch", type=int, default=1_024,
+                       help="process_many chunk size")
+    bench.add_argument("--leaves", type=int, default=8,
+                       help="leaf sensors in the network workload")
+    bench.add_argument("--ticks", type=int, default=800,
+                       help="ticks in the network workload")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--output", default="BENCH_throughput.json",
+                       help="where to write the JSON results")
     return parser
 
 
@@ -116,6 +138,19 @@ def _cmd_detect(args) -> int:
     return 0
 
 
+def _cmd_bench_throughput(args) -> int:
+    from repro.eval import throughput
+
+    results = throughput.run_throughput_benchmark(
+        window_size=args.window, sample_size=args.sample,
+        n_readings=args.readings, batch_size=args.batch,
+        n_leaves=args.leaves, n_ticks=args.ticks, seed=args.seed)
+    print(throughput.format_table(results))
+    path = throughput.write_results(results, args.output)
+    print(f"# wrote {path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_info(args) -> int:
     import repro
     print(f"repro {repro.__version__} -- reproduction of Subramaniam et "
@@ -130,7 +165,8 @@ def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"reproduce": _cmd_reproduce, "detect": _cmd_detect,
-                "info": _cmd_info}
+                "info": _cmd_info,
+                "bench-throughput": _cmd_bench_throughput}
     return handlers[args.command](args)
 
 

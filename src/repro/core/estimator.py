@@ -107,12 +107,19 @@ class KernelDensityEstimator:
                 raise ParameterError(
                     f"bandwidth_n must be >= 1, got {bandwidth_n}")
             self._bandwidths = scott_bandwidths(stddev, bandwidth_n, self._d)
+        # Window deviation as supplied (None when only bandwidths were
+        # given); retained for pooled-variance merging (Section 5.1).
+        self._stddev = None if stddev is None \
+            else np.broadcast_to(np.atleast_1d(
+                np.asarray(stddev, dtype=float)), (self._d,)).copy()
 
         # Sorted view for the 1-d fast path (Theorem 2's O(log|R| + |R'|)).
         self._sorted_1d = np.sort(points[:, 0]) if self._d == 1 else None
         # Chain samples hold duplicates (with-replacement semantics); the
         # distinct count is what estimation-variance corrections need.
-        self._distinct = int(np.unique(points, axis=0).shape[0])
+        # np.unique(axis=0) sorts the sample, so it is computed lazily:
+        # online rebuilds that only serve distance queries never pay it.
+        self._distinct: "int | None" = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -132,8 +139,25 @@ class KernelDensityEstimator:
 
     @property
     def distinct_sample_size(self) -> int:
-        """Number of *distinct* kernel centres (chain samples duplicate)."""
+        """Number of *distinct* kernel centres (chain samples duplicate).
+
+        Computed lazily on first access and cached: only the MDEF
+        variance correction needs it, and the ``np.unique(axis=0)`` it
+        requires is the most expensive step of constructing a model.
+        """
+        if self._distinct is None:
+            self._distinct = int(np.unique(self._sample, axis=0).shape[0])
         return self._distinct
+
+    @property
+    def stddev(self) -> "np.ndarray | None":
+        """The per-dimension window deviation this model was built with.
+
+        ``None`` when the model was constructed from explicit bandwidths
+        without a deviation estimate; :func:`merge_estimators` then falls
+        back to the sample's own deviation for that member.
+        """
+        return None if self._stddev is None else self._stddev.copy()
 
     @property
     def n_dims(self) -> int:
@@ -243,6 +267,15 @@ class KernelDensityEstimator:
         for start in range(0, lows.shape[0], chunk):
             lo = lows[start:start + chunk]
             hi = highs[start:start + chunk]
+            if self._d == 1:
+                # 1-d fast path: skip the per-dimension axis (and its
+                # product) entirely -- the common case for sensor data.
+                centers = self._sample[None, :, 0]
+                z_hi = (hi[:, 0, None] - centers) * inv_bw[0]
+                z_lo = (lo[:, 0, None] - centers) * inv_bw[0]
+                per_point = self._kernel.cdf(z_hi) - self._kernel.cdf(z_lo)
+                out[start:start + chunk] = per_point.mean(axis=1)
+                continue
             z_hi = (hi[:, None, :] - self._sample[None, :, :]) * inv_bw
             z_lo = (lo[:, None, :] - self._sample[None, :, :]) * inv_bw
             per_dim = self._kernel.cdf(z_hi) - self._kernel.cdf(z_lo)
@@ -357,9 +390,18 @@ def merge_estimators(estimators: Iterable[KernelDensityEstimator], *,
 
     Kernel estimators "can easily be combined": the union of the samples,
     weighted implicitly by sample size, is itself a sample of the union of
-    the windows.  The merged standard deviation is the RMS pooling of the
-    members' implied deviations.  ``window_size`` defaults to the sum of
-    the members' window sizes (the union-window semantics of Theorem 3).
+    the windows.  The merged deviation pools the members' window
+    deviations by the law of total variance over the member windows,
+
+        var = sum_i w_i (sigma_i^2 + (mu_i - mu)^2) / sum_i w_i,
+
+    with ``w_i`` the member window sizes, ``sigma_i`` the deviation each
+    member was built with (its sample deviation when unavailable) and
+    ``mu_i`` its mean -- so merging models of disjoint windows recovers
+    the exact union-window deviation, which re-deriving the deviation
+    from the concatenated (size-biased) sample does not.  ``window_size``
+    defaults to the sum of the members' window sizes (the union-window
+    semantics of Theorem 3).
     """
     models = list(estimators)
     if not models:
@@ -371,8 +413,17 @@ def merge_estimators(estimators: Iterable[KernelDensityEstimator], *,
     if len(kernels) != 1:
         raise ParameterError(f"estimators disagree on kernel: {sorted(kernels)}")
     sample = np.concatenate([m.sample for m in models], axis=0)
+    weights = np.array([m.window_size for m in models], dtype=float)
+    means = np.stack([m.mean() for m in models], axis=0)
+    sigmas = np.stack(
+        [m.stddev if m.stddev is not None else m.sample.std(axis=0)
+         for m in models], axis=0)
+    total = weights.sum()
+    pooled_mean = (weights[:, None] * means).sum(axis=0) / total
+    pooled_var = (weights[:, None]
+                  * (sigmas**2 + (means - pooled_mean)**2)).sum(axis=0) / total
     if window_size is None:
-        window_size = sum(m.window_size for m in models)
+        window_size = int(total)
     return KernelDensityEstimator(
-        sample, stddev=sample.std(axis=0), kernel=models[0].kernel,
+        sample, stddev=np.sqrt(pooled_var), kernel=models[0].kernel,
         window_size=window_size)

@@ -83,7 +83,7 @@ class EpanechnikovKernel(Kernel):
     def cdf(self, u: np.ndarray) -> np.ndarray:
         u = np.asarray(u, dtype=float)
         clipped = np.clip(u, -1.0, 1.0)
-        return 0.25 * (2.0 + 3.0 * clipped - clipped**3)
+        return 0.25 * (2.0 + 3.0 * clipped - clipped * clipped * clipped)
 
     @property
     def support_radius(self) -> float:

@@ -55,3 +55,7 @@ class StreamSet:
     def reading(self, sensor: int, t: int) -> np.ndarray:
         """The reading of ``sensor`` at tick ``t``."""
         return self.streams[sensor][t]
+
+    def block(self, sensor: int, start: int, stop: int) -> np.ndarray:
+        """The readings of ``sensor`` over ticks ``[start, stop)``."""
+        return self.streams[sensor][start:stop]

@@ -20,10 +20,17 @@ from repro.streams.variance import MultiDimVarianceSketch
 
 __all__ = ["StreamModelState"]
 
-#: Rebuilding the kernel model on every arrival would be wasteful; the
-#: sample changes only ~|R|/|W| of the time anyway.  Rebuild at most once
-#: per this many arrivals (callers may override).
+#: Check whether the cached kernel model is stale at most once per this
+#: many arrivals (callers may override).  A due check rebuilds only when
+#: the chain sample's active elements actually changed, the sketched
+#: deviation drifted beyond ``bandwidth_tol``, or the count window was
+#: resized; otherwise the previous estimator is reused as-is.
 DEFAULT_MODEL_REFRESH = 16
+
+#: Relative deviation drift that forces a rebuild at a due check even
+#: when no sample slot changed (Scott bandwidths scale linearly with the
+#: deviation, so this bounds the bandwidth staleness of a reused model).
+DEFAULT_BANDWIDTH_TOL = 0.05
 
 
 class StreamModelState:
@@ -46,7 +53,12 @@ class StreamModelState:
         Arrivals required before :meth:`model` returns anything; guards
         against degenerate single-value models.
     model_refresh:
-        Rebuild the cached model at most once per this many arrivals.
+        Run the staleness check at most once per this many arrivals; the
+        cached model is rebuilt only when the check finds an actual
+        change (see :meth:`model`).
+    bandwidth_tol:
+        Relative drift of the sketched deviation that forces a rebuild
+        at a due check even when no sample slot changed.
     bandwidth_cap:
         Optional upper bound on the kernel bandwidths (the MDEF test
         needs resolution at its counting-radius scale; see
@@ -62,12 +74,16 @@ class StreamModelState:
                  epsilon: float = 0.2,
                  min_arrivals: int | None = None,
                  model_refresh: int = DEFAULT_MODEL_REFRESH,
+                 bandwidth_tol: float = DEFAULT_BANDWIDTH_TOL,
                  kernel: Kernel = EPANECHNIKOV,
                  bandwidth_cap: "float | None" = None,
                  bandwidth_basis: str = "window",
                  rng: np.random.Generator | None = None) -> None:
         if model_refresh < 1:
             raise ParameterError(f"model_refresh must be >= 1, got {model_refresh}")
+        if bandwidth_tol < 0:
+            raise ParameterError(
+                f"bandwidth_tol must be >= 0, got {bandwidth_tol!r}")
         if bandwidth_cap is not None and bandwidth_cap <= 0:
             raise ParameterError(
                 f"bandwidth_cap must be positive, got {bandwidth_cap!r}")
@@ -81,12 +97,16 @@ class StreamModelState:
         self._kernel = kernel
         self._bandwidth_cap = bandwidth_cap
         self._model_refresh = model_refresh
+        self._bandwidth_tol = bandwidth_tol
         if min_arrivals is None:
             min_arrivals = max(2, sample_size // 8)
         self._min_arrivals = min_arrivals
         self._arrivals = 0
-        self._arrivals_at_build = -1
+        self._last_check = -1
         self._cached: KernelDensityEstimator | None = None
+        self._built_std: "np.ndarray | None" = None
+        self._built_window_size = -1
+        self._built_mutations = -1
         #: |W| used to scale neighbourhood counts; set by the owner
         #: (leaf window, or the union-window size for leaders).
         self.count_window_size = arrival_window
@@ -115,31 +135,83 @@ class StreamModelState:
         self._arrivals += 1
         return changed
 
+    def observe_many(self, values: np.ndarray) -> "list[tuple[int, ...]]":
+        """Feed a block of arrivals; return the replaced slots per arrival.
+
+        Bit-identical to the equivalent sequence of :meth:`observe` calls
+        (see :meth:`repro.streams.sampling.ChainSample.offer_many`), at a
+        fraction of the per-arrival cost.
+        """
+        changed = self._sample.offer_many(values)
+        self._sketch.insert_many(values)
+        self._arrivals += len(changed)
+        return changed
+
+    @property
+    def cached_model(self) -> "KernelDensityEstimator | None":
+        """The cached estimator as-is -- no staleness check, no rebuild.
+
+        Batched callers evaluate whole chunks of readings against this
+        between due checks (see :meth:`arrivals_until_check`).
+        """
+        return self._cached
+
+    def arrivals_until_check(self) -> int:
+        """Arrivals after which a :meth:`model` call may rebuild (>= 1).
+
+        Until that many further arrivals have been observed, every
+        :meth:`model` call is a pure read of :attr:`cached_model` (or of
+        ``None`` before ``min_arrivals``), so a batched caller can
+        observe a chunk of that size and score all but its last reading
+        against the current cache -- reproducing the one-at-a-time
+        schedule exactly.
+        """
+        if self._cached is None:
+            return max(1, self._min_arrivals - self._arrivals)
+        return max(1, self._model_refresh - (self._arrivals - self._last_check))
+
     def model(self) -> "KernelDensityEstimator | None":
         """The current kernel model, or None before ``min_arrivals``.
 
-        The cached model is rebuilt lazily, at most once per
-        ``model_refresh`` arrivals.
+        Change-driven refresh: at most once per ``model_refresh``
+        arrivals the cache is *checked*, and rebuilt only when the chain
+        sample actually changed since the last build (any active element
+        replaced, promoted or expired -- see
+        :attr:`~repro.streams.sampling.ChainSample.mutation_count`), the
+        sketched deviation drifted beyond ``bandwidth_tol``, or the owner
+        resized ``count_window_size``.  A clean check reuses the previous
+        estimator object and defers the next check by a full interval.
         """
         if self._arrivals < self._min_arrivals:
             return None
-        if (self._cached is None
-                or self._arrivals - self._arrivals_at_build >= self._model_refresh):
-            sample = self._sample.values()
-            if sample.shape[0] == 0:
-                return None
-            std = self._sketch.std()
-            if self._bandwidth_basis == "window":
-                n_basis = max(sample.shape[0], int(self.count_window_size))
-            else:
-                n_basis = sample.shape[0]
-            bandwidths = scott_bandwidths(std, n_basis, sample.shape[1])
-            if self._bandwidth_cap is not None:
-                bandwidths = np.minimum(bandwidths, self._bandwidth_cap)
-            self._cached = KernelDensityEstimator(
-                sample, bandwidths=bandwidths, kernel=self._kernel,
-                window_size=max(1, int(self.count_window_size)))
-            self._arrivals_at_build = self._arrivals
+        if (self._cached is not None
+                and self._arrivals - self._last_check < self._model_refresh):
+            return self._cached
+        if not self._sample.has_active():
+            return None
+        self._last_check = self._arrivals
+        std = self._sketch.std()
+        window_size = max(1, int(self.count_window_size))
+        if (self._cached is not None
+                and self._sample.mutation_count == self._built_mutations
+                and window_size == self._built_window_size
+                and np.allclose(std, self._built_std,
+                                rtol=self._bandwidth_tol, atol=1e-12)):
+            return self._cached
+        sample = self._sample.values()
+        if self._bandwidth_basis == "window":
+            n_basis = max(sample.shape[0], window_size)
+        else:
+            n_basis = sample.shape[0]
+        bandwidths = scott_bandwidths(std, n_basis, sample.shape[1])
+        if self._bandwidth_cap is not None:
+            bandwidths = np.minimum(bandwidths, self._bandwidth_cap)
+        self._cached = KernelDensityEstimator(
+            sample, stddev=std, bandwidths=bandwidths, kernel=self._kernel,
+            window_size=window_size)
+        self._built_std = std
+        self._built_window_size = window_size
+        self._built_mutations = self._sample.mutation_count
         return self._cached
 
     def memory_words(self) -> int:

@@ -113,10 +113,20 @@ class D3LeafNode:
         self._config = config
         self._log = log
         self._rng = rng
+        # Forward gates draw from a dedicated substream so the batched
+        # and per-tick ingestion paths consume it in the same order
+        # (spawned, so the node's own generator is not advanced).
+        try:
+            self._forward_rng = rng.spawn(1)[0]
+        except (AttributeError, TypeError):
+            self._forward_rng = np.random.default_rng(
+                int(rng.integers(2**63)))
         self._state = StreamModelState(
             config.window_size, config.sample_size, n_dims,
             epsilon=config.epsilon, model_refresh=config.model_refresh,
             kernel=config.kernel, rng=rng)
+        #: Detections computed by a batched epoch, awaiting their tick.
+        self._pending: "dict[int, np.ndarray]" = {}
         #: Ticks of readings this leaf flagged (inspection/testing aid).
         self.flagged_ticks: "list[int]" = []
 
@@ -132,7 +142,7 @@ class D3LeafNode:
         # The window fills over the first |W| ticks.
         self._state.count_window_size = min(tick + 1, self._config.window_size)
         if changed and self._parent is not None \
-                and self._rng.random() < self._config.sample_fraction:
+                and self._forward_rng.random() < self._config.sample_fraction:
             out.append((self._parent, ValueForward(value=np.array(value, dtype=float))))
         if tick >= self._config.effective_warmup:
             model = self._state.model()
@@ -150,6 +160,96 @@ class D3LeafNode:
                             origin=self.node_id, flagged_level=self._level,
                             tick=tick)))
         return out
+
+    def on_readings(self, values: np.ndarray,
+                    start_tick: int) -> "list[list[Outgoing]]":
+        """Ingest an epoch of readings at once; return outgoing per tick.
+
+        Produces the same chain sample, forwards and detections as
+        calling :meth:`on_reading` for each tick in order (ingestion and
+        detection are vectorised; see
+        :meth:`repro.detectors._state.StreamModelState.observe_many`).
+        Detections are staged in ``_pending`` and emitted -- logged, in
+        tick order -- by :meth:`on_tick_start`.
+        """
+        vals = np.asarray(values, dtype=float)
+        if vals.ndim == 1:
+            vals = vals.reshape(-1, 1)
+        n = vals.shape[0]
+        per_tick: "list[list[Outgoing]]" = [[] for _ in range(n)]
+        warmup = self._config.effective_warmup
+        window = self._config.window_size
+        i = 0
+        while i < n:
+            tick = start_tick + i
+            if tick < warmup:
+                # No detection before warm-up: ingest straight through.
+                k = min(warmup - tick, n - i)
+                changed = self._state.observe_many(vals[i:i + k])
+                self._queue_forwards(changed, vals, per_tick, i)
+                self._state.count_window_size = min(start_tick + i + k, window)
+                i += k
+                continue
+            until = self._state.arrivals_until_check()
+            k = min(n - i, until)
+            check_hit = k == until
+            changed = self._state.observe_many(vals[i:i + k])
+            self._queue_forwards(changed, vals, per_tick, i)
+            self._state.count_window_size = min(start_tick + i + k, window)
+            cached = self._state.cached_model
+            if not check_hit:
+                if cached is not None:
+                    self._flag_batch(cached, vals, start_tick, i, k)
+            else:
+                model = self._state.model()
+                if model is cached and model is not None:
+                    self._flag_batch(model, vals, start_tick, i, k)
+                else:
+                    if k > 1 and cached is not None:
+                        self._flag_batch(cached, vals, start_tick, i, k - 1)
+                    if model is not None:
+                        self._flag_batch(model, vals, start_tick, i + k - 1, 1)
+            i += k
+        return per_tick
+
+    def on_tick_start(self, tick: int) -> "list[Outgoing]":
+        """Emit (and log) any detection staged for ``tick`` by a batch."""
+        value = self._pending.pop(tick, None)
+        if value is None:
+            return []
+        self._log.record(Detection(
+            tick=tick, node_id=self.node_id, level=self._level,
+            origin=self.node_id, value=value))
+        self.flagged_ticks.append(tick)
+        if self._parent is not None:
+            return [(self._parent, OutlierReport(
+                value=np.array(value, dtype=float), origin=self.node_id,
+                flagged_level=self._level, tick=tick))]
+        return []
+
+    def _queue_forwards(self, changed: "list[tuple[int, ...]]",
+                        vals: np.ndarray, per_tick: "list[list[Outgoing]]",
+                        offset: int) -> None:
+        """Stage sample forwards for each arrival that replaced a slot."""
+        if self._parent is None:
+            return
+        fraction = self._config.sample_fraction
+        for j, slots in enumerate(changed):
+            if slots and self._forward_rng.random() < fraction:
+                per_tick[offset + j].append((self._parent, ValueForward(
+                    value=vals[offset + j].copy())))
+
+    def _flag_batch(self, model, vals: np.ndarray, start_tick: int,
+                    offset: int, count: int) -> None:
+        """Run the distance test on a chunk sharing one model."""
+        points = vals[offset:offset + count]
+        radius = self._config.spec.radius
+        counts = model._range_probability_batch(
+            points - radius, points + radius) * model.window_size
+        threshold = self._config.spec.count_threshold
+        for j in range(count):
+            if counts[j] < threshold:
+                self._pending[start_tick + offset + j] = points[j].copy()
 
     def on_message(self, message: Message, sender: int,
                    tick: int) -> "list[Outgoing]":

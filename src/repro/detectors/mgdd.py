@@ -183,6 +183,14 @@ class MGDDLeafNode:
         self._config = config
         self._log = log
         self._rng = rng
+        # Forward gates draw from a dedicated substream so the batched
+        # and per-tick ingestion paths consume it in the same order
+        # (spawned, so the node's own generator is not advanced).
+        try:
+            self._forward_rng = rng.spawn(1)[0]
+        except (AttributeError, TypeError):
+            self._forward_rng = np.random.default_rng(
+                int(rng.integers(2**63)))
         # Local sample/sketch: maintained for upward propagation (and for
         # the faulty-sensor application), not for local detection.
         self._state = StreamModelState(
@@ -191,6 +199,11 @@ class MGDDLeafNode:
             kernel=config.kernel, rng=rng)
         self._global = _GlobalModelCopy(config.sample_size, n_dims, config.kernel,
                                         config.effective_bandwidth_cap)
+        # Epoch readings staged by on_readings, consumed by on_tick_start
+        # (MGDD detection must stay per-tick: the global-model copy
+        # changes under mid-epoch ModelUpdate messages).
+        self._epoch_values: "np.ndarray | None" = None
+        self._epoch_start = 0
         self.flagged_ticks: "list[int]" = []
 
     @property
@@ -208,18 +221,59 @@ class MGDDLeafNode:
         out: "list[Outgoing]" = []
         changed = self._state.observe(value)
         if changed and self._parent is not None \
-                and self._rng.random() < self._config.sample_fraction:
+                and self._forward_rng.random() < self._config.sample_fraction:
             out.append((self._parent, ValueForward(value=np.array(value, dtype=float))))
         if tick >= self._config.effective_warmup:
-            model = self._global.model()
-            if model is not None:
-                detector = MDEFOutlierDetector(model, self._config.spec)
-                if detector.check(value).is_outlier:
-                    self._log.record(Detection(
-                        tick=tick, node_id=self.node_id, level=1,
-                        origin=self.node_id, value=np.array(value, dtype=float)))
-                    self.flagged_ticks.append(tick)
+            self._detect(value, tick)
         return out
+
+    def on_readings(self, values: np.ndarray,
+                    start_tick: int) -> "list[list[Outgoing]]":
+        """Ingest an epoch at once; stage detection for :meth:`on_tick_start`.
+
+        The local sample/sketch are fed through the vectorised batch path
+        (bit-identical to per-tick :meth:`on_reading` ingestion) and the
+        upward forwards are returned per tick.  Detection itself cannot
+        be batched here: each tick's check runs against the global-model
+        copy *as of that tick*, which mid-epoch ``ModelUpdate`` floods
+        keep changing -- so the readings are staged and checked one tick
+        at a time by :meth:`on_tick_start`.
+        """
+        vals = np.asarray(values, dtype=float)
+        if vals.ndim == 1:
+            vals = vals.reshape(-1, 1)
+        n = vals.shape[0]
+        per_tick: "list[list[Outgoing]]" = [[] for _ in range(n)]
+        changed = self._state.observe_many(vals)
+        if self._parent is not None:
+            fraction = self._config.sample_fraction
+            for j, slots in enumerate(changed):
+                if slots and self._forward_rng.random() < fraction:
+                    per_tick[j].append((self._parent, ValueForward(
+                        value=vals[j].copy())))
+        self._epoch_values = vals
+        self._epoch_start = start_tick
+        return per_tick
+
+    def on_tick_start(self, tick: int) -> "list[Outgoing]":
+        """Run the staged detection for ``tick`` against the current copy."""
+        if self._epoch_values is None or tick < self._config.effective_warmup:
+            return []
+        idx = tick - self._epoch_start
+        if 0 <= idx < self._epoch_values.shape[0]:
+            self._detect(self._epoch_values[idx], tick)
+        return []
+
+    def _detect(self, value: np.ndarray, tick: int) -> None:
+        """Check one reading against the global-model copy; log on flag."""
+        model = self._global.model()
+        if model is not None:
+            detector = MDEFOutlierDetector(model, self._config.spec)
+            if detector.check(value).is_outlier:
+                self._log.record(Detection(
+                    tick=tick, node_id=self.node_id, level=1,
+                    origin=self.node_id, value=np.array(value, dtype=float)))
+                self.flagged_ticks.append(tick)
 
     def on_message(self, message: Message, sender: int,
                    tick: int) -> "list[Outgoing]":

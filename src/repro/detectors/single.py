@@ -18,6 +18,15 @@ this module packages it behind one call:
 ``process`` returns ``None`` during the warm-up period (before the first
 window fills), after which it returns the decision object of the
 underlying test.
+
+When readings arrive in blocks, :meth:`OnlineOutlierDetector.process_many`
+ingests them through the vectorised chain-sample/sketch fast path and
+scores whole chunks with one batched range query per cached model --
+producing the same decisions as the loop above (see ``repro bench-
+throughput`` for the speedup).  Model refresh is change-driven: the
+kernel model is rebuilt only when the chain sample's active elements
+actually changed or the bandwidths drifted, not on a bare arrival
+counter (see :meth:`repro.detectors._state.StreamModelState.model`).
 """
 
 from __future__ import annotations
@@ -138,3 +147,79 @@ class OnlineOutlierDetector:
         if decision.is_outlier:
             self._flagged += 1
         return decision
+
+    def process_many(self, values) -> "list[DistanceOutlierDecision | MDEFDecision | None]":
+        """Observe a block of readings; return one decision per reading.
+
+        Equivalent to calling :meth:`process` on each reading in order
+        (same chain-sample RNG consumption, same model refresh schedule,
+        same decisions), but ingestion is vectorised and all readings
+        that share a cached model are scored with a single batched range
+        query.  Readings inside the warm-up period map to ``None``.
+        """
+        vals = np.asarray(values, dtype=float)
+        n_dims = self._state.sample.n_dims
+        if vals.ndim == 1:
+            if n_dims != 1:
+                raise ParameterError(
+                    f"values must have shape (m, {n_dims}), got {vals.shape}")
+            vals = vals.reshape(-1, 1)
+        if vals.ndim != 2 or vals.shape[1] != n_dims:
+            raise ParameterError(
+                f"values must have shape (m, {n_dims}), got {vals.shape}")
+        m = vals.shape[0]
+        decisions: "list[DistanceOutlierDecision | MDEFDecision | None]" = [None] * m
+        i = 0
+        while i < m:
+            if self._seen < self._warmup:
+                # No decisions (and no model checks) before warm-up ends.
+                k = min(self._warmup - self._seen, m - i)
+                self._state.observe_many(vals[i:i + k])
+                self._seen += k
+                i += k
+                continue
+            # Observe up to (and including) the next possible model
+            # refresh; every reading before it sees the current cache.
+            until = self._state.arrivals_until_check()
+            k = min(m - i, until)
+            check_hit = k == until
+            self._state.observe_many(vals[i:i + k])
+            self._seen += k
+            cached = self._state.cached_model
+            if not check_hit:
+                if cached is not None:
+                    self._decide_batch(cached, vals[i:i + k], decisions, i)
+            else:
+                model = self.model()
+                if model is cached and model is not None:
+                    # Clean check: the whole chunk shares one model.
+                    self._decide_batch(model, vals[i:i + k], decisions, i)
+                else:
+                    if k > 1 and cached is not None:
+                        self._decide_batch(cached, vals[i:i + k - 1],
+                                           decisions, i)
+                    if model is not None:
+                        self._decide_batch(model, vals[i + k - 1:i + k],
+                                           decisions, i + k - 1)
+            i += k
+        return decisions
+
+    def _decide_batch(self, model: KernelDensityEstimator, points: np.ndarray,
+                      decisions: list, offset: int) -> None:
+        """Score ``points`` against one model via the vectorised range path."""
+        if isinstance(self._spec, DistanceOutlierSpec):
+            radius = self._spec.radius
+            counts = model._range_probability_batch(
+                points - radius, points + radius) * model.window_size
+            for j, count in enumerate(counts):
+                decision = DistanceOutlierDecision(
+                    bool(count < self._spec.count_threshold), float(count))
+                decisions[offset + j] = decision
+                if decision.is_outlier:
+                    self._flagged += 1
+        else:
+            detector = MDEFOutlierDetector(model, self._spec)
+            for j, decision in enumerate(detector.check_many(points)):
+                decisions[offset + j] = decision
+                if decision.is_outlier:
+                    self._flagged += 1

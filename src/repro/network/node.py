@@ -22,7 +22,26 @@ Outgoing = Tuple[int, Message]
 
 
 class SimNode(Protocol):
-    """What the simulator requires of every node implementation."""
+    """What the simulator requires of every node implementation.
+
+    Leaves may additionally implement the optional *batch* protocol used
+    by :meth:`~repro.network.simulator.NetworkSimulator.run_batched`:
+
+    ``on_readings(values, start_tick) -> list[list[Outgoing]]``
+        Ingest a whole epoch of readings (shape ``(n, d)``, tick
+        ``start_tick + i`` for row ``i``) at once through the vectorised
+        fast path, returning the outgoing messages *per tick*.  Must
+        produce the same messages as ``n`` successive ``on_reading``
+        calls (same RNG consumption included).
+
+    ``on_tick_start(tick) -> list[Outgoing]``
+        Called once per tick, in leaf order, before that tick's messages
+        drain.  Emits work the batch staged for this tick -- detections
+        whose logging must stay in tick order, or checks that depend on
+        state that inbound messages update mid-epoch.
+
+    Nodes lacking these methods fall back to per-tick ``on_reading``.
+    """
 
     node_id: int
 

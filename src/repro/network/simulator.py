@@ -123,6 +123,11 @@ class NetworkSimulator:
             for dest, message in self._nodes[leaf].on_reading(reading, self._tick):
                 queue.append((dest, leaf, message))
 
+        self._drain(queue)
+        self._tick += 1
+
+    def _drain(self, queue: "deque[tuple[int, int, object]]") -> None:
+        """Route queued messages until the network is quiet this tick."""
         deliveries = 0
         while queue:
             dest, sender, message = queue.popleft()
@@ -148,7 +153,47 @@ class NetworkSimulator:
             for nxt_dest, nxt_msg in self._nodes[dest].on_message(
                     message, sender, self._tick):
                 queue.append((nxt_dest, dest, nxt_msg))
-        self._tick += 1
+
+    def step_epoch(self, n_ticks: int) -> None:
+        """Advance ``n_ticks`` ticks, feeding each leaf its block at once.
+
+        Leaves that implement the batch protocol (``on_readings`` /
+        ``on_tick_start``, see :class:`~repro.network.node.SimNode`)
+        ingest their whole block through the vectorised fast path up
+        front; their staged per-tick messages then drain tick by tick in
+        the usual order.  Leaves without it fall back to per-tick
+        ``on_reading``.  Either way the message sequence -- and hence
+        every parent's state, the counters and the detection log --
+        matches ``n_ticks`` calls to :meth:`step`.
+        """
+        if n_ticks < 1:
+            raise SimulationError(f"n_ticks must be >= 1, got {n_ticks}")
+        if self._tick + n_ticks > self._streams.length:
+            raise SimulationError(
+                f"cannot step {n_ticks} ticks; only "
+                f"{self._streams.length - self._tick} readings left")
+        start = self._tick
+        leaf_ids = self._hierarchy.leaf_ids
+        batched: "dict[int, list[list]]" = {}
+        for i, leaf in enumerate(leaf_ids):
+            node = self._nodes[leaf]
+            if hasattr(node, "on_readings") and hasattr(node, "on_tick_start"):
+                batched[leaf] = node.on_readings(
+                    self._streams.block(i, start, start + n_ticks), start)
+
+        for offset in range(n_ticks):
+            queue: "deque[tuple[int, int, object]]" = deque()
+            for i, leaf in enumerate(leaf_ids):
+                if leaf in batched:
+                    outgoing = list(batched[leaf][offset])
+                    outgoing.extend(self._nodes[leaf].on_tick_start(self._tick))
+                else:
+                    reading = self._streams.reading(i, self._tick)
+                    outgoing = self._nodes[leaf].on_reading(reading, self._tick)
+                for dest, message in outgoing:
+                    queue.append((dest, leaf, message))
+            self._drain(queue)
+            self._tick += 1
 
     def run(self, n_ticks: int | None = None,
             on_tick: "Callable[[int], None] | None" = None) -> None:
@@ -166,3 +211,31 @@ class NetworkSimulator:
             self.step()
             if on_tick is not None:
                 on_tick(self._tick - 1)
+
+    def run_batched(self, n_ticks: int | None = None, *,
+                    epoch_size: int = 64,
+                    on_tick: "Callable[[int], None] | None" = None) -> None:
+        """Run in epochs of ``epoch_size`` ticks via :meth:`step_epoch`.
+
+        Produces the same end state as :meth:`run` (see
+        :meth:`step_epoch`), substantially faster for leaves that
+        implement the batch protocol.  Note ``on_tick`` fires per tick
+        but only after the tick's *epoch* has completed, so callbacks
+        that inspect per-tick simulator state see end-of-epoch state.
+        """
+        if epoch_size < 1:
+            raise SimulationError(f"epoch_size must be >= 1, got {epoch_size}")
+        if n_ticks is None:
+            n_ticks = self.n_ticks_available
+        if n_ticks < 0 or n_ticks > self.n_ticks_available:
+            raise SimulationError(
+                f"cannot run {n_ticks} ticks; only {self.n_ticks_available} available")
+        done = 0
+        while done < n_ticks:
+            span = min(epoch_size, n_ticks - done)
+            first = self._tick
+            self.step_epoch(span)
+            done += span
+            if on_tick is not None:
+                for t in range(first, first + span):
+                    on_tick(t)

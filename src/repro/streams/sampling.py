@@ -19,6 +19,17 @@ O(d|R|) expected memory for the whole sample (Theorem 1's first term).
 A plain :class:`ReservoirSample` (uniform over the *entire* stream, never
 expiring) is included as a baseline; the property tests demonstrate why
 it is the wrong tool once the distribution drifts.
+
+Batched ingestion
+-----------------
+:meth:`ChainSample.offer_many` processes a whole block of arrivals with
+one vectorised acceptance draw (``rng.random((m, |R|))``) and a short
+walk over the rare slot events.  Its results are *bit-identical* to the
+equivalent sequence of :meth:`ChainSample.offer_detailed` calls: numpy
+generators fill a ``(m, |R|)`` block with exactly the same doubles, in
+the same order, as ``m`` sequential ``random(|R|)`` calls, and successor
+timestamps are drawn from per-slot generator substreams, so their
+consumption order is independent of how arrivals are grouped.
 """
 
 from __future__ import annotations
@@ -70,8 +81,23 @@ class ChainSample:
         self._sample_size = sample_size
         self._n_dims = n_dims
         self._rng = rng if rng is not None else np.random.default_rng()
+        # Successor timestamps come from per-slot substreams so that the
+        # batched and one-at-a-time ingestion paths consume each slot's
+        # stream in the same order (see the module docstring).  Spawning
+        # derives the substreams from the generator's SeedSequence
+        # without advancing its bitstream, so construction leaves the
+        # caller's generator untouched.  The first spawned child is
+        # reserved for the sample itself (slot substreams keep their
+        # identity if a per-sample stream is ever claimed).
+        try:
+            self._successor_rngs = self._rng.spawn(sample_size + 1)[1:]
+        except (AttributeError, TypeError):
+            seeds = self._rng.integers(0, 2**63, size=sample_size + 1)[1:]
+            self._successor_rngs = [np.random.default_rng(int(seed))
+                                    for seed in seeds]
         self._chains = [_Chain() for _ in range(sample_size)]
         self._timestamp = -1   # timestamp of the latest offered value
+        self._mutations = 0    # active-element changes (see mutation_count)
 
     # ------------------------------------------------------------------
 
@@ -95,15 +121,32 @@ class ChainSample:
         """Timestamp of the most recent arrival (-1 before any)."""
         return self._timestamp
 
+    @property
+    def mutation_count(self) -> int:
+        """Monotone counter of *active-element* changes.
+
+        Incremented whenever any slot's active element changes: an
+        arrival replaces it, an expiry promotes a queued successor, or an
+        expiry empties the slot.  Model caches compare this against the
+        value recorded at build time to decide whether the sample they
+        were built from still *is* the sample (queued-successor captures
+        do not count -- they change future replacements, not the current
+        sample).  The batched path may coalesce an expiry directly
+        followed by a replacement into one increment, so only equality
+        with a recorded value is meaningful, not differences.
+        """
+        return self._mutations
+
     def __len__(self) -> int:
         """Number of slots currently holding an active element."""
         return sum(1 for chain in self._chains if chain.items)
 
     # ------------------------------------------------------------------
 
-    def _draw_successor(self, ts: int) -> int:
+    def _draw_successor(self, slot: int, ts: int) -> int:
         # Uniform over (ts, ts + W]; rng.integers' high bound is exclusive.
-        return ts + int(self._rng.integers(1, self._window_size + 1))
+        return ts + int(self._successor_rngs[slot].integers(
+            1, self._window_size + 1))
 
     def offer(self, value, timestamp: int | None = None) -> bool:
         """Process one arrival; return True when it became an active element.
@@ -145,16 +188,114 @@ class ChainSample:
                 # The arrival replaces this slot's entire chain.
                 chain.items.clear()
                 chain.items.append((timestamp, point))
-                chain.successor_ts = self._draw_successor(timestamp)
+                chain.successor_ts = self._draw_successor(slot, timestamp)
                 changed.append(slot)
+                self._mutations += 1
             elif chain.items and timestamp == chain.successor_ts:
                 # Capture the successor chosen earlier; queue it.
                 chain.items.append((timestamp, point))
-                chain.successor_ts = self._draw_successor(timestamp)
+                chain.successor_ts = self._draw_successor(slot, timestamp)
             # Expire the active element once it falls out of the window.
             while chain.items and chain.items[0][0] <= timestamp - self._window_size:
                 chain.items.popleft()
+                self._mutations += 1
         return tuple(changed)
+
+    def offer_many(self, values,
+                   start_timestamp: int | None = None) -> "list[tuple[int, ...]]":
+        """Process a block of arrivals at consecutive timestamps.
+
+        ``values`` has shape ``(m, n_dims)`` (or ``(m,)`` for 1-d data);
+        the arrivals take timestamps ``start_timestamp .. start_timestamp
+        + m - 1`` (continuing from the last offer when omitted).  Returns,
+        for each arrival in order, the tuple of slot indices whose active
+        element it replaced -- exactly what ``m`` successive
+        :meth:`offer_detailed` calls would have returned, bit for bit,
+        given the same generator state (see the module docstring).
+
+        The acceptance test for all ``m x |R|`` (arrival, slot) pairs is
+        one vectorised draw and comparison; Python-level work is limited
+        to the O(m |R| / |W|) expected slot events.
+        """
+        vals = np.asarray(values, dtype=float)
+        if vals.ndim == 1:
+            if self._n_dims != 1:
+                raise ParameterError(
+                    f"values must have shape (m, {self._n_dims}), "
+                    f"got {vals.shape}")
+            vals = vals.reshape(-1, 1)
+        if vals.ndim != 2 or vals.shape[1] != self._n_dims:
+            raise ParameterError(
+                f"values must have shape (m, {self._n_dims}), got {vals.shape}")
+        m = vals.shape[0]
+        if m == 0:
+            return []
+        ts0 = self._timestamp + 1 if start_timestamp is None \
+            else int(start_timestamp)
+        if ts0 <= self._timestamp:
+            raise ParameterError(
+                f"timestamps must be strictly increasing "
+                f"(got {ts0} after {self._timestamp})")
+        ts_end = ts0 + m - 1
+        window = self._window_size
+        inclusion = 1.0 / np.minimum(np.arange(ts0, ts0 + m) + 1, window)
+        # Same bitstream as m sequential rng.random(sample_size) calls.
+        draws = self._rng.random((m, self._sample_size))
+        hits = draws < inclusion[:, None]
+        changed: "list[list[int]]" = [[] for _ in range(m)]
+        # Event rows per slot, in slot-major then arrival order.
+        hit_slots, hit_rows = np.nonzero(hits.T)
+        boundaries = np.searchsorted(hit_slots, np.arange(self._sample_size + 1))
+        self._timestamp = ts_end
+        # Only slots with an acceptance or a successor falling due inside
+        # this block have events to walk; the rest just expire below.
+        successor_ts = np.fromiter(
+            (chain.successor_ts for chain in self._chains),
+            dtype=np.int64, count=self._sample_size)
+        active_slots = np.nonzero(
+            (boundaries[1:] > boundaries[:-1])
+            | ((successor_ts >= ts0) & (successor_ts <= ts_end)))[0]
+        for slot in active_slots:
+            rows = hit_rows[boundaries[slot]:boundaries[slot + 1]]
+            chain = self._chains[slot]
+            items = chain.items
+            pos, n_rows = 0, rows.shape[0]
+            cursor = ts0 - 1      # latest timestamp already handled
+            while True:
+                acc_ts = ts0 + int(rows[pos]) if pos < n_rows else None
+                succ_ts = chain.successor_ts
+                # A pending successor is captured at its exact timestamp,
+                # unless an acceptance at the same arrival pre-empts it.
+                if (cursor < succ_ts <= ts_end
+                        and (acc_ts is None or succ_ts < acc_ts)):
+                    # The chain must still be live when the successor
+                    # arrives: expire through the *previous* arrival, the
+                    # state the scalar path checks the capture against.
+                    horizon = succ_ts - 1 - window
+                    while items and items[0][0] <= horizon:
+                        items.popleft()
+                        self._mutations += 1
+                    if items:
+                        items.append((succ_ts, vals[succ_ts - ts0].copy()))
+                        chain.successor_ts = self._draw_successor(slot, succ_ts)
+                    cursor = succ_ts
+                elif acc_ts is not None:
+                    items.clear()
+                    items.append((acc_ts, vals[acc_ts - ts0].copy()))
+                    chain.successor_ts = self._draw_successor(slot, acc_ts)
+                    changed[acc_ts - ts0].append(slot)
+                    pos += 1
+                    cursor = acc_ts
+                    self._mutations += 1
+                else:
+                    break
+        horizon = ts_end - window
+        for chain in self._chains:
+            items = chain.items
+            while items and items[0][0] <= horizon:
+                items.popleft()
+                self._mutations += 1
+        return [tuple(slots) for slots in changed]
 
     def values(self) -> np.ndarray:
         """Active sample elements, shape ``(k, n_dims)`` with ``k <= |R|``.
@@ -165,7 +306,11 @@ class ChainSample:
         active = [chain.items[0][1] for chain in self._chains if chain.items]
         if not active:
             return np.empty((0, self._n_dims), dtype=float)
-        return np.stack(active, axis=0)
+        return np.array(active, dtype=float)
+
+    def has_active(self) -> bool:
+        """Whether any slot currently holds an active element (O(1) exit)."""
+        return any(chain.items for chain in self._chains)
 
     # ------------------------------------------------------------------
     # Resource accounting (Section 10.3)

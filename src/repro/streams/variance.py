@@ -184,6 +184,51 @@ class EHVarianceSketch:
             self._since_compress = 0
             self._max_bucket_count = max(self._max_bucket_count, len(self._buckets))
 
+    def insert_many(self, values, start_timestamp: int | None = None) -> None:
+        """Insert a block of values at consecutive timestamps.
+
+        Produces *exactly* the bucket state of the equivalent sequence of
+        :meth:`insert` calls: values are appended as singleton buckets in
+        chunks aligned to the compression cadence, and within a chunk
+        expiry can be charged once at the chunk's final timestamp because
+        no merge decision is taken before the next compression point.
+        Validation (finiteness, monotone timestamps) runs once up front.
+        """
+        vals = np.asarray(values, dtype=float).reshape(-1)
+        m = vals.shape[0]
+        if m == 0:
+            return
+        ts0 = self._timestamp + 1 if start_timestamp is None \
+            else int(start_timestamp)
+        if ts0 <= self._timestamp:
+            raise ParameterError(
+                f"timestamps must be strictly increasing "
+                f"(got {ts0} after {self._timestamp})")
+        if not np.isfinite(vals).all():
+            raise ParameterError("values must all be finite")
+        window = self._window_size
+        i = 0
+        while i < m:
+            k = min(m - i, _COMPRESS_INTERVAL - self._since_compress)
+            last_ts = ts0 + i + k - 1
+            buckets = self._buckets
+            buckets.extend(_Bucket(ts0 + i + j, 1, float(vals[i + j]), 0.0)
+                           for j in range(k))
+            horizon = last_ts - window
+            drop = 0
+            while drop < len(buckets) and buckets[drop].newest_ts <= horizon:
+                drop += 1
+            if drop:
+                del buckets[:drop]
+            self._timestamp = last_ts
+            self._since_compress += k
+            i += k
+            if self._since_compress >= _COMPRESS_INTERVAL:
+                self._compress()
+                self._since_compress = 0
+                self._max_bucket_count = max(self._max_bucket_count,
+                                             len(self._buckets))
+
     def _compress(self) -> None:
         # Greedily merge adjacent buckets, oldest first, while each merge
         # respects both budgets:
@@ -197,29 +242,49 @@ class EHVarianceSketch:
             return
         window_population = min(self._timestamp + 1, self._window_size)
         max_count = max(1.0, self._count_fraction * window_population)
+        counts = [b.count for b in buckets]
+        means = [b.mean for b in buckets]
+        m2s = [b.m2 for b in buckets]
         # suffix_m2[i] is the m2 of the union of buckets[i:], built newest
         # to oldest.  The key property making one pass sufficient: merging
         # buckets[i:j] into one bucket leaves the union (and hence the
-        # suffix aggregate headed by the merged bucket) unchanged.
-        suffix = buckets[-1]
+        # suffix aggregate headed by the merged bucket) unchanged.  Both
+        # passes inline the parallel-axis rule of :func:`_merge` on plain
+        # floats: this runs every ``_COMPRESS_INTERVAL`` inserts over a
+        # few dozen buckets, where bucket-object (or numpy-array)
+        # handling dominates the arithmetic.
         suffix_m2 = [0.0] * n
-        suffix_m2[n - 1] = suffix.m2
+        s_count, s_mean, s_m2 = counts[n - 1], means[n - 1], m2s[n - 1]
+        suffix_m2[n - 1] = s_m2
         for i in range(n - 2, -1, -1):
-            suffix = _merge(buckets[i], suffix)
-            suffix_m2[i] = suffix.m2
+            c = counts[i]
+            total = c + s_count
+            delta = s_mean - means[i]
+            s_m2 = m2s[i] + s_m2 + delta * delta * (c * s_count / total)
+            s_mean = means[i] + delta * (s_count / total)
+            s_count = total
+            suffix_m2[i] = s_m2
         out: list[_Bucket] = []
-        current = buckets[0]
-        head = 0          # index whose suffix aggregate `current` heads
+        c_ts = buckets[0].newest_ts
+        c_count, c_mean, c_m2 = counts[0], means[0], m2s[0]
+        head = 0          # index whose suffix aggregate the run heads
+        budget = self._variance_budget
         for i in range(1, n):
-            candidate = _merge(current, buckets[i])
-            if (candidate.count <= max_count
-                    and candidate.m2 <= self._variance_budget * suffix_m2[head]):
-                current = candidate
+            b_count = counts[i]
+            total = c_count + b_count
+            delta = means[i] - c_mean
+            cand_m2 = c_m2 + m2s[i] + delta * delta * (c_count * b_count / total)
+            if total <= max_count and cand_m2 <= budget * suffix_m2[head]:
+                c_mean += delta * (b_count / total)
+                c_m2 = cand_m2
+                c_count = total
+                c_ts = buckets[i].newest_ts
             else:
-                out.append(current)
-                current = buckets[i]
+                out.append(_Bucket(c_ts, c_count, c_mean, c_m2))
+                c_ts = buckets[i].newest_ts
+                c_count, c_mean, c_m2 = b_count, means[i], m2s[i]
                 head = i
-        out.append(current)
+        out.append(_Bucket(c_ts, c_count, c_mean, c_m2))
         self._buckets = out
 
     # ------------------------------------------------------------------
@@ -289,6 +354,28 @@ class MultiDimVarianceSketch:
                 f"value must have {self._n_dims} coordinate(s), got shape {point.shape}")
         for sketch, coord in zip(self._sketches, point):
             sketch.insert(float(coord), timestamp)
+
+    def insert_many(self, values, start_timestamp: int | None = None) -> None:
+        """Insert a block of d-dimensional values at consecutive timestamps.
+
+        ``values`` has shape ``(m, d)`` (or ``(m,)`` for 1-d data); the
+        per-dimension sketches each receive their coordinate column via
+        :meth:`EHVarianceSketch.insert_many`, so the final state matches
+        the equivalent sequence of :meth:`insert` calls exactly.
+        """
+        points = np.asarray(values, dtype=float)
+        if points.ndim == 1:
+            if self._n_dims != 1:
+                raise ParameterError(
+                    f"values must have shape (m, {self._n_dims}), "
+                    f"got {points.shape}")
+            points = points.reshape(-1, 1)
+        if points.ndim != 2 or points.shape[1] != self._n_dims:
+            raise ParameterError(
+                f"values must have shape (m, {self._n_dims}), "
+                f"got {points.shape}")
+        for dim, sketch in enumerate(self._sketches):
+            sketch.insert_many(points[:, dim], start_timestamp)
 
     def std(self) -> np.ndarray:
         """Estimated per-dimension standard deviations."""

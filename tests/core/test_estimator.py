@@ -310,3 +310,50 @@ def test_range_probability_axioms(sample, a, b):
     outer = kde.range_probability(lo - 0.1, hi + 0.1)
     assert 0.0 <= inner <= 1.0
     assert inner <= outer + 1e-12
+
+
+class TestMergePooledDeviation:
+    def test_disjoint_windows_recover_exact_union_std(self, rng):
+        """Full-sample models of two disjoint windows merge to the exact
+        deviation of the concatenated window (law of total variance)."""
+        window_a = rng.normal(0.3, 0.02, 400)
+        window_b = rng.normal(0.7, 0.05, 600)
+        a = KernelDensityEstimator.from_window(window_a)
+        b = KernelDensityEstimator.from_window(window_b)
+        merged = merge_estimators([a, b])
+        union = np.concatenate([window_a, window_b])
+        np.testing.assert_allclose(merged.stddev[0], union.std(), rtol=1e-12)
+        assert merged.window_size == 1_000
+
+    def test_pooling_beats_concatenated_sample_std(self, rng):
+        """The size-biased concatenated sample gets the union deviation
+        wrong whenever the member windows are unequally represented."""
+        window_a = rng.normal(0.2, 0.01, 2_000)
+        window_b = rng.normal(0.8, 0.01, 2_000)
+        a = KernelDensityEstimator.from_window(window_a, sample_size=10,
+                                               rng=rng)
+        b = KernelDensityEstimator.from_window(window_b, sample_size=90,
+                                               rng=rng)
+        merged = merge_estimators([a, b])
+        union_std = np.concatenate([window_a, window_b]).std()
+        naive_std = merged.sample.std()
+        assert abs(merged.stddev[0] - union_std) < abs(naive_std - union_std)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0),
+                min_size=2, max_size=50),
+       st.floats(min_value=1e-4, max_value=0.5),
+       st.floats(min_value=-0.3, max_value=1.3),
+       st.floats(min_value=0.0, max_value=0.8))
+def test_sorted_1d_agrees_with_batch_path(sample, bandwidth, low, width):
+    """The two 1-d range-query implementations agree to 1e-12: boxes
+    inside, straddling and completely missing the sample alike."""
+    kde = KernelDensityEstimator(np.array(sample),
+                                 bandwidths=np.array([bandwidth]))
+    high = low + width
+    fast = kde._range_probability_sorted_1d(low, high)
+    batch = kde._range_probability_batch(np.array([[low]]),
+                                         np.array([[high]]))
+    assert batch.shape == (1,)
+    assert fast == pytest.approx(batch[0], abs=1e-12)

@@ -108,3 +108,60 @@ class TestValidation:
             detector.process(rng.normal(0.4, 0.02, size=2))
         decision = detector.process([0.9, 0.9])
         assert decision.is_outlier
+
+
+class TestProcessMany:
+    """The batched ingestion path reproduces the scalar decisions."""
+
+    @staticmethod
+    def _compare(spec, stream, splits, window=500, sample=50):
+        scalar = OnlineOutlierDetector(window, sample, spec,
+                                       rng=np.random.default_rng(11))
+        batched = OnlineOutlierDetector(window, sample, spec,
+                                        rng=np.random.default_rng(11))
+        scalar_decisions = [scalar.process(v) for v in stream]
+        batched_decisions = []
+        start = 0
+        for size in splits:
+            batched_decisions.extend(batched.process_many(stream[start:start + size]))
+            start += size
+        assert start == len(stream)
+        assert len(scalar_decisions) == len(batched_decisions)
+        for a, b in zip(scalar_decisions, batched_decisions):
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.is_outlier == b.is_outlier
+        assert scalar.readings_seen == batched.readings_seen
+        assert scalar.readings_flagged == batched.readings_flagged
+        return scalar_decisions, batched_decisions
+
+    def test_distance_mode_identical_flags(self, rng):
+        stream = rng.normal(0.4, 0.02, 1_200)
+        for tick in (700, 900, 1_100):
+            stream[tick] = 0.85
+        self._compare(DIST, stream, [3, 498, 37, 400, 262])
+
+    def test_mdef_mode_identical_flags(self, rng):
+        stream = rng.normal(0.4, 0.02, 900)
+        stream[750] = 0.9
+        self._compare(MDEF, stream, [900])
+
+    def test_neighbor_counts_close(self, rng):
+        """Counts come from the batched range query instead of the
+        sorted-1d fast path; they agree to floating-point noise."""
+        stream = rng.normal(0.4, 0.02, 800)
+        scalar_decisions, batched_decisions = self._compare(
+            DIST, stream, [800], window=300, sample=30)
+        for a, b in zip(scalar_decisions, batched_decisions):
+            if a is not None:
+                assert a.neighbor_count == pytest.approx(
+                    b.neighbor_count, abs=1e-9)
+
+    def test_single_element_blocks_match_scalar(self, rng):
+        stream = rng.normal(0.4, 0.02, 400)
+        self._compare(DIST, stream, [1] * 400, window=150, sample=15)
+
+    def test_wrong_shape_rejected(self, rng):
+        detector = OnlineOutlierDetector(100, 10, DIST, rng=rng)
+        with pytest.raises(ParameterError):
+            detector.process_many(np.zeros((5, 2)))

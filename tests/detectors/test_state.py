@@ -72,3 +72,99 @@ class TestLifecycle:
             state.observe(rng.normal(0.8, 0.01, size=1))
         model = state.model()
         assert model.mean()[0] == pytest.approx(0.8, abs=0.05)
+
+
+class TestObserveMany:
+    """Blocked observation is bit-identical to the scalar loop."""
+
+    def test_changed_slots_and_model_identical(self):
+        data = np.random.default_rng(7).normal(0.5, 0.1, (400, 1))
+        scalar = make_state(rng=np.random.default_rng(1))
+        batched = make_state(rng=np.random.default_rng(1))
+        changed_a = [scalar.observe(row) for row in data]
+        changed_b = []
+        for start in (0, 3, 250):
+            stop = {0: 3, 3: 250, 250: 400}[start]
+            changed_b.extend(batched.observe_many(data[start:stop]))
+        assert changed_a == changed_b
+        assert scalar.arrivals == batched.arrivals
+        np.testing.assert_array_equal(scalar.sample.values(),
+                                      batched.sample.values())
+        np.testing.assert_array_equal(scalar.sketch.std(), batched.sketch.std())
+
+
+class TestChangeDrivenRefresh:
+    def test_model_call_between_checks_is_pure_read(self):
+        state = make_state(model_refresh=4, min_arrivals=2,
+                           rng=np.random.default_rng(3))
+        rng = np.random.default_rng(8)
+        for _ in range(50):
+            state.observe(rng.normal(0.5, 0.05, size=1))
+        first = state.model()
+        assert first is not None
+        assert state.model() is first
+        assert state.model() is first
+
+    def test_clean_check_reuses_cached_object(self):
+        """A due check with an unchanged sample and stable deviation
+        hands back the same estimator object instead of rebuilding."""
+        state = make_state(arrival_window=10_000, sample_size=20,
+                           model_refresh=4, min_arrivals=2,
+                           rng=np.random.default_rng(3))
+        rng = np.random.default_rng(8)
+        # Deep into the stream, acceptances are ~1/ts per slot and no
+        # expiries occur, so short blocks rarely touch the sample.
+        for _ in range(2_000):
+            state.observe(rng.normal(0.5, 0.05, size=1))
+        first = state.model()
+        before = state.sample.mutation_count
+        for _ in range(4):
+            state.observe(rng.normal(0.5, 0.05, size=1))
+        assert state.sample.mutation_count == before  # seed-verified quiet block
+        assert state.model() is first
+
+    def test_mutated_sample_forces_rebuild(self):
+        state = make_state(arrival_window=50, sample_size=10,
+                           model_refresh=4, min_arrivals=2,
+                           rng=np.random.default_rng(3))
+        rng = np.random.default_rng(8)
+        for _ in range(60):
+            state.observe(rng.normal(0.5, 0.05, size=1))
+        first = state.model()
+        # Push a full window through: every active element must turn
+        # over, so the next due check cannot reuse the old model.
+        for _ in range(50):
+            state.observe(rng.normal(0.5, 0.05, size=1))
+        assert state.model() is not first
+
+    def test_count_window_resize_forces_rebuild(self):
+        state = make_state(model_refresh=4, min_arrivals=2,
+                           rng=np.random.default_rng(3))
+        rng = np.random.default_rng(8)
+        for _ in range(20):
+            state.observe(rng.normal(0.5, 0.05, size=1))
+        first = state.model()
+        state.count_window_size = 999
+        for _ in range(4):
+            state.observe(rng.normal(0.5, 0.05, size=1))
+        rebuilt = state.model()
+        assert rebuilt is not first
+        assert rebuilt.window_size == 999
+
+    def test_arrivals_until_check_matches_scalar_schedule(self):
+        """Observing `arrivals_until_check()` arrivals lands exactly on
+        the next arrival where model() may rebuild."""
+        state = make_state(model_refresh=8, min_arrivals=4,
+                           rng=np.random.default_rng(3))
+        rng = np.random.default_rng(9)
+        for _ in range(3):
+            state.observe(rng.uniform(size=1))
+            assert state.model() is None
+        assert state.arrivals_until_check() == 1
+        state.observe(rng.uniform(size=1))
+        assert state.model() is not None
+        assert state.arrivals_until_check() == 8
+
+    def test_invalid_bandwidth_tol(self):
+        with pytest.raises(ParameterError):
+            make_state(bandwidth_tol=-0.1)

@@ -146,6 +146,86 @@ class TestResourceAccounting:
         assert sample.memory_words() == stored * 3 + 8
 
 
+class TestOfferMany:
+    """The batched ingestion path is bit-identical to the scalar one."""
+
+    @staticmethod
+    def _drive(window_size, slots, n_dims, stream, splits):
+        scalar = ChainSample(window_size, slots, n_dims=n_dims,
+                             rng=np.random.default_rng(77))
+        batched = ChainSample(window_size, slots, n_dims=n_dims,
+                              rng=np.random.default_rng(77))
+        scalar_changed = [scalar.offer_detailed(value) for value in stream]
+        batched_changed = []
+        start = 0
+        for size in splits:
+            batched_changed.extend(batched.offer_many(stream[start:start + size]))
+            start += size
+        assert start == len(stream)
+        return scalar, batched, scalar_changed, batched_changed
+
+    def test_bit_identical_1d(self, rng):
+        stream = rng.normal(0.4, 0.05, 400).reshape(-1, 1)
+        scalar, batched, changed_a, changed_b = self._drive(
+            50, 12, 1, stream, [3, 57, 1, 200, 139])
+        assert changed_a == changed_b
+        np.testing.assert_array_equal(scalar.values(), batched.values())
+        np.testing.assert_array_equal(scalar.chain_lengths(),
+                                      batched.chain_lengths())
+
+    def test_bit_identical_2d(self, rng):
+        stream = rng.uniform(size=(300, 2))
+        scalar, batched, changed_a, changed_b = self._drive(
+            40, 8, 2, stream, [300])
+        assert changed_a == changed_b
+        np.testing.assert_array_equal(scalar.values(), batched.values())
+
+    def test_grouping_does_not_matter(self, rng):
+        """Identical results whether the block is one chunk or many."""
+        stream = rng.normal(0.5, 0.1, 256).reshape(-1, 1)
+        one = ChainSample(30, 6, rng=np.random.default_rng(5))
+        many = ChainSample(30, 6, rng=np.random.default_rng(5))
+        changed_one = one.offer_many(stream)
+        changed_many = []
+        for start in range(0, 256, 17):
+            changed_many.extend(many.offer_many(stream[start:start + 17]))
+        assert changed_one == changed_many
+        np.testing.assert_array_equal(one.values(), many.values())
+
+    def test_empty_block_is_noop(self, rng):
+        sample = ChainSample(20, 4, rng=rng)
+        sample.offer([0.5])
+        before = sample.values().copy()
+        assert sample.offer_many(np.empty((0, 1))) == []
+        np.testing.assert_array_equal(sample.values(), before)
+
+    def test_construction_leaves_rng_untouched(self):
+        """Substream seeding must not advance the caller's generator
+        (callers draw their data streams from the same generator)."""
+        a = np.random.default_rng(9)
+        b = np.random.default_rng(9)
+        ChainSample(100, 16, rng=a)
+        np.testing.assert_array_equal(a.random(32), b.random(32))
+
+    def test_has_active(self, rng):
+        sample = ChainSample(20, 4, rng=rng)
+        assert not sample.has_active()
+        sample.offer([0.5])
+        assert sample.has_active()
+
+    def test_wrong_shape_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            ChainSample(10, 2, rng=rng).offer_many(np.zeros((3, 2)))
+        with pytest.raises(ParameterError):
+            ChainSample(10, 2, n_dims=2, rng=rng).offer_many(np.zeros(3))
+
+    def test_timestamps_must_increase(self, rng):
+        sample = ChainSample(10, 2, rng=rng)
+        sample.offer([0.1], timestamp=5)
+        with pytest.raises(ParameterError):
+            sample.offer_many(np.zeros((2, 1)), start_timestamp=5)
+
+
 class TestReservoir:
     def test_fills_then_stays_fixed_size(self, rng):
         reservoir = ReservoirSample(10, rng=rng)

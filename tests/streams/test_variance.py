@@ -208,3 +208,39 @@ def test_sketch_never_produces_negative_variance(values, window_size):
         sketch.insert(float(value))
     assert sketch.variance() >= 0.0
     assert np.isfinite(sketch.std())
+
+
+class TestInsertMany:
+    """Blocked sketch ingestion is bit-identical to the scalar loop."""
+
+    def test_eh_sketch_state_identical(self, rng):
+        data = rng.normal(0.5, 0.1, 700)
+        scalar = EHVarianceSketch(100, 0.2)
+        batched = EHVarianceSketch(100, 0.2)
+        for value in data:
+            scalar.insert(float(value))
+        for start in (0, 3, 60, 61, 461):
+            stop = {0: 3, 3: 60, 60: 61, 61: 461, 461: 700}[start]
+            batched.insert_many(data[start:stop])
+        assert scalar.variance() == batched.variance()
+        assert scalar.std() == batched.std()
+        assert scalar.memory_words() == batched.memory_words()
+
+    def test_multidim_state_identical(self, rng):
+        data = rng.uniform(size=(300, 2))
+        scalar = MultiDimVarianceSketch(50, 2, 0.2)
+        batched = MultiDimVarianceSketch(50, 2, 0.2)
+        for row in data:
+            scalar.insert(row)
+        batched.insert_many(data[:123])
+        batched.insert_many(data[123:])
+        np.testing.assert_array_equal(scalar.std(), batched.std())
+        np.testing.assert_array_equal(scalar.mean(), batched.mean())
+        assert scalar.memory_words() == batched.memory_words()
+
+    def test_empty_block_is_noop(self):
+        sketch = EHVarianceSketch(10, 0.2)
+        sketch.insert(0.5)
+        before = sketch.variance()
+        sketch.insert_many(np.empty(0))
+        assert sketch.variance() == before
