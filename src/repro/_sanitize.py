@@ -1,0 +1,229 @@
+"""Opt-in runtime sanitizer asserting the paper's numeric invariants.
+
+Set ``REPRO_SANITIZE=1`` in the environment (or call :func:`activate`)
+and the library's layer boundaries start asserting the invariants its
+mathematics promise:
+
+* range/interval/grid probabilities (Equations 4-6) lie in ``[0, 1]``
+  *before* the defensive clip that normally hides a violation, and
+  discretised masses never sum above 1;
+* kernel bandwidths are strictly positive and finite (Scott's rule on a
+  degenerate window is a real failure mode, not a warning);
+* :class:`~repro.streams.variance.EHVarianceSketch` buckets satisfy the
+  PODS'03 histogram invariants -- ordered timestamps inside the window,
+  positive counts, non-negative ``m2``;
+* :class:`~repro.streams.sampling.ChainSample` keeps at most one active
+  element per slot, strictly increasing chain timestamps inside the
+  window, a pending successor in ``(newest, newest + |W|]``, and a
+  monotonically non-decreasing ``mutation_count``;
+* the 16-bit wire codec round-trips model state within one quantisation
+  step.
+
+Checks run only at batch/layer boundaries (one ``ACTIVE`` attribute
+test per guarded call when disabled -- zero measurable overhead), so
+the whole test suite can run under ``REPRO_SANITIZE=1`` in CI.  A
+violation raises :class:`SanitizeError`, which subclasses both
+:class:`~repro._exceptions.ReproError` and ``AssertionError``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro._exceptions import ReproError
+
+__all__ = [
+    "ACTIVE",
+    "SanitizeError",
+    "activate",
+    "deactivate",
+    "enabled",
+    "check_probabilities",
+    "check_mass",
+    "check_bandwidths",
+    "check_chain_sample",
+    "check_eh_sketch",
+    "check_codec_roundtrip",
+]
+
+#: Absolute slack for probability bounds: kernel-CDF sums cancel in
+#: floating point, so values a hair outside ``[0, 1]`` are legitimate
+#: round-off, not invariant violations.
+ATOL = 1e-7
+
+
+def _env_active() -> bool:
+    value = os.environ.get("REPRO_SANITIZE", "")
+    return value.strip().lower() not in {"", "0", "false", "no", "off"}
+
+
+#: Whether sanitizer checks are live.  Read at every guarded call site
+#: (``if _sanitize.ACTIVE:``); initialised from ``REPRO_SANITIZE``.
+ACTIVE = _env_active()
+
+
+class SanitizeError(ReproError, AssertionError):
+    """A runtime numeric invariant was violated."""
+
+
+def activate() -> None:
+    """Turn sanitizer checks on for this process."""
+    global ACTIVE
+    ACTIVE = True
+
+
+def deactivate() -> None:
+    """Turn sanitizer checks off for this process."""
+    global ACTIVE
+    ACTIVE = False
+
+
+@contextlib.contextmanager
+def enabled() -> "Iterator[None]":
+    """Context manager running its body with checks active."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = True
+    try:
+        yield
+    finally:
+        ACTIVE = previous
+
+
+def _fail(label: str, message: str) -> None:
+    raise SanitizeError(f"sanitize[{label}]: {message}")
+
+
+def check_probabilities(values: "np.ndarray | float", *, label: str) -> None:
+    """Assert every value is a probability: finite and in ``[0, 1]``.
+
+    Call *before* any defensive ``np.clip`` -- the clip is exactly what
+    makes violations invisible in normal operation.
+    """
+    arr = np.asarray(values, dtype=float)
+    if not np.isfinite(arr).all():
+        _fail(label, "non-finite probability value")
+    if arr.size and (float(arr.min()) < -ATOL or float(arr.max()) > 1.0 + ATOL):
+        _fail(label, f"probability outside [0, 1]: "
+                     f"min={float(arr.min())!r}, max={float(arr.max())!r}")
+
+
+def check_mass(masses: np.ndarray, *, label: str) -> None:
+    """Assert a discretised mass vector: probabilities summing to <= 1."""
+    arr = np.asarray(masses, dtype=float)
+    check_probabilities(arr, label=label)
+    total = float(arr.sum())
+    if total > 1.0 + ATOL * max(1, arr.size):
+        _fail(label, f"total mass {total!r} exceeds 1")
+
+
+def check_bandwidths(bandwidths: np.ndarray, *, label: str) -> None:
+    """Assert kernel bandwidths are finite and strictly positive."""
+    arr = np.asarray(bandwidths, dtype=float)
+    if not np.isfinite(arr).all() or arr.size == 0 or float(arr.min()) <= 0.0:
+        _fail(label, f"bandwidths must be finite and > 0, got {arr!r}")
+
+
+def check_chain_sample(sample: Any, *, mutations_before: int | None = None,
+                       label: str = "ChainSample") -> None:
+    """Assert a :class:`~repro.streams.sampling.ChainSample`'s invariants.
+
+    Inspects the sampler's internal chains (this module is the one
+    sanctioned consumer of those privates): per-slot timestamps must be
+    strictly increasing and inside the current window, the pending
+    successor must be due strictly after the newest captured item by at
+    most ``|W|``, and ``mutation_count`` -- the estimator-cache
+    invalidation key from the batched-ingestion work -- must never move
+    backwards.
+    """
+    window = sample.window_size
+    now = sample.timestamp
+    if len(sample) > sample.sample_size:
+        _fail(label, f"{len(sample)} active elements exceed "
+                     f"sample_size={sample.sample_size}")
+    if mutations_before is not None \
+            and sample.mutation_count < mutations_before:
+        _fail(label, f"mutation_count moved backwards "
+                     f"({mutations_before} -> {sample.mutation_count})")
+    for slot, chain in enumerate(sample._chains):
+        previous = None
+        for ts, value in chain.items:
+            if ts <= now - window or ts > now:
+                _fail(label, f"slot {slot} holds timestamp {ts} outside "
+                             f"window ({now - window}, {now}]")
+            if previous is not None and ts <= previous:
+                _fail(label, f"slot {slot} chain timestamps not strictly "
+                             f"increasing ({previous} -> {ts})")
+            if not np.isfinite(np.asarray(value, dtype=float)).all():
+                _fail(label, f"slot {slot} holds a non-finite value")
+            previous = ts
+        if chain.items:
+            newest = chain.items[-1][0]
+            if not newest < chain.successor_ts <= newest + window:
+                _fail(label, f"slot {slot} successor_ts "
+                             f"{chain.successor_ts} not in "
+                             f"({newest}, {newest + window}]")
+
+
+def check_eh_sketch(sketch: Any, *, label: str = "EHVarianceSketch") -> None:
+    """Assert the EH variance sketch's bucket invariants (PODS'03).
+
+    Buckets run oldest to newest with strictly increasing timestamps,
+    only the oldest may precede the window's left edge (its count is
+    halved at query time -- that is the approximation the epsilon budget
+    bounds), every count is a positive integer, and every ``m2`` is
+    non-negative and finite.
+    """
+    buckets = sketch._buckets
+    now = sketch.timestamp
+    window = sketch.window_size
+    previous_ts = None
+    for i, bucket in enumerate(buckets):
+        if bucket.count < 1:
+            _fail(label, f"bucket {i} has count {bucket.count} < 1")
+        if not (np.isfinite(bucket.mean) and np.isfinite(bucket.m2)):
+            _fail(label, f"bucket {i} has non-finite moments")
+        if bucket.m2 < -ATOL:
+            _fail(label, f"bucket {i} has negative m2 {bucket.m2!r}")
+        if bucket.newest_ts > now:
+            _fail(label, f"bucket {i} timestamp {bucket.newest_ts} is in "
+                         f"the future (now {now})")
+        if i > 0 and bucket.newest_ts <= now - window:
+            _fail(label, f"non-oldest bucket {i} expired at "
+                         f"{bucket.newest_ts} but was kept")
+        if previous_ts is not None and bucket.newest_ts <= previous_ts:
+            _fail(label, f"bucket timestamps not strictly increasing "
+                         f"({previous_ts} -> {bucket.newest_ts})")
+        previous_ts = bucket.newest_ts
+
+
+def check_codec_roundtrip(payload: bytes, sample: np.ndarray,
+                          stddev: np.ndarray, window_size: int,
+                          decoder: "Callable[[bytes], tuple[np.ndarray, np.ndarray, int]]",
+                          *, step: float,
+                          label: str = "codec") -> None:
+    """Assert an encoded model state decodes back within quantisation.
+
+    ``decoder`` is passed in by the codec module itself (avoiding a
+    circular import); ``step`` is the fixed-point resolution.  Values
+    must round-trip within half a step plus float fuzz, and the window
+    size exactly.
+    """
+    decoded_sample, decoded_stddev, decoded_window = decoder(payload)
+    if decoded_window != window_size:
+        _fail(label, f"window_size round-trip {window_size} -> {decoded_window}")
+    tolerance = 0.5 * step + 1e-12
+    for name, original, decoded in (("sample", sample, decoded_sample),
+                                    ("stddev", stddev, decoded_stddev)):
+        original = np.asarray(original, dtype=float)
+        if decoded.shape != original.shape:
+            _fail(label, f"{name} shape round-trip "
+                         f"{original.shape} -> {decoded.shape}")
+        error = float(np.max(np.abs(decoded - original))) if original.size else 0.0
+        if error > tolerance:
+            _fail(label, f"{name} round-trip error {error!r} exceeds "
+                         f"half a quantisation step ({tolerance!r})")

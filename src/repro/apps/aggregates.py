@@ -29,7 +29,8 @@ __all__ = [
 
 
 def estimate_cdf(model: DensityModel, grid_size: int = 256,
-                 low: float = 0.0, high: float = 1.0):
+                 low: float = 0.0,
+                 high: float = 1.0) -> "tuple[np.ndarray, np.ndarray]":
     """The model's estimated CDF on a uniform grid (1-d models).
 
     Returns ``(grid_points, cdf_values)`` with the CDF normalised to
@@ -71,15 +72,20 @@ def estimate_quantile(model: DensityModel, q: float, *,
     return float(points[index] - cell_width * (1.0 - fraction))
 
 
-def estimate_median(model: DensityModel, **kwargs) -> float:
+def estimate_median(model: DensityModel, *, grid_size: int = 256,
+                    low: float = 0.0, high: float = 1.0) -> float:
     """The estimated median of the window."""
-    return estimate_quantile(model, 0.5, **kwargs)
+    return estimate_quantile(model, 0.5, grid_size=grid_size,
+                             low=low, high=high)
 
 
-def estimate_iqr(model: DensityModel, **kwargs) -> float:
+def estimate_iqr(model: DensityModel, *, grid_size: int = 256,
+                 low: float = 0.0, high: float = 1.0) -> float:
     """The estimated interquartile range of the window."""
-    return (estimate_quantile(model, 0.75, **kwargs)
-            - estimate_quantile(model, 0.25, **kwargs))
+    return (estimate_quantile(model, 0.75, grid_size=grid_size,
+                              low=low, high=high)
+            - estimate_quantile(model, 0.25, grid_size=grid_size,
+                                low=low, high=high))
 
 
 def conditional_mean(model: DensityModel, low: float, high: float, *,

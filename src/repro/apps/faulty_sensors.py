@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -99,7 +100,7 @@ class RegionOutlierAlarm:
     ``time_window`` ticks.
     """
 
-    def __init__(self, region_leaves, count_threshold: int,
+    def __init__(self, region_leaves: "Iterable[int]", count_threshold: int,
                  time_window: int) -> None:
         self._region = frozenset(int(leaf) for leaf in region_leaves)
         if not self._region:

@@ -14,15 +14,18 @@ logging :class:`~repro.apps.faulty_sensors.FaultReport` entries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Sequence
 
 import numpy as np
 
 from repro._exceptions import ParameterError
+from repro._rng import resolve_rng
 from repro._validation import require_positive_int
 from repro.apps.faulty_sensors import FaultReport, FaultySensorMonitor
 from repro.core.estimator import KernelDensityEstimator
 from repro.network.messages import Message, ValueForward
-from repro.network.node import Outgoing
+from repro.network.node import Outgoing, SimNode
+from repro.network.topology import Hierarchy
 from repro.streams.sampling import ChainSample
 
 __all__ = ["FaultEvent", "FaultLog", "MonitoringLeaderNode",
@@ -74,7 +77,8 @@ class MonitoringLeaderNode:
         Forwards required from *every* child before comparisons start.
     """
 
-    def __init__(self, inner, children, log: FaultLog, *,
+    def __init__(self, inner: "SimNode", children: "Sequence[int]",
+                 log: FaultLog, *,
                  monitor: FaultySensorMonitor | None = None,
                  check_every: int = 256, sample_size: int = 32,
                  arrival_window: int = 64, min_sample: int = 16,
@@ -92,7 +96,7 @@ class MonitoringLeaderNode:
         self._check_every = check_every
         self._min_sample = min_sample
         self._n_dims = n_dims
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = resolve_rng(rng)
         self._profiles = {
             child: ChainSample(arrival_window, sample_size, n_dims,
                                rng=np.random.default_rng(rng.integers(2**63)))
@@ -138,10 +142,11 @@ class MonitoringLeaderNode:
                                         report=report))
 
 
-def attach_fault_monitoring(nodes, hierarchy, *, level: int = 2,
+def attach_fault_monitoring(nodes: "dict[int, SimNode]",
+                            hierarchy: "Hierarchy", *, level: int = 2,
                             log: FaultLog | None = None,
                             rng: np.random.Generator | None = None,
-                            **monitor_kwargs) -> FaultLog:
+                            **monitor_kwargs: "Any") -> FaultLog:
     """Wrap every leader at one hierarchy level with fault monitoring.
 
     Mutates ``nodes`` in place (wrap before constructing the simulator)
@@ -152,7 +157,7 @@ def attach_fault_monitoring(nodes, hierarchy, *, level: int = 2,
             f"level must be a leader tier in [2, {hierarchy.n_levels}], "
             f"got {level}")
     log = log if log is not None else FaultLog()
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = resolve_rng(rng)
     for node_id in hierarchy.levels[level - 1]:
         nodes[node_id] = MonitoringLeaderNode(
             nodes[node_id], hierarchy.children_of(node_id), log,

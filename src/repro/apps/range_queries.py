@@ -19,10 +19,12 @@ touching raw history.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro._exceptions import ParameterError
+from repro._rng import resolve_rng
 from repro._validation import require_positive_int
 from repro.core.estimator import KernelDensityEstimator, merge_estimators
 from repro.streams.sampling import ReservoirSample
@@ -113,7 +115,7 @@ class SpatioTemporalQueryEngine:
         self._epoch_length = epoch_length
         self._retained = n_epochs_retained
         self._sample_size = sample_size
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = resolve_rng(rng)
         # sensor -> list of (epoch_index, frozen) plus the open accumulator.
         self._closed: "dict[int, list[tuple[int, _FrozenEpoch]]]" = \
             {s: [] for s in positions}
@@ -129,7 +131,9 @@ class SpatioTemporalQueryEngine:
         """Ticks per tumbling epoch."""
         return self._epoch_length
 
-    def observe(self, sensor: int, value, tick: int) -> None:
+    def observe(self, sensor: int,
+                value: "np.ndarray | Sequence[float] | float",
+                tick: int) -> None:
         """Feed one reading; epochs roll over automatically.
 
         Ticks must be non-decreasing across calls.
@@ -188,7 +192,9 @@ class SpatioTemporalQueryEngine:
         return (weights[:, None] * means).sum(axis=0) / weights.sum()
 
     def range_count(self, region: Region, t_low: int, t_high: int,
-                    value_low, value_high) -> float:
+                    value_low: "np.ndarray | Sequence[float] | float",
+                    value_high: "np.ndarray | Sequence[float] | float"
+                    ) -> float:
         """Approximate COUNT of readings inside a value box over the query.
 
         Answered from the frozen kernel models via their range
@@ -204,7 +210,9 @@ class SpatioTemporalQueryEngine:
         return total
 
     def selectivity(self, region: Region, t_low: int, t_high: int,
-                    value_low, value_high) -> float:
+                    value_low: "np.ndarray | Sequence[float] | float",
+                    value_high: "np.ndarray | Sequence[float] | float"
+                    ) -> float:
         """Fraction of the query's readings inside the value box."""
         selected = self._select(region, t_low, t_high)
         if not selected:

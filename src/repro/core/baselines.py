@@ -18,12 +18,14 @@ The paper evaluates precision and recall against exact offline detectors:
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 from scipy.spatial import cKDTree
 
 from repro._exceptions import ParameterError
 from repro._validation import as_points
-from repro.core.mdef import MDEFSpec, cell_grid_centers, mdef_statistic
+from repro.core.mdef import MDEFDecision, MDEFSpec, cell_grid_centers, mdef_statistic
 from repro.core.outliers import DistanceOutlierSpec
 
 __all__ = [
@@ -52,7 +54,9 @@ def chebyshev_neighbor_counts(values: np.ndarray, queries: np.ndarray,
         dtype=np.int64)
 
 
-def brute_force_distance_outliers(values, spec: DistanceOutlierSpec) -> np.ndarray:
+def brute_force_distance_outliers(
+        values: "np.ndarray | Sequence[Sequence[float]] | Sequence[float]",
+        spec: DistanceOutlierSpec) -> np.ndarray:
     """Exact BruteForce-D: boolean outlier mask over the window ``values``.
 
     A window value is flagged when fewer than ``spec.count_threshold``
@@ -63,8 +67,10 @@ def brute_force_distance_outliers(values, spec: DistanceOutlierSpec) -> np.ndarr
     return counts < spec.count_threshold
 
 
-def brute_force_distance_outliers_naive(values, spec: DistanceOutlierSpec, *,
-                                        chunk_size: int = 512) -> np.ndarray:
+def brute_force_distance_outliers_naive(
+        values: "np.ndarray | Sequence[Sequence[float]] | Sequence[float]",
+        spec: DistanceOutlierSpec, *,
+        chunk_size: int = 512) -> np.ndarray:
     """The paper's naive ``O(d |W|^2)`` BruteForce-D, for cross-checking.
 
     Processes query points in chunks to bound the ``(chunk, n, d)``
@@ -85,8 +91,11 @@ def _cell_indices(values: np.ndarray, spec: MDEFSpec, n_cells: int) -> np.ndarra
     return np.clip(idx, 0, n_cells - 1)
 
 
-def brute_force_mdef_outliers(values, spec: MDEFSpec, *,
-                              return_decisions: bool = False):
+def brute_force_mdef_outliers(
+        values: "np.ndarray | Sequence[Sequence[float]] | Sequence[float]",
+        spec: MDEFSpec, *,
+        return_decisions: bool = False,
+) -> "np.ndarray | tuple[np.ndarray, list[MDEFDecision]]":
     """Exact BruteForce-M: aLOCI over the actual window contents.
 
     For every window value: its exact counting-neighbourhood population
@@ -108,7 +117,7 @@ def brute_force_mdef_outliers(values, spec: MDEFSpec, *,
     np.add.at(grid, tuple(idx[:, j] for j in range(d)), 1)
 
     mask = np.empty(n, dtype=bool)
-    decisions = [] if return_decisions else None
+    decisions: "list[MDEFDecision]" = []
     for i in range(n):
         slices = []
         for j in range(d):
@@ -123,7 +132,7 @@ def brute_force_mdef_outliers(values, spec: MDEFSpec, *,
         decision = mdef_statistic(neighbor_counts[i], cell_counts,
                                   spec.k_sigma, min_mdef=spec.min_mdef)
         mask[i] = decision.is_outlier
-        if decisions is not None:
+        if return_decisions:
             decisions.append(decision)
     if return_decisions:
         return mask, decisions

@@ -14,6 +14,8 @@ from 0 to 1" in the Figure 6 experiment.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro._exceptions import ParameterError
@@ -43,7 +45,9 @@ def _as_distribution(name: str, values: np.ndarray, *, normalize: bool) -> np.nd
     return arr
 
 
-def kl_divergence(p, q, *, normalize: bool = False) -> float:
+def kl_divergence(p: "np.ndarray | Sequence[float]",
+                  q: "np.ndarray | Sequence[float]", *,
+                  normalize: bool = False) -> float:
     """Kullback-Leibler divergence ``D(p || q)`` in bits (Equation 6).
 
     Returns ``inf`` when ``q`` assigns zero mass somewhere ``p`` does not --
@@ -61,7 +65,9 @@ def kl_divergence(p, q, *, normalize: bool = False) -> float:
     return float(np.sum(p_arr[support] * np.log2(ratios)))
 
 
-def jensen_shannon_divergence(p, q, *, normalize: bool = False) -> float:
+def jensen_shannon_divergence(p: "np.ndarray | Sequence[float]",
+                              q: "np.ndarray | Sequence[float]", *,
+                              normalize: bool = False) -> float:
     """Jensen-Shannon divergence (Equation 7), in ``[0, 1]`` with base-2 logs.
 
     ``JS(p, q) = (D(p || m) + D(q || m)) / 2`` with ``m = (p + q)/2``.

@@ -32,7 +32,9 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro._exceptions import EmptyModelError, ParameterError
+from repro._rng import resolve_rng
 from repro._validation import as_point, as_points
+from repro import _sanitize
 from repro.core.bandwidth import scott_bandwidths
 from repro.core.kernels import EPANECHNIKOV, Kernel
 
@@ -107,6 +109,9 @@ class KernelDensityEstimator:
                 raise ParameterError(
                     f"bandwidth_n must be >= 1, got {bandwidth_n}")
             self._bandwidths = scott_bandwidths(stddev, bandwidth_n, self._d)
+        if _sanitize.ACTIVE:
+            _sanitize.check_bandwidths(self._bandwidths,
+                                       label="KernelDensityEstimator")
         # Window deviation as supplied (None when only bandwidths were
         # given); retained for pooled-variance merging (Section 5.1).
         self._stddev = None if stddev is None \
@@ -209,7 +214,7 @@ class KernelDensityEstimator:
         else:
             if sample_size < 1:
                 raise ParameterError(f"sample_size must be >= 1, got {sample_size}")
-            rng = rng if rng is not None else np.random.default_rng()
+            rng = resolve_rng(rng)
             idx = rng.choice(window_size, size=sample_size, replace=False)
             sample = points[idx]
         return cls(sample, stddev=points.std(axis=0), kernel=kernel,
@@ -280,6 +285,8 @@ class KernelDensityEstimator:
             z_lo = (lo[:, None, :] - self._sample[None, :, :]) * inv_bw
             per_dim = self._kernel.cdf(z_hi) - self._kernel.cdf(z_lo)
             out[start:start + chunk] = per_dim.prod(axis=2).mean(axis=1)
+        if _sanitize.ACTIVE:
+            _sanitize.check_probabilities(out, label="range_probability")
         # Clamp tiny negative values from floating point cancellation.
         return np.clip(out, 0.0, 1.0)
 
@@ -307,6 +314,9 @@ class KernelDensityEstimator:
             t = ts[partial_idx]
             total += float(np.sum(self._kernel.cdf((high - t) / bw)
                                   - self._kernel.cdf((low - t) / bw)))
+        if _sanitize.ACTIVE:
+            _sanitize.check_probabilities(total / self._n,
+                                          label="range_probability_1d")
         return float(np.clip(total / self._n, 0.0, 1.0))
 
     def neighborhood_count(self, p: "np.ndarray | Sequence[float] | float",
@@ -341,7 +351,10 @@ class KernelDensityEstimator:
         z = (edge_arr[None, :] - self._sample[:, :1]) / self._bandwidths[0]
         cdf_vals = self._kernel.cdf(z)          # (n, k+1)
         diffs = np.diff(cdf_vals, axis=1)       # (n, k)
-        return np.clip(diffs.mean(axis=0), 0.0, 1.0)
+        masses = diffs.mean(axis=0)
+        if _sanitize.ACTIVE:
+            _sanitize.check_mass(masses, label="interval_probabilities")
+        return np.clip(masses, 0.0, 1.0)
 
     def grid_probabilities(self, cells_per_dim: int,
                            low: float = 0.0, high: float = 1.0) -> np.ndarray:
@@ -377,6 +390,8 @@ class KernelDensityEstimator:
                     outer = np.multiply.outer(outer, per_dim[j][i])
                 cells += outer
             cells /= self._n
+        if _sanitize.ACTIVE:
+            _sanitize.check_mass(cells, label="grid_probabilities")
         return np.clip(cells, 0.0, 1.0)
 
     def mean(self) -> np.ndarray:

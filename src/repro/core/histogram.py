@@ -15,14 +15,23 @@ paper's setup.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Protocol, Sequence
 
 import numpy as np
 
+from repro import _sanitize
 from repro._exceptions import EmptyModelError, ParameterError
 from repro._validation import as_point, as_points
 
-__all__ = ["EquiDepthHistogram"]
+__all__ = ["EquiDepthHistogram", "QuantileSummaryLike"]
+
+
+class QuantileSummaryLike(Protocol):
+    """Anything answering quantile queries (e.g. a GK summary)."""
+
+    def query(self, fraction: float) -> float:
+        """The value at the given quantile ``fraction`` in ``[0, 1]``."""
+        ...
 
 
 def _quantile_edges(column: np.ndarray, n_slices: int) -> np.ndarray:
@@ -72,7 +81,7 @@ class EquiDepthHistogram:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_quantile_summary(cls, summary, n_buckets: int, *,
+    def from_quantile_summary(cls, summary: "QuantileSummaryLike", n_buckets: int, *,
                               window_size: int) -> "EquiDepthHistogram":
         """The *online* 1-d equi-depth histogram the paper alludes to.
 
@@ -156,9 +165,12 @@ class EquiDepthHistogram:
         # Contract one dimension at a time: sum_i fraction_i * mass[i, ...].
         for frac in fractions:
             mass = np.tensordot(frac, mass, axes=(0, 0))
+        if _sanitize.ACTIVE:
+            _sanitize.check_probabilities(mass, label="histogram_box")
         return float(np.clip(mass, 0.0, 1.0))
 
-    def range_probability(self, low, high):
+    def range_probability(self, low: "np.ndarray | Sequence[float] | float",
+                          high: "np.ndarray | Sequence[float] | float") -> "float | np.ndarray":
         """Probability mass of the box ``[low, high]``; accepts batches ``(m, d)``."""
         low_arr = np.asarray(low, dtype=float)
         high_arr = np.asarray(high, dtype=float)
@@ -177,7 +189,8 @@ class EquiDepthHistogram:
             raise ParameterError("high must be >= low")
         return self._box_probability(low_pt, high_pt)
 
-    def neighborhood_count(self, p, r):
+    def neighborhood_count(self, p: "np.ndarray | Sequence[float] | float",
+                           r: float) -> "float | np.ndarray":
         """Estimated number of window values within ``r`` of ``p`` (Eq. 4)."""
         if not np.isfinite(r) or r <= 0:
             raise ParameterError(f"r must be a positive finite number, got {r!r}")

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import bisect
 from collections import deque
+from typing import Sequence
 
 import numpy as np
 
@@ -119,13 +120,13 @@ class GridCountIndex:
             raise ParameterError("point must be finite")
         return point
 
-    def insert(self, value) -> None:
+    def insert(self, value: "np.ndarray | Sequence[float] | float") -> None:
         """Add one point."""
         point = self._as_point(value)
         self._cells.setdefault(self._key(point), []).append(point)
         self._count += 1
 
-    def remove(self, value) -> None:
+    def remove(self, value: "np.ndarray | Sequence[float] | float") -> None:
         """Remove one point equal to ``value`` (raises if absent)."""
         point = self._as_point(value)
         key = self._key(point)
@@ -141,7 +142,8 @@ class GridCountIndex:
                     return
         raise ParameterError(f"point {point.tolist()} is not in the index")
 
-    def count_box(self, low, high) -> int:
+    def count_box(self, low: "np.ndarray | Sequence[float] | float",
+                  high: "np.ndarray | Sequence[float] | float") -> int:
         """Exact count of points in the inclusive box ``[low, high]``."""
         low_pt = self._as_point(low)
         high_pt = self._as_point(high)
@@ -161,7 +163,8 @@ class GridCountIndex:
             total += int(inside.sum())
         return total
 
-    def neighbor_count(self, p, r: float) -> int:
+    def neighbor_count(self, p: "np.ndarray | Sequence[float] | float",
+                       r: float) -> int:
         """Exact count of points within Chebyshev distance ``r`` of ``p``."""
         require_positive("r", r)
         point = self._as_point(p)
@@ -207,7 +210,7 @@ class WindowedNeighborIndex:
         """Maximum number of live points."""
         return self._window_size
 
-    def insert(self, value) -> "np.ndarray | None":
+    def insert(self, value: "np.ndarray | Sequence[float] | float") -> "np.ndarray | None":
         """Add a point; return the expired one once the window is full."""
         expired = None
         if len(self._arrivals) == self._window_size:
@@ -218,10 +221,12 @@ class WindowedNeighborIndex:
         self._arrivals.append(point)
         return expired
 
-    def neighbor_count(self, p, r: float) -> int:
+    def neighbor_count(self, p: "np.ndarray | Sequence[float] | float",
+                       r: float) -> int:
         """Exact count of live points within ``r`` of ``p``."""
         return self._grid.neighbor_count(p, r)
 
-    def count_box(self, low, high) -> int:
+    def count_box(self, low: "np.ndarray | Sequence[float] | float",
+                  high: "np.ndarray | Sequence[float] | float") -> int:
         """Exact count of live points in the inclusive box."""
         return self._grid.count_box(low, high)

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -245,7 +246,7 @@ class MDEFOutlierDetector:
         """The bound MDEF specification."""
         return self._spec
 
-    def check(self, p) -> MDEFDecision:
+    def check(self, p: "np.ndarray | Sequence[float] | float") -> MDEFDecision:
         """Check one point against the model (Figure 3's estimation)."""
         point = as_point("p", p, self._model.n_dims)
         r_count = self._spec.counting_radius
@@ -258,7 +259,7 @@ class MDEFOutlierDetector:
                               min_mdef=self._spec.min_mdef,
                               estimation_variance_per_unit=self._evpu)
 
-    def check_many(self, points) -> "list[MDEFDecision]":
+    def check_many(self, points: "np.ndarray | Sequence[Sequence[float]] | Sequence[float]") -> "list[MDEFDecision]":
         """Check a batch of points with one fused range-query batch.
 
         Concatenates every point's counting query and all its sampling

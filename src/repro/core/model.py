@@ -7,7 +7,7 @@ paper's experimental comparison are interchangeable.
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -28,11 +28,13 @@ class DensityModel(Protocol):
         """The window size ``|W|`` scaling neighbourhood counts."""
         ...
 
-    def range_probability(self, low, high):
+    def range_probability(self, low: "np.ndarray | Sequence[float] | float",
+                          high: "np.ndarray | Sequence[float] | float") -> "float | np.ndarray":
         """Probability mass of the axis-aligned box ``[low, high]``."""
         ...
 
-    def neighborhood_count(self, p, r):
+    def neighborhood_count(self, p: "np.ndarray | Sequence[float] | float",
+                           r: float) -> "float | np.ndarray":
         """Estimated count of window values within ``r`` of ``p`` (Eq. 4)."""
         ...
 

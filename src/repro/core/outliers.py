@@ -14,6 +14,7 @@ Distances are per-dimension intervals ``[p - r, p + r]``, i.e. the L-inf
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -62,7 +63,8 @@ class DistanceOutlierDecision:
     neighbor_count: float
 
 
-def is_distance_outlier(model: DensityModel, p, spec: DistanceOutlierSpec) -> DistanceOutlierDecision:
+def is_distance_outlier(model: DensityModel, p: "np.ndarray | Sequence[float] | float",
+                        spec: DistanceOutlierSpec) -> DistanceOutlierDecision:
     """Run the ``IsOutlier`` test of Figure 4 against a density model."""
     count = model.neighborhood_count(p, spec.radius)
     count_value = float(np.asarray(count).reshape(()))
@@ -91,7 +93,7 @@ class DistanceOutlierDetector:
         """The bound outlier specification."""
         return self._spec
 
-    def check(self, p) -> DistanceOutlierDecision:
+    def check(self, p: "np.ndarray | Sequence[float] | float") -> DistanceOutlierDecision:
         """Check one point."""
         return is_distance_outlier(self._model, p, self._spec)
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro._exceptions import ParameterError
+from repro._rng import resolve_rng
 from repro._validation import require_fraction, require_positive_int
 
 __all__ = ["make_engine_stream", "make_engine_streams",
@@ -68,7 +69,7 @@ def make_engine_stream(n: int = 50_000, *,
     if not 0.0 <= failure_start_fraction < 1.0:
         raise ParameterError(
             f"failure_start_fraction must be in [0, 1), got {failure_start_fraction!r}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = resolve_rng(rng)
 
     values = rng.normal(_HEALTHY_LEVEL, _HEALTHY_STD, size=n)
     n_fail = int(round(failure_fraction * n))

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._rng import resolve_rng
 from repro._validation import require_positive_int
 
 __all__ = ["make_environment_stream", "make_environment_streams",
@@ -90,7 +91,7 @@ def make_environment_stream(n: int = 35_000, *,
                             rng: np.random.Generator | None = None) -> np.ndarray:
     """One sensor's (pressure, dew-point) stream, shape ``(n, 2)``."""
     require_positive_int("n", n)
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = resolve_rng(rng)
 
     t = np.arange(n)
     # Two annual cycles over the record, as in the two-year original.

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -23,7 +24,7 @@ class StreamSet:
     streams: "tuple[np.ndarray, ...]"
 
     @classmethod
-    def from_arrays(cls, arrays) -> "StreamSet":
+    def from_arrays(cls, arrays: "Iterable[np.ndarray | Sequence[Sequence[float]] | Sequence[float]]") -> "StreamSet":
         """Validate and normalise a list of per-sensor arrays."""
         normalised = tuple(as_points(f"streams[{i}]", a)
                            for i, a in enumerate(arrays))

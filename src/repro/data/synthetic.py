@@ -19,7 +19,10 @@ Two generators:
 
 Every generator takes an explicit ``numpy.random.Generator`` so that
 experiments are reproducible; per-sensor streams derive child seeds from
-one root seed ("each sensor sees a different set of data").
+one root seed ("each sensor sees a different set of data").  When the
+generator is omitted, the deterministic fallback streams of
+:mod:`repro._rng` are used, so even default-configured runs replay bit
+for bit (lint rule RL001).
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._exceptions import ParameterError
+from repro._rng import resolve_rng
 from repro._validation import require_fraction, require_positive_int
 
 __all__ = [
@@ -78,7 +82,7 @@ def make_mixture_stream(n: int, n_dims: int = 1, *,
     require_positive_int("n", n)
     require_positive_int("n_dims", n_dims)
     spec = spec if spec is not None else MixtureSpec()
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = resolve_rng(rng)
 
     means = np.asarray(spec.means, dtype=float)
     # One component per reading ("a mixture of three Gaussian
@@ -169,7 +173,7 @@ def make_plateau_stream(n: int, n_dims: int = 1, *,
     require_positive_int("n", n)
     require_positive_int("n_dims", n_dims)
     spec = spec if spec is not None else PlateauSpec()
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = resolve_rng(rng)
 
     choice = rng.random(n)
     values = np.empty((n, n_dims))
@@ -207,7 +211,8 @@ class DriftingGaussianStream:
     shift_every:
         Number of measurements between mean changes (4096 in the paper).
     rng:
-        Source of randomness.
+        Source of randomness (a deterministic fallback stream from
+        :mod:`repro._rng` when omitted).
     """
 
     def __init__(self, means: "tuple[float, ...]" = (0.3, 0.5),
@@ -221,7 +226,7 @@ class DriftingGaussianStream:
         self._means = tuple(float(m) for m in means)
         self._std = float(std)
         self._shift_every = shift_every
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = resolve_rng(rng)
 
     def mean_at(self, t: int) -> float:
         """The true mean in effect at measurement index ``t``."""

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro._exceptions import ParameterError
+from repro._rng import resolve_rng
 from repro._validation import (
     require_fraction,
     require_positive_int,
@@ -335,7 +336,7 @@ def build_d3_network(hierarchy: Hierarchy, config: D3Config, n_dims: int, *,
 
     Per-node RNGs are derived from ``rng`` so runs are reproducible.
     """
-    root = rng if rng is not None else np.random.default_rng()
+    root = resolve_rng(rng)
     log = DetectionLog()
     nodes: "dict[int, D3LeafNode | D3ParentNode]" = {}
     for level_idx, tier in enumerate(hierarchy.levels):

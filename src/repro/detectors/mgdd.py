@@ -31,6 +31,7 @@ from typing import Literal
 import numpy as np
 
 from repro._exceptions import ParameterError
+from repro._rng import resolve_rng
 from repro._validation import require_fraction, require_positive_int
 from repro.core.bandwidth import scott_bandwidths
 from repro.core.divergence import model_js_divergence
@@ -430,7 +431,7 @@ def build_mgdd_network(hierarchy: Hierarchy, config: MGDDConfig, n_dims: int, *,
     reference model for its subtree (regional detection); by default the
     single top-level leader owns one global model.
     """
-    root_rng = rng if rng is not None else np.random.default_rng()
+    root_rng = resolve_rng(rng)
     log = DetectionLog()
     source_level = config.model_level if config.model_level is not None \
         else hierarchy.n_levels

@@ -31,6 +31,8 @@ counter (see :meth:`repro.detectors._state.StreamModelState.model`).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro._exceptions import ParameterError
@@ -65,7 +67,8 @@ class OnlineOutlierDetector:
         Passed through to the underlying components.
     """
 
-    def __init__(self, window_size: int, sample_size: int, spec, *,
+    def __init__(self, window_size: int, sample_size: int,
+                 spec: "DistanceOutlierSpec | MDEFSpec", *,
                  n_dims: int = 1, warmup: int | None = None,
                  model_refresh: int = 32, epsilon: float = 0.2,
                  kernel: Kernel = EPANECHNIKOV,
@@ -100,7 +103,7 @@ class OnlineOutlierDetector:
     # ------------------------------------------------------------------
 
     @property
-    def spec(self):
+    def spec(self) -> "DistanceOutlierSpec | MDEFSpec":
         """The outlier definition in use."""
         return self._spec
 
@@ -130,7 +133,7 @@ class OnlineOutlierDetector:
 
     # ------------------------------------------------------------------
 
-    def process(self, value) -> "DistanceOutlierDecision | MDEFDecision | None":
+    def process(self, value: "np.ndarray | Sequence[float] | float") -> "DistanceOutlierDecision | MDEFDecision | None":
         """Observe one reading; return a decision once warmed up."""
         point = np.asarray(value, dtype=float).reshape(-1)
         self._state.observe(point)
@@ -148,7 +151,7 @@ class OnlineOutlierDetector:
             self._flagged += 1
         return decision
 
-    def process_many(self, values) -> "list[DistanceOutlierDecision | MDEFDecision | None]":
+    def process_many(self, values: "np.ndarray | Sequence[Sequence[float]] | Sequence[float]") -> "list[DistanceOutlierDecision | MDEFDecision | None]":
         """Observe a block of readings; return one decision per reading.
 
         Equivalent to calling :meth:`process` on each reading in order

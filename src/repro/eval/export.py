@@ -9,13 +9,15 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
+from typing import Iterable
 
 from repro._exceptions import ParameterError
 
 __all__ = ["export_result", "export_rows"]
 
 
-def export_rows(path, headers, rows) -> Path:
+def export_rows(path: "str | Path", headers: "Iterable[object]",
+                rows: "Iterable[Iterable[object]]") -> Path:
     """Write one CSV file with a header row; returns the path."""
     destination = Path(path)
     headers = list(headers)
@@ -31,7 +33,7 @@ def export_rows(path, headers, rows) -> Path:
     return destination
 
 
-def export_result(result, path) -> Path:
+def export_result(result: object, path: "str | Path") -> Path:
     """Export any figure-result object to CSV.
 
     Dispatches on the result's shape: Figure 5 (published/measured

@@ -11,7 +11,7 @@ from typing import Iterable, Sequence
 __all__ = ["render_table", "format_value"]
 
 
-def format_value(value) -> str:
+def format_value(value: object) -> str:
     """Render one cell: floats to 3 decimals, everything else via str."""
     if isinstance(value, float):
         return f"{value:.3f}"

@@ -13,9 +13,11 @@ kernel bandwidths, so a decoded model is operationally identical
 from __future__ import annotations
 
 import struct
+from typing import Sequence
 
 import numpy as np
 
+from repro import _sanitize
 from repro._exceptions import ParameterError
 
 __all__ = [
@@ -49,7 +51,7 @@ def encode_values(values: np.ndarray) -> bytes:
     return words.tobytes()
 
 
-def decode_values(payload: bytes, shape) -> np.ndarray:
+def decode_values(payload: bytes, shape: "Sequence[int]") -> np.ndarray:
     """Inverse of :func:`encode_values`."""
     expected = int(np.prod(shape)) * 2
     if len(payload) != expected:
@@ -82,12 +84,17 @@ def encode_model_state(sample: np.ndarray, stddev: np.ndarray,
         raise ParameterError("sample dimensions must fit in 16 bits")
     header = _HEADER.pack(n, d, window_size >> 16) \
         + struct.pack("<H", window_size & 0xFFFF)
-    return (header
-            + encode_values(np.clip(stddev_arr, 0.0, 1.0))
-            + encode_values(sample_arr))
+    payload = (header
+               + encode_values(np.clip(stddev_arr, 0.0, 1.0))
+               + encode_values(sample_arr))
+    if _sanitize.ACTIVE:
+        _sanitize.check_codec_roundtrip(
+            payload, sample_arr, np.clip(stddev_arr, 0.0, 1.0),
+            window_size, decode_model_state, step=quantization_step())
+    return payload
 
 
-def decode_model_state(payload: bytes):
+def decode_model_state(payload: bytes) -> "tuple[np.ndarray, np.ndarray, int]":
     """Inverse of :func:`encode_model_state`.
 
     Returns ``(sample, stddev, window_size)``.

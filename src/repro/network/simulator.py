@@ -17,8 +17,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Mapping
 
+import numpy as np
+
 from repro._exceptions import SimulationError, TopologyError
+from repro._rng import resolve_rng
 from repro.data.streams import StreamSet
+from repro.network.energy import EnergyAccountant
 from repro.network.messages import MessageCounter
 from repro.network.node import SimNode
 from repro.network.topology import Hierarchy
@@ -53,14 +57,17 @@ class NetworkSimulator:
         (failure injection; lost messages are still counted as sent and
         still cost transmit energy, but are never delivered).
     rng:
-        Randomness source for loss injection.
+        Randomness source for loss injection.  When omitted (and
+        ``loss_rate`` is positive) a deterministic fallback stream from
+        :mod:`repro._rng` is used, so loss patterns replay bit for bit.
     """
 
     def __init__(self, hierarchy: Hierarchy, nodes: "Mapping[int, SimNode]",
                  streams: StreamSet,
                  counter: MessageCounter | None = None,
-                 energy=None, loss_rate: float = 0.0,
-                 rng=None) -> None:
+                 energy: "EnergyAccountant | None" = None,
+                 loss_rate: float = 0.0,
+                 rng: "np.random.Generator | None" = None) -> None:
         if streams.n_sensors != len(hierarchy.leaf_ids):
             raise TopologyError(
                 f"{len(hierarchy.leaf_ids)} leaves but {streams.n_sensors} streams")
@@ -77,8 +84,7 @@ class NetworkSimulator:
         self._energy = energy
         self._loss_rate = loss_rate
         if loss_rate > 0.0 and rng is None:
-            import numpy as np
-            rng = np.random.default_rng()
+            rng = resolve_rng(rng)
         self._rng = rng
         self._tick = 0
         self._messages_lost = 0

@@ -36,11 +36,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Tuple
+from typing import Deque, Sequence, Tuple
 
 import numpy as np
 
+from repro import _sanitize
 from repro._exceptions import ParameterError
+from repro._rng import resolve_rng
 from repro._validation import require_positive_int
 
 __all__ = ["ChainSample", "ReservoirSample"]
@@ -69,7 +71,9 @@ class ChainSample:
     n_dims:
         Dimensionality of the sampled values.
     rng:
-        Source of randomness (``numpy.random.default_rng()`` by default).
+        Source of randomness.  When omitted, a deterministic fallback
+        stream from :func:`repro._rng.fresh_rng` is used, so
+        default-constructed samplers replay bit for bit.
     """
 
     def __init__(self, window_size: int, sample_size: int, n_dims: int = 1,
@@ -80,7 +84,7 @@ class ChainSample:
         self._window_size = window_size
         self._sample_size = sample_size
         self._n_dims = n_dims
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = resolve_rng(rng)
         # Successor timestamps come from per-slot substreams so that the
         # batched and one-at-a-time ingestion paths consume each slot's
         # stream in the same order (see the module docstring).  Spawning
@@ -148,7 +152,8 @@ class ChainSample:
         return ts + int(self._successor_rngs[slot].integers(
             1, self._window_size + 1))
 
-    def offer(self, value, timestamp: int | None = None) -> bool:
+    def offer(self, value: "np.ndarray | Sequence[float] | float",
+              timestamp: int | None = None) -> bool:
         """Process one arrival; return True when it became an active element.
 
         That return value is what drives line 14 of the D3 algorithm
@@ -159,7 +164,8 @@ class ChainSample:
         """
         return bool(self.offer_detailed(value, timestamp))
 
-    def offer_detailed(self, value, timestamp: int | None = None) -> "tuple[int, ...]":
+    def offer_detailed(self, value: "np.ndarray | Sequence[float] | float",
+                       timestamp: int | None = None) -> "tuple[int, ...]":
         """Like :meth:`offer`, but return the indices of the slots whose
         active element the arrival replaced.
 
@@ -199,9 +205,11 @@ class ChainSample:
             while chain.items and chain.items[0][0] <= timestamp - self._window_size:
                 chain.items.popleft()
                 self._mutations += 1
+        if _sanitize.ACTIVE:
+            _sanitize.check_chain_sample(self)
         return tuple(changed)
 
-    def offer_many(self, values,
+    def offer_many(self, values: "np.ndarray | Sequence[Sequence[float]] | Sequence[float]",
                    start_timestamp: int | None = None) -> "list[tuple[int, ...]]":
         """Process a block of arrivals at consecutive timestamps.
 
@@ -230,6 +238,7 @@ class ChainSample:
         m = vals.shape[0]
         if m == 0:
             return []
+        mutations_before = self._mutations
         ts0 = self._timestamp + 1 if start_timestamp is None \
             else int(start_timestamp)
         if ts0 <= self._timestamp:
@@ -295,6 +304,8 @@ class ChainSample:
             while items and items[0][0] <= horizon:
                 items.popleft()
                 self._mutations += 1
+        if _sanitize.ACTIVE:
+            _sanitize.check_chain_sample(self, mutations_before=mutations_before)
         return [tuple(slots) for slots in changed]
 
     def values(self) -> np.ndarray:
@@ -350,7 +361,7 @@ class ReservoirSample:
         require_positive_int("n_dims", n_dims)
         self._sample_size = sample_size
         self._n_dims = n_dims
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = resolve_rng(rng)
         self._reservoir = np.empty((sample_size, n_dims), dtype=float)
         self._seen = 0
 
@@ -367,7 +378,7 @@ class ReservoirSample:
     def __len__(self) -> int:
         return min(self._seen, self._sample_size)
 
-    def offer(self, value) -> bool:
+    def offer(self, value: "np.ndarray | Sequence[float] | float") -> bool:
         """Process one arrival; return True when it entered the reservoir."""
         point = np.asarray(value, dtype=float).reshape(-1)
         if point.shape != (self._n_dims,):

@@ -9,6 +9,7 @@ stand-ins for the engine and environmental datasets.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 from scipy import stats as scipy_stats
@@ -37,7 +38,7 @@ class StreamSummary:
                 self.stddev, self.skew)
 
 
-def summarize(values) -> StreamSummary:
+def summarize(values: "np.ndarray | Sequence[float]") -> StreamSummary:
     """Summarise a 1-d array of values in the Figure 5 format."""
     arr = np.asarray(values, dtype=float).reshape(-1)
     if arr.size == 0:
@@ -55,7 +56,7 @@ def summarize(values) -> StreamSummary:
     )
 
 
-def summarize_columns(values) -> "list[StreamSummary]":
+def summarize_columns(values: "np.ndarray | Sequence[Sequence[float]]") -> "list[StreamSummary]":
     """Summarise each column of an ``(n, d)`` array independently."""
     points = as_points("values", values)
     return [summarize(points[:, j]) for j in range(points.shape[1])]

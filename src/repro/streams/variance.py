@@ -37,9 +37,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
+from repro import _sanitize
 from repro._exceptions import ParameterError
 from repro._validation import require_fraction, require_positive_int
 from repro.streams.window import SlidingWindow
@@ -183,8 +185,11 @@ class EHVarianceSketch:
             self._compress()
             self._since_compress = 0
             self._max_bucket_count = max(self._max_bucket_count, len(self._buckets))
+            if _sanitize.ACTIVE:
+                _sanitize.check_eh_sketch(self)
 
-    def insert_many(self, values, start_timestamp: int | None = None) -> None:
+    def insert_many(self, values: "np.ndarray | Sequence[float]",
+                    start_timestamp: int | None = None) -> None:
         """Insert a block of values at consecutive timestamps.
 
         Produces *exactly* the bucket state of the equivalent sequence of
@@ -228,6 +233,8 @@ class EHVarianceSketch:
                 self._since_compress = 0
                 self._max_bucket_count = max(self._max_bucket_count,
                                              len(self._buckets))
+        if _sanitize.ACTIVE:
+            _sanitize.check_eh_sketch(self)
 
     def _compress(self) -> None:
         # Greedily merge adjacent buckets, oldest first, while each merge
@@ -346,7 +353,8 @@ class MultiDimVarianceSketch:
         """Number of dimensions tracked."""
         return self._n_dims
 
-    def insert(self, value, timestamp: int | None = None) -> None:
+    def insert(self, value: "np.ndarray | Sequence[float] | float",
+               timestamp: int | None = None) -> None:
         """Insert one d-dimensional value."""
         point = np.asarray(value, dtype=float).reshape(-1)
         if point.shape != (self._n_dims,):
@@ -355,7 +363,8 @@ class MultiDimVarianceSketch:
         for sketch, coord in zip(self._sketches, point):
             sketch.insert(float(coord), timestamp)
 
-    def insert_many(self, values, start_timestamp: int | None = None) -> None:
+    def insert_many(self, values: "np.ndarray | Sequence[Sequence[float]] | Sequence[float]",
+                    start_timestamp: int | None = None) -> None:
         """Insert a block of d-dimensional values at consecutive timestamps.
 
         ``values`` has shape ``(m, d)`` (or ``(m,)`` for 1-d data); the
@@ -400,7 +409,8 @@ class ExactWindowedVariance:
     def __init__(self, window_size: int, n_dims: int = 1) -> None:
         self._window = SlidingWindow(window_size, n_dims)
 
-    def insert(self, value, timestamp: int | None = None) -> None:
+    def insert(self, value: "np.ndarray | Sequence[float] | float",
+               timestamp: int | None = None) -> None:
         """Insert one value (timestamps accepted for API symmetry)."""
         self._window.append(value)
 

@@ -8,6 +8,8 @@ ground-truth detectors and reference statistics, with O(1) appends.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro._exceptions import ParameterError
@@ -50,7 +52,7 @@ class SlidingWindow:
     def __len__(self) -> int:
         return self._count
 
-    def append(self, value) -> "np.ndarray | None":
+    def append(self, value: "np.ndarray | Sequence[float] | float") -> "np.ndarray | None":
         """Add a value; return the evicted value once the window is full."""
         point = np.asarray(value, dtype=float).reshape(-1)
         if point.shape != (self._n_dims,):

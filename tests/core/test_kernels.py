@@ -34,8 +34,10 @@ class TestEpanechnikov:
         assert EPANECHNIKOV.cdf(np.array(0.0)) == pytest.approx(0.5)
 
     def test_cdf_clamps_beyond_support(self):
-        assert EPANECHNIKOV.cdf(np.array(-9.0)) == 0.0
-        assert EPANECHNIKOV.cdf(np.array(9.0)) == 1.0
+        # Exact equality is intentional: beyond the support the CDF is
+        # *clamped* to the constants 0 and 1, not computed.
+        assert EPANECHNIKOV.cdf(np.array(-9.0)) == 0.0  # repro-lint: disable=RL002
+        assert EPANECHNIKOV.cdf(np.array(9.0)) == 1.0  # repro-lint: disable=RL002
 
     def test_support_radius(self):
         assert EPANECHNIKOV.support_radius == 1.0

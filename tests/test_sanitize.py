@@ -1,0 +1,215 @@
+"""The REPRO_SANITIZE runtime invariant checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import _sanitize
+from repro._sanitize import SanitizeError
+from repro.core.estimator import KernelDensityEstimator
+from repro.network.codec import (decode_model_state, encode_model_state,
+                                 quantization_step)
+from repro.streams.sampling import ChainSample
+from repro.streams.variance import EHVarianceSketch
+
+
+class TestSwitch:
+    def test_env_parsing(self, monkeypatch):
+        for value, expected in (("1", True), ("true", True), ("on", True),
+                                ("0", False), ("false", False), ("", False),
+                                ("off", False), ("no", False)):
+            monkeypatch.setenv("REPRO_SANITIZE", value)
+            assert _sanitize._env_active() is expected
+        monkeypatch.delenv("REPRO_SANITIZE")
+        assert _sanitize._env_active() is False
+
+    def test_enabled_context_restores_previous_state(self):
+        previous = _sanitize.ACTIVE
+        try:
+            _sanitize.deactivate()
+            with _sanitize.enabled():
+                assert _sanitize.ACTIVE
+            assert not _sanitize.ACTIVE
+        finally:
+            if previous:
+                _sanitize.activate()
+
+    def test_activate_deactivate(self):
+        previous = _sanitize.ACTIVE
+        try:
+            _sanitize.activate()
+            assert _sanitize.ACTIVE
+            _sanitize.deactivate()
+            assert not _sanitize.ACTIVE
+        finally:
+            if previous:
+                _sanitize.activate()
+
+    def test_error_is_catchable_both_ways(self):
+        from repro._exceptions import ReproError
+        assert issubclass(SanitizeError, ReproError)
+        assert issubclass(SanitizeError, AssertionError)
+
+
+class TestProbabilityChecks:
+    def test_valid_probabilities_pass(self):
+        _sanitize.check_probabilities(np.array([0.0, 0.5, 1.0]), label="t")
+        # Round-off a hair outside [0, 1] is legitimate cancellation.
+        _sanitize.check_probabilities(np.array([-1e-12, 1.0 + 1e-12]), label="t")
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(SanitizeError, match="outside"):
+            _sanitize.check_probabilities(np.array([0.2, 1.5]), label="t")
+        with pytest.raises(SanitizeError, match="outside"):
+            _sanitize.check_probabilities(-0.01, label="t")
+
+    def test_non_finite_raises(self):
+        with pytest.raises(SanitizeError, match="non-finite"):
+            _sanitize.check_probabilities(np.array([np.nan]), label="t")
+
+    def test_mass_sum_above_one_raises(self):
+        with pytest.raises(SanitizeError, match="total mass"):
+            _sanitize.check_mass(np.array([0.7, 0.7]), label="t")
+
+    def test_valid_mass_passes(self):
+        _sanitize.check_mass(np.array([0.25, 0.25, 0.5]), label="t")
+
+
+class TestBandwidthChecks:
+    def test_positive_bandwidths_pass(self):
+        _sanitize.check_bandwidths(np.array([0.01, 0.02]), label="t")
+
+    @pytest.mark.parametrize("bad", [[0.0], [-0.1], [np.nan], []])
+    def test_degenerate_bandwidths_raise(self, bad):
+        with pytest.raises(SanitizeError):
+            _sanitize.check_bandwidths(np.array(bad, dtype=float), label="t")
+
+
+class TestChainSampleChecks:
+    def make_sample(self, rng, n=500):
+        sample = ChainSample(64, 16, rng=rng)
+        sample.offer_many(rng.uniform(size=(n, 1)))
+        return sample
+
+    def test_healthy_sample_passes(self, rng):
+        _sanitize.check_chain_sample(self.make_sample(rng))
+
+    def test_offer_paths_pass_with_checks_live(self, rng):
+        with _sanitize.enabled():
+            sample = ChainSample(32, 8, rng=rng)
+            for value in rng.uniform(size=40):
+                sample.offer(value)
+            sample.offer_many(rng.uniform(size=(200, 1)))
+
+    def test_corrupted_successor_raises(self, rng):
+        sample = self.make_sample(rng)
+        chain = next(c for c in sample._chains if c.items)
+        chain.successor_ts = chain.items[-1][0]   # due in the past
+        with pytest.raises(SanitizeError, match="successor"):
+            _sanitize.check_chain_sample(sample)
+
+    def test_expired_item_raises(self, rng):
+        sample = self.make_sample(rng)
+        chain = next(c for c in sample._chains if c.items)
+        ts, value = chain.items[0]
+        chain.items[0] = (ts - 10_000, value)     # far outside the window
+        with pytest.raises(SanitizeError, match="window"):
+            _sanitize.check_chain_sample(sample)
+
+    def test_mutation_count_regression_raises(self, rng):
+        sample = self.make_sample(rng)
+        with pytest.raises(SanitizeError, match="mutation_count"):
+            _sanitize.check_chain_sample(
+                sample, mutations_before=sample.mutation_count + 1)
+
+
+class TestEHSketchChecks:
+    def make_sketch(self, rng, n=300):
+        sketch = EHVarianceSketch(128, epsilon=0.2)
+        sketch.insert_many(rng.uniform(size=n))
+        return sketch
+
+    def test_healthy_sketch_passes(self, rng):
+        _sanitize.check_eh_sketch(self.make_sketch(rng))
+
+    def test_insert_paths_pass_with_checks_live(self, rng):
+        with _sanitize.enabled():
+            sketch = EHVarianceSketch(64, epsilon=0.2)
+            for value in rng.uniform(size=100):
+                sketch.insert(float(value))
+            sketch.insert_many(rng.uniform(size=200))
+
+    def test_zero_count_bucket_raises(self, rng):
+        sketch = self.make_sketch(rng)
+        sketch._buckets[0].count = 0
+        with pytest.raises(SanitizeError, match="count"):
+            _sanitize.check_eh_sketch(sketch)
+
+    def test_unordered_buckets_raise(self, rng):
+        sketch = self.make_sketch(rng)
+        if len(sketch._buckets) < 2:
+            pytest.skip("sketch compressed to a single bucket")
+        sketch._buckets[-1].newest_ts = sketch._buckets[0].newest_ts
+        with pytest.raises(SanitizeError, match="increasing"):
+            _sanitize.check_eh_sketch(sketch)
+
+    def test_negative_m2_raises(self, rng):
+        sketch = self.make_sketch(rng)
+        sketch._buckets[-1].m2 = -1.0
+        with pytest.raises(SanitizeError, match="m2"):
+            _sanitize.check_eh_sketch(sketch)
+
+
+class TestCodecChecks:
+    def test_roundtrip_passes_with_checks_live(self, rng):
+        sample = rng.uniform(size=(32, 2))
+        stddev = rng.uniform(0.01, 0.1, size=2)
+        with _sanitize.enabled():
+            payload = encode_model_state(sample, stddev, 4096)
+        decoded, _, _ = decode_model_state(payload)
+        assert decoded.shape == sample.shape
+
+    def test_broken_decoder_raises(self, rng):
+        sample = rng.uniform(size=(8, 1))
+        stddev = np.array([0.05])
+        payload = encode_model_state(sample, stddev, 100)
+
+        def bad_decoder(_payload):
+            return sample + 0.25, stddev, 100
+
+        with pytest.raises(SanitizeError, match="round-trip"):
+            _sanitize.check_codec_roundtrip(
+                payload, sample, stddev, 100, bad_decoder,
+                step=quantization_step())
+
+    def test_wrong_window_raises(self, rng):
+        sample = rng.uniform(size=(8, 1))
+        stddev = np.array([0.05])
+        payload = encode_model_state(sample, stddev, 100)
+
+        def bad_decoder(_payload):
+            return sample, stddev, 99
+
+        with pytest.raises(SanitizeError, match="window_size"):
+            _sanitize.check_codec_roundtrip(
+                payload, sample, stddev, 100, bad_decoder,
+                step=quantization_step())
+
+
+class TestEstimatorIntegration:
+    def test_queries_pass_with_checks_live(self, gaussian_window):
+        with _sanitize.enabled():
+            model = KernelDensityEstimator.from_window(gaussian_window)
+            assert 0.0 <= model.range_probability(0.35, 0.45) <= 1.0
+            assert model.interval_probabilities(
+                np.linspace(0.0, 1.0, 9)).shape == (8,)
+            assert model.grid_probabilities(16).shape == (16,)
+
+    def test_degenerate_bandwidth_caught_at_construction(self):
+        # A constant window has zero deviation; Scott's rule floors the
+        # bandwidth, so construction must still yield a positive width
+        # under the sanitizer rather than dividing by zero later.
+        with _sanitize.enabled():
+            model = KernelDensityEstimator(np.full((50, 1), 0.5))
+            assert float(model.bandwidths[0]) > 0.0

@@ -1,0 +1,1 @@
+"""Tests for the repository's own tooling (repro-lint)."""

@@ -1,0 +1,315 @@
+"""The repro-lint rules: each must trigger on its target pattern and
+stay quiet when the pattern is suppressed or legitimately absent."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from tools.repro_lint import lint_paths, lint_source, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+def lint(source: str, path: str = "src/repro/example.py"):
+    return lint_source(textwrap.dedent(source), path)
+
+
+# ---------------------------------------------------------------------------
+# RL001 -- unseeded randomness
+# ---------------------------------------------------------------------------
+
+class TestRL001:
+    def test_flags_unseeded_default_rng(self):
+        findings = lint("""
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+        assert rules_of(findings) == ["RL001"]
+
+    def test_flags_legacy_module_level_sampler(self):
+        findings = lint("""
+            import numpy as np
+            x = np.random.normal(0.0, 1.0)
+        """)
+        assert rules_of(findings) == ["RL001"]
+
+    def test_seeded_generator_is_fine(self):
+        assert lint("""
+            import numpy as np
+            rng = np.random.default_rng(42)
+        """) == []
+
+    def test_allowlisted_module_is_exempt(self):
+        findings = lint("""
+            import numpy as np
+            rng = np.random.default_rng()
+        """, path="src/repro/_rng.py")
+        assert findings == []
+
+    def test_line_suppression(self):
+        findings = lint("""
+            import numpy as np
+            rng = np.random.default_rng()  # repro-lint: disable=RL001
+        """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL002 -- float equality on probabilities
+# ---------------------------------------------------------------------------
+
+class TestRL002:
+    def test_flags_probability_equality(self):
+        findings = lint("""
+            def f(prob: float) -> bool:
+                return prob == 1.0
+        """, path="tests/example_test.py")
+        assert rules_of(findings) == ["RL002"]
+
+    def test_flags_density_inequality(self):
+        findings = lint("""
+            def f(density: float) -> bool:
+                return density != 0.5
+        """, path="tests/example_test.py")
+        assert rules_of(findings) == ["RL002"]
+
+    def test_pytest_approx_is_tolerant(self):
+        assert lint("""
+            import pytest
+            def f(prob: float) -> None:
+                assert prob == pytest.approx(1.0)
+        """, path="tests/example_test.py") == []
+
+    def test_isclose_is_tolerant(self):
+        assert lint("""
+            import numpy as np
+            def f(prob: float, other: float) -> None:
+                assert np.isclose(prob, other) == True  # noqa: E712
+        """, path="tests/example_test.py") == []
+
+    def test_string_comparison_not_flagged(self):
+        assert lint("""
+            def f(pdf_kind: str) -> bool:
+                return pdf_kind == "epanechnikov"
+        """, path="tests/example_test.py") == []
+
+    def test_ordering_comparisons_not_flagged(self):
+        assert lint("""
+            def f(prob: float) -> bool:
+                return prob > 0.5
+        """, path="tests/example_test.py") == []
+
+    def test_line_suppression(self):
+        assert lint("""
+            def f(prob: float) -> bool:
+                return prob == 0.0  # repro-lint: disable=RL002
+        """, path="tests/example_test.py") == []
+
+
+# ---------------------------------------------------------------------------
+# RL003 -- complete annotations on the public src/repro surface
+# ---------------------------------------------------------------------------
+
+class TestRL003:
+    def test_flags_missing_parameter_annotation(self):
+        findings = lint("""
+            def estimate(values, grid_size: int = 16) -> float:
+                return 0.0
+        """)
+        assert rules_of(findings) == ["RL003"]
+        assert "values" in findings[0].message
+
+    def test_flags_missing_return_annotation(self):
+        findings = lint("""
+            def estimate(values: list):
+                return 0.0
+        """)
+        assert rules_of(findings) == ["RL003"]
+
+    def test_fully_annotated_passes(self):
+        assert lint("""
+            def estimate(values: list, grid_size: int = 16) -> float:
+                return 0.0
+        """) == []
+
+    def test_private_functions_exempt(self):
+        assert lint("""
+            def _helper(values):
+                return 0.0
+        """) == []
+
+    def test_init_self_exempt_but_params_required(self):
+        findings = lint("""
+            class Model:
+                def __init__(self, window) -> None:
+                    self.window = window
+        """)
+        assert rules_of(findings) == ["RL003"]
+        assert "window" in findings[0].message
+
+    def test_only_applies_inside_src(self):
+        assert lint("""
+            def estimate(values):
+                return 0.0
+        """, path="tests/example_test.py") == []
+
+    def test_file_level_suppression(self):
+        assert lint("""
+            # repro-lint: disable-file=RL003
+            def estimate(values):
+                return 0.0
+        """) == []
+
+
+# ---------------------------------------------------------------------------
+# RL004 -- mutation hazards
+# ---------------------------------------------------------------------------
+
+class TestRL004:
+    def test_flags_mutable_default_argument(self):
+        findings = lint("""
+            def collect(into=[]):
+                return into
+        """, path="tests/example_test.py")
+        assert rules_of(findings) == ["RL004"]
+
+    def test_flags_mutable_call_default(self):
+        findings = lint("""
+            def collect(into=dict()):
+                return into
+        """, path="tests/example_test.py")
+        assert rules_of(findings) == ["RL004"]
+
+    def test_flags_frozen_dataclass_mutation(self):
+        findings = lint("""
+            def tweak(spec):
+                object.__setattr__(spec, "k_sigma", 5.0)
+        """, path="tests/example_test.py")
+        assert rules_of(findings) == ["RL004"]
+
+    def test_post_init_setattr_is_the_sanctioned_idiom(self):
+        assert lint("""
+            class Spec:
+                def __post_init__(self):
+                    object.__setattr__(self, "alpha", 0.125)
+        """, path="tests/example_test.py") == []
+
+    def test_none_default_passes(self):
+        assert lint("""
+            def collect(into=None):
+                return [] if into is None else into
+        """, path="tests/example_test.py") == []
+
+    def test_line_suppression(self):
+        assert lint("""
+            def tweak(spec):
+                object.__setattr__(spec, "x", 1)  # repro-lint: disable=RL004
+        """, path="tests/example_test.py") == []
+
+
+# ---------------------------------------------------------------------------
+# RL005 -- batched APIs must not loop over their scalar counterpart
+# ---------------------------------------------------------------------------
+
+class TestRL005:
+    def test_flags_scalar_loop_in_batch_method(self):
+        findings = lint("""
+            class Sample:
+                def offer(self, value: float) -> bool:
+                    return True
+
+                def offer_many(self, values: list) -> list:
+                    out = []
+                    for value in values:
+                        out.append(self.offer(value))
+                    return out
+        """, path="tests/example_test.py")
+        assert rules_of(findings) == ["RL005"]
+
+    def test_flags_comprehension_over_scalar(self):
+        findings = lint("""
+            class Sample:
+                def insert(self, value: float) -> None:
+                    pass
+
+                def insert_many(self, values: list) -> None:
+                    _ = [self.insert(v) for v in values]
+        """, path="tests/example_test.py")
+        assert rules_of(findings) == ["RL005"]
+
+    def test_vectorised_batch_passes(self):
+        assert lint("""
+            class Sample:
+                def offer(self, value: float) -> bool:
+                    return True
+
+                def offer_many(self, values: list) -> list:
+                    return [True] * len(values)
+        """, path="tests/example_test.py") == []
+
+    def test_scalar_call_outside_loop_passes(self):
+        assert lint("""
+            class Sample:
+                def offer(self, value: float) -> bool:
+                    return True
+
+                def offer_many(self, values: list) -> bool:
+                    return self.offer(values[0])
+        """, path="tests/example_test.py") == []
+
+    def test_line_suppression(self):
+        assert lint("""
+            class Sample:
+                def offer(self, value: float) -> bool:
+                    return True
+
+                def offer_many(self, values: list) -> list:
+                    return [self.offer(v) for v in values]  # repro-lint: disable=RL005
+        """, path="tests/example_test.py") == []
+
+
+# ---------------------------------------------------------------------------
+# Engine behaviour
+# ---------------------------------------------------------------------------
+
+class TestEngine:
+    def test_syntax_error_reported_as_rl000(self):
+        findings = lint_source("def broken(:\n", "src/repro/bad.py")
+        assert rules_of(findings) == ["RL000"]
+
+    def test_findings_render_path_line_col(self):
+        findings = lint("""
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+        rendered = findings[0].render()
+        assert rendered.startswith("src/repro/example.py:")
+        assert "RL001" in rendered
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert rule_id in out
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        assert main([str(clean), "--root", str(tmp_path)]) == 0
+        assert main([str(dirty), "--root", str(tmp_path)]) == 1
+        assert "RL001" in capsys.readouterr().out
+
+
+class TestLiveTree:
+    def test_repository_is_lint_clean(self):
+        """The enforced acceptance gate: src, tests and benchmarks are
+        free of findings at all times."""
+        findings = lint_paths(["src", "tests", "benchmarks"], REPO_ROOT)
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,39 @@
+"""``repro-lint`` -- repository-specific static analysis.
+
+A small AST-based linter encoding invariants that generic tools cannot
+know about this codebase:
+
+* determinism (every random stream must be injected or seeded),
+* numeric hygiene (no float equality on probability-like quantities),
+* typing discipline (public ``src/repro`` functions fully annotated),
+* immutability (no mutable defaults, no frozen-instance mutation),
+* batched-API integrity (``*_many`` must not degrade to scalar loops).
+
+Run it over the tree with::
+
+    python -m tools.repro_lint src tests benchmarks
+
+Every rule has an ID (``RL001`` .. ``RL005``) and a docstring; a finding
+on a given line can be suppressed with a trailing
+``# repro-lint: disable=RL001`` comment (comma-separate several IDs).
+See ``docs/STATIC_ANALYSIS.md`` for the full rationale of each rule.
+"""
+
+from tools.repro_lint.engine import (
+    Finding,
+    lint_file,
+    lint_paths,
+    lint_source,
+    main,
+)
+from tools.repro_lint.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

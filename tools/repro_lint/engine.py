@@ -1,0 +1,165 @@
+"""Lint driver: file discovery, suppression handling, reporting.
+
+Suppressions
+------------
+A finding is suppressed when its line carries a comment of the form::
+
+    something()   # repro-lint: disable=RL001
+    other()       # repro-lint: disable=RL002,RL004
+
+and a whole file opts out of specific rules with a comment anywhere in
+the file (conventionally at the top)::
+
+    # repro-lint: disable-file=RL003
+
+Suppressions are per-rule only -- there is deliberately no blanket
+``disable=all`` -- so every escape hatch names the invariant it waives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import re
+import sys
+import tokenize
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from tools.repro_lint.rules import ALL_RULES, Finding, LintContext, Rule
+
+__all__ = ["lint_file", "lint_paths", "lint_source", "main"]
+
+_LINE_DISABLE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
+_FILE_DISABLE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Z0-9,\s]+)")
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "venv",
+                        "node_modules", ".mypy_cache", ".ruff_cache"})
+
+
+def _parse_ids(blob: str) -> "frozenset[str]":
+    return frozenset(part.strip() for part in blob.split(",") if part.strip())
+
+
+def _collect_suppressions(source: str) -> "tuple[dict[int, frozenset[str]], frozenset[str]]":
+    """Map line number -> suppressed rule IDs, plus file-level IDs."""
+    per_line: "dict[int, frozenset[str]]" = {}
+    file_level: "frozenset[str]" = frozenset()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _LINE_DISABLE.search(tok.string)
+            if match:
+                line = tok.start[0]
+                per_line[line] = per_line.get(line, frozenset()) | _parse_ids(
+                    match.group(1))
+            match = _FILE_DISABLE.search(tok.string)
+            if match:
+                file_level = file_level | _parse_ids(match.group(1))
+    except tokenize.TokenError:
+        pass   # syntax problems surface as parse errors below
+    return per_line, file_level
+
+
+def lint_source(source: str, path: str = "<memory>", *,
+                rules: "Sequence[Rule] | None" = None) -> "list[Finding]":
+    """Lint a source string as if it lived at ``path`` (repo-relative)."""
+    active_rules = ALL_RULES if rules is None else tuple(rules)
+    ctx = LintContext(path=Path(path).as_posix())
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(ctx.path, exc.lineno or 1, (exc.offset or 0) + 1,
+                        "RL000", f"syntax error: {exc.msg}")]
+    per_line, file_level = _collect_suppressions(source)
+    findings: "list[Finding]" = []
+    seen: "set[tuple[int, int, str, str]]" = set()
+    for rule in active_rules:
+        if rule.id in file_level:
+            continue
+        for finding in rule.check(tree, ctx):
+            key = (finding.line, finding.col, finding.rule, finding.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            if finding.rule in per_line.get(finding.line, frozenset()):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(path: "Path | str", root: "Path | str | None" = None,
+              *, rules: "Sequence[Rule] | None" = None) -> "list[Finding]":
+    """Lint one file; paths in findings are relative to ``root``."""
+    file_path = Path(path)
+    base = Path(root) if root is not None else Path.cwd()
+    try:
+        rel = file_path.resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        rel = file_path.as_posix()
+    source = file_path.read_text(encoding="utf-8")
+    return lint_source(source, rel, rules=rules)
+
+
+def _discover(paths: "Iterable[Path | str]", root: Path) -> "list[Path]":
+    files: "list[Path]" = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.append(candidate)
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: "Iterable[Path | str]",
+               root: "Path | str | None" = None,
+               *, rules: "Sequence[Rule] | None" = None) -> "list[Finding]":
+    """Lint every ``.py`` file under the given files/directories."""
+    base = Path(root) if root is not None else Path.cwd()
+    findings: "list[Finding]" = []
+    for file_path in _discover(paths, base):
+        findings.extend(lint_file(file_path, base, rules=rules))
+    return findings
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in ALL_RULES:
+        doc = (rule.__doc__ or "").strip().splitlines()[0]
+        lines.append(f"{rule.id}  {doc}")
+    return "\n".join(lines)
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Repository-specific AST lint (rules RL001-RL005).")
+    parser.add_argument("paths", nargs="*", default=["src", "tests", "benchmarks"],
+                        help="files or directories to lint "
+                             "(default: src tests benchmarks)")
+    parser.add_argument("--root", default=".",
+                        help="repository root for relative paths")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    findings = lint_paths(args.paths, args.root)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"repro-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0

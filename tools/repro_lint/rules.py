@@ -1,0 +1,362 @@
+"""Lint rules RL001-RL005.
+
+Each rule is a class with an ``id``, a docstring stating what it
+enforces and why, and a ``check(tree, ctx)`` generator yielding
+:class:`Finding` objects.  Rules are purely syntactic (AST-level): they
+encode repository conventions, not general Python style -- generic
+style is ruff's job (see ``pyproject.toml``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["ALL_RULES", "Finding", "LintContext", "Rule"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation: where it is, which rule, and what to do."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """Conventional ``path:line:col: RULE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Per-file facts the rules condition on."""
+
+    #: Path relative to the repository root, POSIX separators.
+    path: str
+
+    @property
+    def is_src(self) -> bool:
+        """Whether the file belongs to the shipped ``repro`` package."""
+        return self.path.startswith("src/repro/")
+
+
+class Rule:
+    """Base class for lint rules; subclasses set ``id`` and ``check``."""
+
+    id: str = "RL000"
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        """Yield findings for ``tree``; default: none."""
+        raise NotImplementedError
+
+    def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(ctx.path, getattr(node, "lineno", 1),
+                       getattr(node, "col_offset", 0) + 1, self.id, message)
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute/name chains; None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    """The last component of a call target: ``self.offer`` -> ``offer``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class UnseededRandomnessRule(Rule):
+    """RL001: every random stream must be injected or explicitly seeded.
+
+    Tier-1 tests, figure benchmarks, and the cached-estimator
+    equivalence proofs of PR 1 are only meaningful when a run can be
+    replayed bit for bit.  An unseeded ``np.random.default_rng()`` or a
+    call into numpy's legacy global RNG (``np.random.normal`` etc.)
+    injects irreproducible state.  Construct generators from an explicit
+    seed or accept them as parameters; module ``repro._rng`` holds the
+    one sanctioned deterministic fallback and is allowlisted.
+    """
+
+    id = "RL001"
+
+    #: Files allowed to construct fallback generators (the sanctioned
+    #: deterministic-default helpers live here).
+    ALLOWED_PATHS = frozenset({"src/repro/_rng.py"})
+
+    #: numpy legacy global-state samplers (module-level ``np.random.*``).
+    DIST_FUNCS = frozenset({
+        "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+        "exponential", "f", "gamma", "geometric", "gumbel",
+        "hypergeometric", "laplace", "logistic", "lognormal", "logseries",
+        "multinomial", "multivariate_normal", "negative_binomial",
+        "noncentral_chisquare", "noncentral_f", "normal", "pareto",
+        "permutation", "poisson", "power", "rand", "randint", "randn",
+        "random", "random_integers", "random_sample", "ranf", "rayleigh",
+        "sample", "seed", "shuffle", "standard_cauchy",
+        "standard_exponential", "standard_gamma", "standard_normal",
+        "standard_t", "triangular", "uniform", "vonmises", "wald",
+        "weibull", "zipf",
+    })
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.path in self.ALLOWED_PATHS:
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if parts[-1] == "default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx, node,
+                    "unseeded default_rng(); inject an rng or use the "
+                    "deterministic fallback in repro._rng")
+            elif (len(parts) >= 3 and parts[-2] == "random"
+                  and parts[-3] in ("np", "numpy")
+                  and parts[-1] in self.DIST_FUNCS):
+                yield self.finding(
+                    ctx, node,
+                    f"legacy global-RNG call np.random.{parts[-1]}(); "
+                    "use an injected numpy.random.Generator")
+
+
+class FloatEqualityRule(Rule):
+    """RL002: no ``==``/``!=`` on probability- or density-like floats.
+
+    Range probabilities, densities, and CDF values are the outputs of
+    floating-point kernel sums; exact equality on them is either
+    vacuously true (both sides share a code path) or flakily false.
+    Compare with ``math.isclose`` / ``np.isclose`` /
+    ``pytest.approx`` or an explicit tolerance constant instead
+    (``== approx(...)`` is recognised as tolerant and not flagged).
+    The rule keys on identifier names
+    (``prob``, ``pdf``, ``cdf``, ``density``, ``likelihood``,
+    ``pvalue``), so it is a heuristic -- suppress deliberate exact
+    comparisons (e.g. testing an exact-zero fast path) with
+    ``# repro-lint: disable=RL002``.
+    """
+
+    id = "RL002"
+
+    _PATTERN = re.compile(
+        r"prob|pdf|cdf|densit|likelihood|p_?value", re.IGNORECASE)
+
+    #: Call names that already encode a tolerance: ``x == approx(y)``
+    #: and friends are the *recommended* idiom, not a violation.
+    _TOLERANT_CALLS = frozenset({"approx", "isclose", "allclose"})
+
+    def _is_tolerant(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        name = _terminal_name(node.func)
+        return name in self._TOLERANT_CALLS
+
+    def _is_probabilistic(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Call):
+            name = _terminal_name(node.func)
+        else:
+            name = _terminal_name(node)
+        return name is not None and bool(self._PATTERN.search(name))
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                # String comparisons (e.g. kernel names) are exact.
+                if any(isinstance(side, ast.Constant)
+                       and isinstance(side.value, str)
+                       for side in (left, right)):
+                    continue
+                if self._is_tolerant(left) or self._is_tolerant(right):
+                    continue
+                if self._is_probabilistic(left) or self._is_probabilistic(right):
+                    yield self.finding(
+                        ctx, node,
+                        "float equality on a probability/density value; "
+                        "use math.isclose/np.isclose or a tolerance constant")
+                    break
+
+
+class IncompleteAnnotationsRule(Rule):
+    """RL003: public ``src/repro`` functions need complete annotations.
+
+    The package ships ``py.typed``, so its public surface claims to be
+    typed; an unannotated parameter silently degrades every caller to
+    ``Any`` and hides real bugs from mypy.  Every parameter (except
+    ``self``/``cls``) and the return type of public module- and
+    class-level functions -- including ``__init__`` -- must be
+    annotated.  Private helpers (leading underscore) and nested
+    functions are exempt.
+    """
+
+    id = "RL003"
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.is_src:
+            return
+        yield from self._visit(tree.body, ctx, in_class=False)
+
+    def _visit(self, body: Iterable[ast.stmt], ctx: LintContext, *,
+               in_class: bool) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if not node.name.startswith("_"):
+                    yield from self._visit(node.body, ctx, in_class=True)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                public = (not node.name.startswith("_")
+                          or node.name == "__init__")
+                if public:
+                    yield from self._check_signature(node, ctx, in_class)
+
+    def _check_signature(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+                         ctx: LintContext, in_class: bool) -> Iterator[Finding]:
+        args = node.args
+        positional = [*args.posonlyargs, *args.args]
+        is_static = any(
+            isinstance(dec, ast.Name) and dec.id == "staticmethod"
+            for dec in node.decorator_list)
+        if in_class and not is_static and positional:
+            positional = positional[1:]          # self / cls
+        missing = [a.arg for a in positional + list(args.kwonlyargs)
+                   if a.annotation is None]
+        for var in (args.vararg, args.kwarg):
+            if var is not None and var.annotation is None:
+                missing.append(var.arg)
+        if missing:
+            yield self.finding(
+                ctx, node,
+                f"public function '{node.name}' has unannotated "
+                f"parameter(s): {', '.join(missing)}")
+        if node.returns is None:
+            yield self.finding(
+                ctx, node,
+                f"public function '{node.name}' is missing a return annotation")
+
+
+class MutationHazardsRule(Rule):
+    """RL004: no mutable default arguments, no frozen-instance mutation.
+
+    A mutable default (``def f(x=[])``) is shared across every call --
+    state leaks between independent detector runs.  Mutating a frozen
+    dataclass via ``object.__setattr__`` outside ``__post_init__`` /
+    ``__setstate__`` defeats the immutability that lets specs and
+    messages be shared, hashed, and cached safely.
+    """
+
+    id = "RL004"
+
+    _MUTABLE_CALLS = frozenset({
+        "list", "dict", "set", "bytearray", "deque", "defaultdict",
+        "Counter", "OrderedDict",
+    })
+    _SETATTR_OK = frozenset({"__post_init__", "__setstate__"})
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        yield from self._walk(tree, ctx, func_name=None)
+
+    def _walk(self, node: ast.AST, ctx: LintContext, *,
+              func_name: str | None) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from self._check_defaults(node, ctx)
+            func_name = node.name
+        elif isinstance(node, ast.Call):
+            target = _dotted_name(node.func)
+            if (target == "object.__setattr__"
+                    and (func_name is None
+                         or func_name not in self._SETATTR_OK)):
+                yield self.finding(
+                    ctx, node,
+                    "object.__setattr__ on a (frozen) instance outside "
+                    "__post_init__/__setstate__")
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk(child, ctx, func_name=func_name)
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+                        ctx: LintContext) -> Iterator[Finding]:
+        args = node.args
+        defaults = [*args.defaults,
+                    *(d for d in args.kw_defaults if d is not None)]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                           ast.ListComp, ast.DictComp,
+                                           ast.SetComp))
+            if isinstance(default, ast.Call):
+                name = _terminal_name(default.func)
+                mutable = name in self._MUTABLE_CALLS
+            if mutable:
+                yield self.finding(
+                    ctx, default,
+                    f"mutable default argument in '{node.name}'; "
+                    "default to None and construct inside the function")
+
+
+class BatchedScalarLoopRule(Rule):
+    """RL005: ``*_many`` APIs must not loop over their scalar counterpart.
+
+    The PR-1 speedups hinge on batched entry points (``offer_many``,
+    ``insert_many``, ``observe_many``, ``process_many``, ...) doing
+    vectorised work.  A refactor that re-implements ``x_many`` as
+    ``for v in values: self.x(v)`` silently reverts the throughput win
+    while keeping every test green.  Python-level per-element loops over
+    the scalar method (or its ``_detailed``/``_one`` variant) inside a
+    ``*_many`` body are therefore errors; genuinely non-vectorisable
+    fallbacks must carry an explicit suppression comment and a reason.
+    """
+
+    id = "RL005"
+
+    _LOOPS = (ast.For, ast.AsyncFor, ast.While,
+              ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not node.name.endswith("_many") or len(node.name) <= 5:
+                continue
+            base = node.name[: -len("_many")]
+            scalar_names = {base, f"{base}_detailed", f"{base}_one"}
+            for loop in ast.walk(node):
+                if not isinstance(loop, self._LOOPS):
+                    continue
+                for call in ast.walk(loop):
+                    if (isinstance(call, ast.Call)
+                            and _terminal_name(call.func) in scalar_names):
+                        yield self.finding(
+                            ctx, call,
+                            f"'{node.name}' calls scalar "
+                            f"'{_terminal_name(call.func)}' inside a loop; "
+                            "keep the batched path vectorised")
+
+
+#: Rule registry, in ID order.
+ALL_RULES: "tuple[Rule, ...]" = (
+    UnseededRandomnessRule(),
+    FloatEqualityRule(),
+    IncompleteAnnotationsRule(),
+    MutationHazardsRule(),
+    BatchedScalarLoopRule(),
+)
