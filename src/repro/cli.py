@@ -14,6 +14,10 @@ Commands
 ``bench-throughput``
     Measure batched vs scalar ingest throughput (single node and D3
     network) and write ``BENCH_throughput.json``.
+``bench-resilience``
+    Measure detection quality and message overhead under injected node
+    crashes and link loss (docs/FAULT_MODEL.md) and write
+    ``BENCH_resilience.json``.
 """
 
 from __future__ import annotations
@@ -80,6 +84,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--output", default="BENCH_throughput.json",
                        help="where to write the JSON results")
+
+    resilience = commands.add_parser(
+        "bench-resilience",
+        help="measure detection quality under crashes and link loss")
+    resilience.add_argument("--leaves", type=int, default=8,
+                            help="leaf sensors in the deployment")
+    resilience.add_argument("--window", type=int, default=500,
+                            help="sliding-window size |W|")
+    resilience.add_argument("--measure", type=int, default=400,
+                            help="measured ticks after warm-up")
+    resilience.add_argument("--loss-rates", type=float, nargs="+",
+                            default=[0.0, 0.1, 0.3],
+                            help="link loss probabilities to sweep")
+    resilience.add_argument("--crash-fractions", type=float, nargs="+",
+                            default=[0.0, 0.25],
+                            help="leaf crash fractions to sweep")
+    resilience.add_argument("--seed", type=int, default=7)
+    resilience.add_argument("--output", default="BENCH_resilience.json",
+                            help="where to write the JSON results")
     return parser
 
 
@@ -151,6 +174,23 @@ def _cmd_bench_throughput(args) -> int:
     return 0
 
 
+def _cmd_bench_resilience(args) -> int:
+    from repro.eval import resilience
+
+    results = resilience.run_resilience_benchmark(
+        loss_rates=tuple(args.loss_rates),
+        crash_fractions=tuple(args.crash_fractions),
+        n_leaves=args.leaves, window_size=args.window,
+        measure_ticks=args.measure, seed=args.seed)
+    print(resilience.format_table(results))
+    path = resilience.write_results(results, args.output)
+    print(f"# wrote {path}", file=sys.stderr)
+    failures = resilience.check_degradation(results)
+    for failure in failures:
+        print(f"# DEGRADATION FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_info(args) -> int:
     import repro
     print(f"repro {repro.__version__} -- reproduction of Subramaniam et "
@@ -166,7 +206,8 @@ def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"reproduce": _cmd_reproduce, "detect": _cmd_detect,
                 "info": _cmd_info,
-                "bench-throughput": _cmd_bench_throughput}
+                "bench-throughput": _cmd_bench_throughput,
+                "bench-resilience": _cmd_bench_resilience}
     return handlers[args.command](args)
 
 

@@ -14,6 +14,7 @@ from repro.detectors.d3 import (
     build_d3_network,
     expected_parent_arrival_window,
 )
+from repro.detectors._state import ChildStalenessTracker
 from repro.detectors.single import OnlineOutlierDetector
 from repro.detectors.mgdd import (
     MGDDConfig,
@@ -36,4 +37,5 @@ __all__ = [
     "CentralizedLeafNode",
     "CentralizedRelayNode",
     "build_centralized_network",
+    "ChildStalenessTracker",
 ]

@@ -9,6 +9,8 @@ This module factors that trio out of the algorithm classes.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 
 from repro._exceptions import ParameterError
@@ -18,7 +20,7 @@ from repro.core.kernels import EPANECHNIKOV, Kernel
 from repro.streams.sampling import ChainSample
 from repro.streams.variance import MultiDimVarianceSketch
 
-__all__ = ["StreamModelState"]
+__all__ = ["StreamModelState", "ChildStalenessTracker"]
 
 #: Check whether the cached kernel model is stale at most once per this
 #: many arrivals (callers may override).  A due check rebuilds only when
@@ -217,3 +219,49 @@ class StreamModelState:
     def memory_words(self) -> int:
         """Logical footprint of the sample and sketches, in words."""
         return self._sample.memory_words() + self._sketch.memory_words()
+
+
+class ChildStalenessTracker:
+    """Last-heard bookkeeping for a parent's direct children.
+
+    Under faults (docs/FAULT_MODEL.md) a parent keeps its last-known
+    estimator state built from child contributions, but must know how
+    *stale* each child's contribution is: a child silent beyond the
+    configured horizon is excluded from window-size scaling so the
+    survivors' density estimate is normalised over the leaves actually
+    reporting, instead of diluting counts by dead subtrees.
+
+    Staleness of a child at ``tick`` is ``tick - last_heard``; a child
+    never heard from counts as ``tick + 1`` (stale since before the
+    run), so fresh deployments exclude a silent child once the horizon
+    passes, exactly like a mid-run crash.
+    """
+
+    def __init__(self,
+                 leaf_counts: "Mapping[int, int] | None" = None) -> None:
+        #: child id -> number of leaf sensors in its subtree (1 for a
+        #: leaf child); drives :meth:`active_leaf_count`.
+        self._leaf_counts: "dict[int, int]" = \
+            dict(leaf_counts) if leaf_counts else {}
+        self._last_heard: "dict[int, int]" = {}
+
+    def mark(self, child: int, tick: int) -> None:
+        """Record that ``child`` was heard from at ``tick``."""
+        self._last_heard[child] = tick
+
+    def staleness(self, tick: int) -> "dict[int, int]":
+        """Ticks since each child was last heard (never = ``tick + 1``)."""
+        children = sorted(set(self._leaf_counts) | set(self._last_heard))
+        return {child: tick - self._last_heard[child]
+                if child in self._last_heard else tick + 1
+                for child in children}
+
+    def active_leaf_count(self, tick: int, horizon: int) -> int:
+        """Leaf sensors under children whose staleness is <= ``horizon``."""
+        total = 0
+        for child, leaves in self._leaf_counts.items():
+            last = self._last_heard.get(child)
+            stale = tick - last if last is not None else tick + 1
+            if stale <= horizon:
+                total += leaves
+        return total

@@ -19,6 +19,7 @@ per-window volume is derived in :func:`expected_parent_arrival_window`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
@@ -30,7 +31,7 @@ from repro._validation import (
 )
 from repro.core.kernels import EPANECHNIKOV, Kernel
 from repro.core.outliers import DistanceOutlierSpec
-from repro.detectors._state import StreamModelState
+from repro.detectors._state import ChildStalenessTracker, StreamModelState
 from repro.network.messages import Message, OutlierReport, ValueForward
 from repro.network.node import Detection, DetectionLog, Outgoing
 from repro.network.topology import Hierarchy
@@ -63,6 +64,12 @@ class D3Config:
     model_refresh: int = 16
     kernel: Kernel = EPANECHNIKOV
     parent_window: str = "fixed"
+    #: Fault tolerance (docs/FAULT_MODEL.md): parents exclude children
+    #: silent for more than this many ticks from their window-size
+    #: scaling, so survivors' counts stay calibrated while crashed
+    #: subtrees are down.  None (default) disables the exclusion --
+    #: behaviour is then identical to a fault-free deployment.
+    staleness_horizon: "int | None" = None
 
     def __post_init__(self) -> None:
         require_positive_int("window_size", self.window_size)
@@ -74,6 +81,8 @@ class D3Config:
             raise ParameterError(
                 f"parent_window must be 'fixed' or 'union', "
                 f"got {self.parent_window!r}")
+        if self.staleness_horizon is not None:
+            require_positive_int("staleness_horizon", self.staleness_horizon)
 
     @property
     def effective_warmup(self) -> int:
@@ -264,7 +273,8 @@ class D3ParentNode:
     def __init__(self, node_id: int, parent: "int | None", level: int,
                  n_children: int, n_leaves_under: int,
                  config: D3Config, n_dims: int, log: DetectionLog,
-                 rng: np.random.Generator) -> None:
+                 rng: np.random.Generator, *,
+                 children_leaf_counts: "Mapping[int, int] | None" = None) -> None:
         self.node_id = node_id
         self._parent = parent
         self._level = level
@@ -277,11 +287,23 @@ class D3ParentNode:
             arrival_window, config.sample_size, n_dims,
             epsilon=config.epsilon, model_refresh=config.model_refresh,
             kernel=config.kernel, rng=rng)
+        self._staleness = ChildStalenessTracker(children_leaf_counts)
 
     @property
     def state(self) -> StreamModelState:
         """The node's estimator state (for memory accounting)."""
         return self._state
+
+    def child_staleness(self, tick: int) -> "dict[int, int]":
+        """Ticks since each direct child was last heard from."""
+        return self._staleness.staleness(tick)
+
+    def _active_leaves(self, tick: int) -> int:
+        """Leaves feeding this node's window, per the staleness horizon."""
+        horizon = self._config.staleness_horizon
+        if horizon is None:
+            return self._n_leaves_under
+        return max(1, self._staleness.active_leaf_count(tick, horizon))
 
     def on_reading(self, value: np.ndarray, tick: int) -> "list[Outgoing]":
         """Leaders have no sensor stream of their own in this deployment."""
@@ -291,16 +313,18 @@ class D3ParentNode:
                    tick: int) -> "list[Outgoing]":
         """Handle forwarded samples and escalated outliers (lines 22-30)."""
         out: "list[Outgoing]" = []
+        self._staleness.mark(sender, tick)   # any upward traffic = alive
         if isinstance(message, ValueForward):
             changed = self._state.observe(message.value)
+            leaves = self._active_leaves(tick)
             if self._config.parent_window == "fixed":
                 # Most recent |W| values of the combined children stream.
                 self._state.count_window_size = min(
-                    (tick + 1) * self._n_leaves_under, self._config.window_size)
+                    (tick + 1) * leaves, self._config.window_size)
             else:
                 # Union of the full leaf windows below (Theorem 3's W_p).
                 self._state.count_window_size = (
-                    min(tick + 1, self._config.window_size) * self._n_leaves_under)
+                    min(tick + 1, self._config.window_size) * leaves)
             if changed and self._parent is not None \
                     and self._rng.random() < self._config.sample_fraction:
                 out.append((self._parent, message))
@@ -347,9 +371,13 @@ def build_d3_network(hierarchy: Hierarchy, config: D3Config, n_dims: int, *,
                 nodes[node_id] = D3LeafNode(
                     node_id, parent, level_idx + 1, config, n_dims, log, child_rng)
             else:
+                children = hierarchy.children_of(node_id)
                 nodes[node_id] = D3ParentNode(
                     node_id, parent, level_idx + 1,
-                    n_children=len(hierarchy.children_of(node_id)),
+                    n_children=len(children),
                     n_leaves_under=len(hierarchy.leaves_under(node_id)),
-                    config=config, n_dims=n_dims, log=log, rng=child_rng)
+                    config=config, n_dims=n_dims, log=log, rng=child_rng,
+                    children_leaf_counts={
+                        child: len(hierarchy.leaves_under(child))
+                        for child in children})
     return D3Network(nodes=nodes, log=log)

@@ -26,7 +26,7 @@ Two update policies are implemented:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import Literal, Mapping
 
 import numpy as np
 
@@ -38,7 +38,7 @@ from repro.core.divergence import model_js_divergence
 from repro.core.estimator import KernelDensityEstimator
 from repro.core.kernels import EPANECHNIKOV, Kernel
 from repro.core.mdef import MDEFOutlierDetector, MDEFSpec
-from repro.detectors._state import StreamModelState
+from repro.detectors._state import ChildStalenessTracker, StreamModelState
 from repro.detectors.d3 import expected_parent_arrival_window
 from repro.network.messages import Message, ModelUpdate, ValueForward
 from repro.network.node import Detection, DetectionLog, Outgoing
@@ -88,6 +88,13 @@ class MGDDConfig:
     #: that tier broadcast a *regional* model to its own subtree, so
     #: leaves judge deviations against their region instead.
     model_level: "int | None" = None
+    #: Fault tolerance (docs/FAULT_MODEL.md): leaders exclude children
+    #: silent for more than this many ticks from the global window-size
+    #: scaling, and leaves stop trusting a mirrored global model whose
+    #: last update is older than this (detection pauses rather than
+    #: flagging against a reference the network can no longer refresh).
+    #: None (default) disables both -- fault-free behaviour is identical.
+    staleness_horizon: "int | None" = None
 
     def __post_init__(self) -> None:
         require_positive_int("window_size", self.window_size)
@@ -109,6 +116,8 @@ class MGDDConfig:
             raise ParameterError(
                 f"relay_policy must be 'bernoulli' or 'inclusion', "
                 f"got {self.relay_policy!r}")
+        if self.staleness_horizon is not None:
+            require_positive_int("staleness_horizon", self.staleness_horizon)
 
     @property
     def effective_warmup(self) -> int:
@@ -205,6 +214,7 @@ class MGDDLeafNode:
         # changes under mid-epoch ModelUpdate messages).
         self._epoch_values: "np.ndarray | None" = None
         self._epoch_start = 0
+        self._last_update_tick: "int | None" = None
         self.flagged_ticks: "list[int]" = []
 
     @property
@@ -265,8 +275,20 @@ class MGDDLeafNode:
             self._detect(self._epoch_values[idx], tick)
         return []
 
+    def model_staleness(self, tick: int) -> int:
+        """Ticks since the last ModelUpdate (never = ``tick + 1``)."""
+        if self._last_update_tick is None:
+            return tick + 1
+        return tick - self._last_update_tick
+
     def _detect(self, value: np.ndarray, tick: int) -> None:
         """Check one reading against the global-model copy; log on flag."""
+        horizon = self._config.staleness_horizon
+        if horizon is not None and self.model_staleness(tick) > horizon:
+            # The mirrored reference is too old to trust: the path to
+            # the model source has been down longer than the horizon.
+            # Pausing beats flagging against a frozen distribution.
+            return
         model = self._global.model()
         if model is not None:
             detector = MDEFOutlierDetector(model, self._config.spec)
@@ -281,6 +303,7 @@ class MGDDLeafNode:
         """MGDD LeafProcess lines 15-16: apply global-model updates."""
         if isinstance(message, ModelUpdate):
             self._global.apply(message)
+            self._last_update_tick = tick
         return []
 
 
@@ -298,13 +321,15 @@ class MGDDLeaderNode:
                  children: "tuple[int, ...]", n_children: int,
                  n_leaves_region: int, config: MGDDConfig, n_dims: int,
                  rng: np.random.Generator,
-                 is_model_source: "bool | None" = None) -> None:
+                 is_model_source: "bool | None" = None,
+                 children_leaf_counts: "Mapping[int, int] | None" = None) -> None:
         self.node_id = node_id
         self._parent = parent
         self._children = children
         self._config = config
         self._rng = rng
         self._n_leaves_region = n_leaves_region
+        self._staleness = ChildStalenessTracker(children_leaf_counts)
         arrival_window = expected_parent_arrival_window(n_children, _as_d3_like(config))
         self._state = StreamModelState(
             arrival_window, config.sample_size, n_dims,
@@ -330,11 +355,22 @@ class MGDDLeaderNode:
 
     # ------------------------------------------------------------------
 
+    def child_staleness(self, tick: int) -> "dict[int, int]":
+        """Ticks since each direct child was last heard from."""
+        return self._staleness.staleness(tick)
+
+    def _active_leaves(self, tick: int) -> int:
+        """Leaves feeding this region, per the staleness horizon."""
+        horizon = self._config.staleness_horizon
+        if horizon is None:
+            return self._n_leaves_region
+        return max(1, self._staleness.active_leaf_count(tick, horizon))
+
     def _global_window_size(self, tick: int) -> int:
+        leaves = self._active_leaves(tick)
         if self._config.parent_window == "fixed":
-            return min((tick + 1) * self._n_leaves_region,
-                       self._config.window_size)
-        return min(tick + 1, self._config.window_size) * self._n_leaves_region
+            return min((tick + 1) * leaves, self._config.window_size)
+        return min(tick + 1, self._config.window_size) * leaves
 
     def _broadcast_incremental(self, changed: "tuple[int, ...]",
                                value: np.ndarray, tick: int) -> "list[Outgoing]":
@@ -370,6 +406,7 @@ class MGDDLeaderNode:
         """Relay samples upward; originate/relay model updates downward."""
         out: "list[Outgoing]" = []
         if isinstance(message, ValueForward):
+            self._staleness.mark(sender, tick)   # upward traffic = alive
             changed = self._state.observe(message.value)
             if self._is_model_source:
                 self._state.count_window_size = self._global_window_size(tick)
@@ -448,10 +485,14 @@ def build_mgdd_network(hierarchy: Hierarchy, config: MGDDConfig, n_dims: int, *,
                 nodes[node_id] = MGDDLeafNode(
                     node_id, parent, config, n_dims, log, child_rng)
             else:
+                children = hierarchy.children_of(node_id)
                 nodes[node_id] = MGDDLeaderNode(
-                    node_id, parent, hierarchy.children_of(node_id),
-                    n_children=len(hierarchy.children_of(node_id)),
+                    node_id, parent, children,
+                    n_children=len(children),
                     n_leaves_region=len(hierarchy.leaves_under(node_id)),
                     config=config, n_dims=n_dims, rng=child_rng,
-                    is_model_source=(level_idx + 1 == source_level))
+                    is_model_source=(level_idx + 1 == source_level),
+                    children_leaf_counts={
+                        child: len(hierarchy.leaves_under(child))
+                        for child in children})
     return MGDDNetwork(nodes=nodes, log=log)

@@ -24,6 +24,11 @@ from repro.eval.harness import (
 )
 from repro.eval.metrics import PrecisionRecall, precision_recall
 from repro.eval.reporting import render_table
+from repro.eval.resilience import (
+    check_degradation,
+    run_resilience_benchmark,
+    run_resilience_cell,
+)
 from repro.eval.truth import (
     DistanceTruth,
     GlobalMDEFTruth,
@@ -56,4 +61,7 @@ __all__ = [
     "figure11",
     "memory_experiment",
     "selectivity_experiment",
+    "run_resilience_cell",
+    "run_resilience_benchmark",
+    "check_degradation",
 ]

@@ -38,8 +38,16 @@ from repro.detectors.d3 import D3Config, build_d3_network
 from repro.detectors.mgdd import MGDDConfig, build_mgdd_network
 from repro.eval.metrics import PrecisionRecall, precision_recall
 from repro.eval.truth import DistanceTruth, GlobalMDEFTruth, WindowBank
+from repro.network.election import (
+    BearerRepair,
+    RoundRobinElection,
+    handoff_cost_words,
+)
+from repro.network.faults import FaultPlan, random_crash_plan
+from repro.network.messages import MessageCounter
 from repro.network.simulator import NetworkSimulator
 from repro.network.topology import Hierarchy, build_hierarchy
+from repro.network.transport import TransportConfig
 
 __all__ = [
     "ExperimentConfig",
@@ -84,6 +92,14 @@ class ExperimentConfig:
     hist_refresh: int = 64
     update_policy: str = "incremental"       # MGDD model dissemination
     parent_window: str = "fixed"             # leader-window semantics
+    # -- fault injection (docs/FAULT_MODEL.md); all off by default ------
+    loss_rate: float = 0.0                   # uniform link loss probability
+    crash_fraction: float = 0.0              # fraction of leaves that crash
+    duplication_rate: float = 0.0            # spurious double-delivery rate
+    reliable_transport: bool = False         # per-hop ack/retransmit shim
+    transport_max_retries: int = 3
+    repair_leaders: bool = False             # election + bearer repair
+    staleness_horizon: "int | None" = None   # child/model staleness cutoff
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("d3", "mgdd"):
@@ -95,6 +111,11 @@ class ExperimentConfig:
                 f"'environment', got {self.dataset!r}")
         if self.dataset == "environment" and self.n_dims != 2:
             raise ParameterError("the environment dataset is 2-dimensional")
+        for name in ("loss_rate", "crash_fraction", "duplication_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ParameterError(
+                    f"{name} must lie in [0, 1], got {rate!r}")
 
     # -- derived quantities --------------------------------------------
 
@@ -169,6 +190,11 @@ class AccuracyResult:
     #: The individual runs behind a pooled result (empty for single runs);
     #: lets callers report run-to-run spread next to the pooled ratios.
     runs: "list[AccuracyResult]" = field(default_factory=list)
+    #: Network-layer accounting of the run: message/word totals, per-kind
+    #: drop accounting, transport statistics, handoffs, per-parent child
+    #: staleness (see :func:`run_accuracy_run`).  Pooled results carry
+    #: the summed numeric fields.
+    network_stats: "dict[str, object]" = field(default_factory=dict)
 
     def precision(self, level: int, *, model: str = "kernel") -> float:
         """Precision at a level, for 'kernel' or 'histogram'."""
@@ -273,6 +299,29 @@ class _HistogramMGDD:
                          for i in range(arrivals.shape[0])])
 
 
+def _build_fault_plan(config: ExperimentConfig, hierarchy: Hierarchy,
+                      seed: int) -> "FaultPlan | None":
+    """The run's fault plan, or None for a fault-free configuration.
+
+    Crash windows land inside the measurement phase (so degradation is
+    measured, not warm-up), each lasting between a fifth and half of it;
+    the plan's own rng stream is derived from the run seed, so the same
+    seed always injects the same faults.
+    """
+    if config.crash_fraction <= 0.0 and config.duplication_rate <= 0.0:
+        return None
+    measure = config.n_ticks - config.warmup
+    return random_crash_plan(
+        hierarchy,
+        crash_fraction=config.crash_fraction,
+        first_tick=config.warmup,
+        last_tick=config.n_ticks,
+        min_down=max(1, measure // 5),
+        max_down=max(1, measure // 2),
+        duplication_rate=config.duplication_rate,
+        rng=np.random.default_rng(seed + 7919))
+
+
 def run_accuracy_run(config: ExperimentConfig, seed: int) -> AccuracyResult:
     """One full simulation + ground truth + precision/recall, one seed."""
     hierarchy = build_hierarchy(config.n_leaves, config.branching)
@@ -285,7 +334,8 @@ def run_accuracy_run(config: ExperimentConfig, seed: int) -> AccuracyResult:
             sample_size=config.sample_size,
             sample_fraction=config.forward_fraction, epsilon=config.epsilon,
             warmup=config.warmup, model_refresh=config.model_refresh,
-            parent_window=config.parent_window)
+            parent_window=config.parent_window,
+            staleness_horizon=config.staleness_horizon)
         network = build_d3_network(hierarchy, det_config, config.n_dims, rng=rng)
     else:
         det_config = MGDDConfig(
@@ -294,8 +344,24 @@ def run_accuracy_run(config: ExperimentConfig, seed: int) -> AccuracyResult:
             sample_fraction=config.forward_fraction, epsilon=config.epsilon,
             warmup=config.warmup, model_refresh=config.model_refresh,
             update_policy=config.update_policy,  # type: ignore[arg-type]
-            parent_window=config.parent_window)
+            parent_window=config.parent_window,
+            staleness_horizon=config.staleness_horizon)
         network = build_mgdd_network(hierarchy, det_config, config.n_dims, rng=rng)
+
+    faults = _build_fault_plan(config, hierarchy, seed)
+    transport = TransportConfig(max_retries=config.transport_max_retries) \
+        if config.reliable_transport else None
+    counter = MessageCounter()
+    repair = None
+    if config.repair_leaders and faults is not None:
+        election = RoundRobinElection(hierarchy,
+                                      epoch_length=config.window_size)
+        repair = BearerRepair(
+            election, faults,
+            handoff_words=handoff_cost_words(
+                config.sample_size, config.n_dims,
+                sketch_words=8 * config.n_dims),
+            counter=counter)
 
     bank = WindowBank(hierarchy, config.window_size, config.n_dims,
                       mode=config.parent_window)
@@ -341,7 +407,10 @@ def run_accuracy_run(config: ExperimentConfig, seed: int) -> AccuracyResult:
             hist_keys.setdefault(1, set()).update(
                 (tick, int(i)) for i in np.flatnonzero(mask))
 
-    simulator = NetworkSimulator(hierarchy, network.nodes, streams)
+    simulator = NetworkSimulator(
+        hierarchy, network.nodes, streams, counter=counter,
+        loss_rate=config.loss_rate, faults=faults, transport=transport,
+        repair=repair, rng=np.random.default_rng(seed + 2))
     simulator.run(config.n_ticks, on_tick=on_tick)
 
     evaluated = set(evaluated_ticks)
@@ -363,6 +432,30 @@ def run_accuracy_run(config: ExperimentConfig, seed: int) -> AccuracyResult:
         result.levels[level] = LevelResult(level=level, kernel=kernel_pr,
                                            histogram=hist_pr)
         result.n_true_outliers[level] = len(truth)
+
+    last_tick = config.n_ticks - 1
+    staleness = {}
+    for node_id, node in network.nodes.items():
+        report = getattr(node, "child_staleness", None)
+        if report is not None:
+            staleness[node_id] = report(last_tick)
+    result.network_stats = {
+        "messages_sent": counter.total_messages,
+        "messages_delivered": counter.total_delivered,
+        "messages_dropped": counter.total_dropped,
+        "words": counter.total_words,
+        "counts_by_kind": dict(counter.counts),
+        "messages_lost": simulator.messages_lost,
+        "messages_duplicated": simulator.messages_duplicated,
+        "drops_by_reason": simulator.drops_by_reason,
+        "conservation_failures": counter.conservation_failures(),
+        "transport": simulator.transport.stats()
+        if simulator.transport is not None else {},
+        "handoffs": len(repair.handoffs) if repair is not None else 0,
+        "crashed_nodes": list(faults.crashed_node_ids)
+        if faults is not None else [],
+        "child_staleness": staleness,
+    }
     return result
 
 
@@ -400,4 +493,8 @@ def run_accuracy_experiment(config: ExperimentConfig, *,
                                            histogram=histogram)
         merged.n_true_outliers[level] = sum(
             run.n_true_outliers[level] for run in runs)
+    merged.network_stats = {
+        key: sum(run.network_stats[key] for run in runs)   # type: ignore[misc]
+        for key, value in runs[0].network_stats.items()
+        if isinstance(value, int)}
     return merged

@@ -1,17 +1,23 @@
 """Sensor-network substrate: topology, messages, simulator, metrics
-(paper Sections 2 and 10).
+(paper Sections 2 and 10), plus fault injection and reliable transport
+(docs/FAULT_MODEL.md).
 """
 
 from repro.network.election import (
+    BearerChange,
+    BearerRepair,
     EnergyAwareElection,
     LeaderAssignment,
     RoundRobinElection,
     handoff_cost_words,
 )
 from repro.network.energy import EnergyAccountant, RadioModel
+from repro.network.faults import CrashWindow, FaultPlan, random_crash_plan
 from repro.network.messages import (
+    Ack,
     Message,
     MessageCounter,
+    ModelHandoff,
     ModelUpdate,
     OutlierReport,
     ValueForward,
@@ -20,6 +26,11 @@ from repro.network.metrics import CommunicationReport, MemoryReport
 from repro.network.node import Detection, DetectionLog, Outgoing, SimNode
 from repro.network.simulator import NetworkSimulator
 from repro.network.topology import Hierarchy, build_hierarchy
+from repro.network.transport import (
+    PendingMessage,
+    ReliableTransport,
+    TransportConfig,
+)
 
 __all__ = [
     "Hierarchy",
@@ -28,6 +39,8 @@ __all__ = [
     "ValueForward",
     "OutlierReport",
     "ModelUpdate",
+    "Ack",
+    "ModelHandoff",
     "MessageCounter",
     "NetworkSimulator",
     "SimNode",
@@ -42,4 +55,12 @@ __all__ = [
     "RoundRobinElection",
     "EnergyAwareElection",
     "handoff_cost_words",
+    "BearerChange",
+    "BearerRepair",
+    "CrashWindow",
+    "FaultPlan",
+    "random_crash_plan",
+    "TransportConfig",
+    "ReliableTransport",
+    "PendingMessage",
 ]

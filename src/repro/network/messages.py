@@ -11,6 +11,13 @@ Three message kinds move through the hierarchy:
   incremental single-sample change or a full model re-broadcast (the
   Section 8.1 lazy scheme).
 
+Two further kinds exist only under fault tolerance (docs/FAULT_MODEL.md):
+
+* :class:`Ack` -- the reliable transport's per-hop acknowledgement;
+* :class:`ModelHandoff` -- detector state transferred when a leader role
+  moves to a new physical bearer (its size is
+  :func:`~repro.network.election.handoff_cost_words`).
+
 Sizes are accounted in machine words (16-bit on the paper's motes): a
 d-dimensional value costs ``d`` words, plus bookkeeping fields.
 """
@@ -26,6 +33,8 @@ __all__ = [
     "ValueForward",
     "OutlierReport",
     "ModelUpdate",
+    "Ack",
+    "ModelHandoff",
     "MessageCounter",
 ]
 
@@ -87,23 +96,92 @@ class ModelUpdate(Message):
         return words
 
 
+@dataclass(frozen=True)
+class Ack(Message):
+    """A per-hop transport acknowledgement (reliable transport only).
+
+    Carries the sequence number of the data message it confirms; two
+    words on the paper's 16-bit motes (sequence + sender tag).
+    """
+
+    seq: int
+
+    def size_words(self) -> int:
+        return 2
+
+
+@dataclass(frozen=True)
+class ModelHandoff(Message):
+    """Detector state moved to a leader role's new physical bearer.
+
+    ``words`` is the transfer size computed by
+    :func:`~repro.network.election.handoff_cost_words` (kernel sample
+    plus variance sketches).
+    """
+
+    leader: int
+    words: int
+
+    def size_words(self) -> int:
+        return self.words
+
+
 @dataclass
 class MessageCounter:
-    """Counts messages and payload words by message class."""
+    """Counts messages and payload words by message class.
+
+    ``counts``/``words`` account every transmission attempt ("sent").
+    Drivers that also report per-attempt outcomes (the simulator does)
+    additionally fill ``delivered`` and ``dropped``, and the
+    conservation identity ``sent == delivered + dropped`` holds per
+    message kind (:meth:`conservation_failures` checks it).
+    """
 
     counts: "dict[str, int]" = field(default_factory=dict)
     words: "dict[str, int]" = field(default_factory=dict)
+    delivered: "dict[str, int]" = field(default_factory=dict)
+    dropped: "dict[str, int]" = field(default_factory=dict)
 
     def record(self, message: Message) -> None:
-        """Account one transmitted message (one hop)."""
+        """Account one transmitted message (one hop, one attempt)."""
         kind = type(message).__name__
         self.counts[kind] = self.counts.get(kind, 0) + 1
         self.words[kind] = self.words.get(kind, 0) + message.size_words()
+
+    def record_delivered(self, message: Message) -> None:
+        """Account a transmission attempt that reached its receiver."""
+        kind = type(message).__name__
+        self.delivered[kind] = self.delivered.get(kind, 0) + 1
+
+    def record_dropped(self, message: Message) -> None:
+        """Account a transmission attempt that did not reach its receiver."""
+        kind = type(message).__name__
+        self.dropped[kind] = self.dropped.get(kind, 0) + 1
 
     @property
     def total_messages(self) -> int:
         """Total messages across all kinds."""
         return sum(self.counts.values())
+
+    @property
+    def total_delivered(self) -> int:
+        """Total delivered attempts across all kinds."""
+        return sum(self.delivered.values())
+
+    @property
+    def total_dropped(self) -> int:
+        """Total dropped attempts across all kinds."""
+        return sum(self.dropped.values())
+
+    def conservation_failures(self) -> "list[str]":
+        """Kinds violating ``sent == delivered + dropped`` (empty = ok).
+
+        Only meaningful when the driver records per-attempt outcomes;
+        a counter fed by ``record`` alone reports every kind here.
+        """
+        return [kind for kind, sent in self.counts.items()
+                if sent != self.delivered.get(kind, 0)
+                + self.dropped.get(kind, 0)]
 
     @property
     def total_words(self) -> int:

@@ -8,13 +8,25 @@ leaf consumes one reading from its stream; messages are routed along the
 tree edges and processed within the tick (sensor radio latency is far
 below the 1-second reading period the paper assumes); every transmitted
 message is accounted in a :class:`~repro.network.messages.MessageCounter`.
-Radio contention and energy draw are out of scope -- the paper uses TAG
-for topology and message accounting only (see DESIGN.md section 4).
+Radio contention is out of scope -- the paper uses TAG for topology and
+message accounting only (see DESIGN.md section 4).
+
+Failure is a first-class condition (docs/FAULT_MODEL.md): a
+:class:`~repro.network.faults.FaultPlan` injects node crashes,
+per-link loss and message duplication; a
+:class:`~repro.network.transport.TransportConfig` inserts the
+ack/retransmit shim between node behaviours and the drain loop; a
+:class:`~repro.network.election.BearerRepair` keeps leader roles on
+living bearers.  Every attempt, retransmission and acknowledgement is
+charged to the message counter (and energy accountant), and every
+attempt outcome is recorded, so ``sent == delivered + dropped`` holds
+per message kind.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Callable, Mapping
 
 import numpy as np
@@ -22,16 +34,34 @@ import numpy as np
 from repro._exceptions import SimulationError, TopologyError
 from repro._rng import resolve_rng
 from repro.data.streams import StreamSet
+from repro.network.election import BearerRepair
 from repro.network.energy import EnergyAccountant
-from repro.network.messages import MessageCounter
+from repro.network.faults import FaultPlan
+from repro.network.messages import Ack, Message, MessageCounter
 from repro.network.node import SimNode
 from repro.network.topology import Hierarchy
+from repro.network.transport import (
+    PendingMessage,
+    ReliableTransport,
+    TransportConfig,
+)
 
 __all__ = ["NetworkSimulator"]
 
 #: Safety valve: more message deliveries than this within one tick means
-#: a routing loop in a node implementation.
+#: a routing loop in a node implementation.  Retransmission-heavy
+#: scenarios may raise it via ``max_deliveries_per_tick``.
 _MAX_DELIVERIES_PER_TICK = 1_000_000
+
+
+@dataclass
+class _Envelope:
+    """One transmission attempt queued for this tick's drain."""
+
+    dest: int
+    sender: int
+    message: Message
+    entry: "PendingMessage | None" = None   # reliable-transport tracking
 
 
 class NetworkSimulator:
@@ -50,23 +80,46 @@ class NetworkSimulator:
         Message accounting sink (a fresh one is created when omitted).
     energy:
         Optional :class:`~repro.network.energy.EnergyAccountant`; when
-        given, every delivered message is charged to the sender and
+        given, every transmission attempt is charged to the sender and
         receiver under the radio model.
     loss_rate:
         Probability that any transmitted message is silently lost
         (failure injection; lost messages are still counted as sent and
         still cost transmit energy, but are never delivered).
+        ``1.0`` -- total partition -- is allowed.
+    faults:
+        Optional :class:`~repro.network.faults.FaultPlan`: node crash
+        schedules, per-link loss overrides (falling back to
+        ``loss_rate``), and message duplication.  Crashed nodes neither
+        read, nor relay, nor receive.
+    transport:
+        Optional :class:`~repro.network.transport.TransportConfig`:
+        inserts the per-hop ack/retransmit shim.  Behaviours then see
+        exactly-once delivery (receiver-side dedup) while the counters
+        see every physical attempt and ack.
+    repair:
+        Optional :class:`~repro.network.election.BearerRepair`,
+        maintained at every tick start; leaders it reports bearer-less
+        count as down for delivery purposes.
+    max_deliveries_per_tick:
+        The message-storm valve (default unchanged); raise it
+        deliberately for retransmission-heavy scenarios.
     rng:
-        Randomness source for loss injection.  When omitted (and
-        ``loss_rate`` is positive) a deterministic fallback stream from
-        :mod:`repro._rng` is used, so loss patterns replay bit for bit.
+        Randomness source for loss/duplication injection.  When omitted
+        (and any loss or duplication is configured) a deterministic
+        fallback stream from :mod:`repro._rng` is used, so fault
+        patterns replay bit for bit.
     """
 
     def __init__(self, hierarchy: Hierarchy, nodes: "Mapping[int, SimNode]",
                  streams: StreamSet,
-                 counter: MessageCounter | None = None,
+                 counter: "MessageCounter | None" = None,
                  energy: "EnergyAccountant | None" = None,
                  loss_rate: float = 0.0,
+                 faults: "FaultPlan | None" = None,
+                 transport: "TransportConfig | None" = None,
+                 repair: "BearerRepair | None" = None,
+                 max_deliveries_per_tick: int = _MAX_DELIVERIES_PER_TICK,
                  rng: "np.random.Generator | None" = None) -> None:
         if streams.n_sensors != len(hierarchy.leaf_ids):
             raise TopologyError(
@@ -74,20 +127,33 @@ class NetworkSimulator:
         missing = [nid for nid in hierarchy.parents if nid not in nodes]
         if missing:
             raise TopologyError(f"no behaviour registered for nodes {missing[:5]}")
-        if not 0.0 <= loss_rate < 1.0:
+        if not 0.0 <= loss_rate <= 1.0:
             raise SimulationError(
-                f"loss_rate must lie in [0, 1), got {loss_rate!r}")
+                f"loss_rate must lie in [0, 1], got {loss_rate!r}")
+        if max_deliveries_per_tick < 1:
+            raise SimulationError(
+                f"max_deliveries_per_tick must be >= 1, "
+                f"got {max_deliveries_per_tick}")
         self._hierarchy = hierarchy
         self._nodes = dict(nodes)
         self._streams = streams
         self._counter = counter if counter is not None else MessageCounter()
         self._energy = energy
         self._loss_rate = loss_rate
-        if loss_rate > 0.0 and rng is None:
+        self._faults = faults
+        self._repair = repair
+        self._max_deliveries = max_deliveries_per_tick
+        self._transport = ReliableTransport(config=transport) \
+            if transport is not None else None
+        needs_rng = loss_rate > 0.0 or (
+            faults is not None and faults.has_link_faults)
+        if needs_rng and rng is None:
             rng = resolve_rng(rng)
         self._rng = rng
         self._tick = 0
         self._messages_lost = 0
+        self._messages_duplicated = 0
+        self._drops_by_reason: "dict[str, int]" = {}
 
     # ------------------------------------------------------------------
 
@@ -108,57 +174,194 @@ class NetworkSimulator:
 
     @property
     def messages_lost(self) -> int:
-        """Messages dropped by the loss injector so far."""
+        """Attempts dropped by the loss injector so far."""
         return self._messages_lost
+
+    @property
+    def messages_duplicated(self) -> int:
+        """Deliveries duplicated by the fault injector so far."""
+        return self._messages_duplicated
+
+    @property
+    def drops_by_reason(self) -> "dict[str, int]":
+        """Dropped attempts by cause (``"loss"`` / ``"crash"``)."""
+        return dict(self._drops_by_reason)
+
+    @property
+    def transport(self) -> "ReliableTransport | None":
+        """The reliable-transport shim state (None when disabled)."""
+        return self._transport
 
     @property
     def n_ticks_available(self) -> int:
         """Ticks the stream set can still feed."""
         return self._streams.length - self._tick
 
+    # -- fault predicates ----------------------------------------------
+
+    def _node_down(self, node: int, tick: int) -> bool:
+        """Whether ``node`` cannot participate at ``tick``."""
+        if self._faults is not None and self._faults.crashed(node, tick):
+            return True
+        return self._repair is not None \
+            and self._repair.leader_is_down(node, tick)
+
+    def _link_loss_rate(self, sender: int, dest: int) -> float:
+        if self._faults is not None:
+            return self._faults.loss_rate_for(sender, dest, self._loss_rate)
+        return self._loss_rate
+
+    def _begin_tick(self) -> None:
+        """Per-tick fault bookkeeping: repair first, then parked flushes."""
+        if self._repair is not None:
+            self._repair.maintain(self._tick)
+
     # ------------------------------------------------------------------
 
     def step(self) -> None:
-        """Advance one tick: every leaf reads once; messages drain fully."""
+        """Advance one tick: every live leaf reads once; messages drain."""
         if self._tick >= self._streams.length:
             raise SimulationError("streams exhausted; cannot step further")
-        queue: "deque[tuple[int, int, object]]" = deque()   # (dest, sender, msg)
+        self._begin_tick()
+        queue: "deque[_Envelope]" = deque()
+        self._enqueue_due_retransmits(queue)
 
         for i, leaf in enumerate(self._hierarchy.leaf_ids):
+            if self._node_down(leaf, self._tick):
+                continue   # a crashed sensor takes no reading
             reading = self._streams.reading(i, self._tick)
             for dest, message in self._nodes[leaf].on_reading(reading, self._tick):
-                queue.append((dest, leaf, message))
+                self._enqueue(queue, leaf, dest, message)
 
         self._drain(queue)
         self._tick += 1
 
-    def _drain(self, queue: "deque[tuple[int, int, object]]") -> None:
+    # -- queue plumbing ------------------------------------------------
+
+    def _enqueue(self, queue: "deque[_Envelope]", sender: int, dest: int,
+                 message: Message) -> None:
+        """Queue one outgoing message, registering it with the transport."""
+        entry = None
+        if self._transport is not None:
+            entry = self._transport.submit(sender, dest, message, self._tick)
+        queue.append(_Envelope(dest=dest, sender=sender, message=message,
+                               entry=entry))
+
+    def _enqueue_due_retransmits(self, queue: "deque[_Envelope]") -> None:
+        """Queue this tick's retransmissions and recovered-park flushes."""
+        if self._transport is None:
+            return
+        for entry in self._transport.collect_due(self._tick, self._node_down):
+            queue.append(_Envelope(dest=entry.dest, sender=entry.sender,
+                                   message=entry.message, entry=entry))
+
+    # -- the drain loop ------------------------------------------------
+
+    def _drain(self, queue: "deque[_Envelope]") -> None:
         """Route queued messages until the network is quiet this tick."""
         deliveries = 0
         while queue:
-            dest, sender, message = queue.popleft()
+            envelope = queue.popleft()
             deliveries += 1
-            if deliveries > _MAX_DELIVERIES_PER_TICK:
+            if deliveries > self._max_deliveries:
                 raise SimulationError(
                     "message storm: over "
-                    f"{_MAX_DELIVERIES_PER_TICK} deliveries in one tick")
-            if dest not in self._nodes:
-                raise SimulationError(f"message addressed to unknown node {dest}")
-            # Sending happens regardless of delivery: the message is
-            # counted and the sender pays transmit energy even when the
-            # radio loses it.
-            self._counter.record(message)
-            lost = (self._loss_rate > 0.0
-                    and self._rng.random() < self._loss_rate)
-            if self._energy is not None:
-                self._energy.record(sender, dest, message,
-                                    delivered=not lost)
+                    f"{self._max_deliveries} deliveries in one tick")
+            deliveries += self._transmit(envelope, queue)
+
+    def _transmit(self, envelope: _Envelope, queue: "deque[_Envelope]") -> int:
+        """One physical transmission attempt; returns extra deliveries
+        performed inline (acks, duplicated copies)."""
+        dest, sender = envelope.dest, envelope.sender
+        message, entry = envelope.message, envelope.entry
+        if dest not in self._nodes:
+            raise SimulationError(f"message addressed to unknown node {dest}")
+        dest_down = self._node_down(dest, self._tick)
+        if dest_down and entry is not None \
+                and self._transport.config.park_when_crashed:
+            # The link layer knows the next hop is dead (no carrier):
+            # buffer at the sender instead of burning radio and retries.
+            self._transport.park(entry)
+            return 0
+        # Sending happens regardless of delivery: the message is counted
+        # and the sender pays transmit energy even when the radio loses it.
+        self._counter.record(message)
+        if entry is not None:
+            self._transport.note_attempt(entry)
+        rate = self._link_loss_rate(sender, dest)
+        lost = rate > 0.0 and self._rng.random() < rate
+        delivered = not lost and not dest_down
+        if self._energy is not None:
+            self._energy.record(sender, dest, message, delivered=delivered)
+        if not delivered:
+            self._counter.record_dropped(message)
             if lost:
                 self._messages_lost += 1
-                continue
+                self._drops_by_reason["loss"] = \
+                    self._drops_by_reason.get("loss", 0) + 1
+            else:
+                self._drops_by_reason["crash"] = \
+                    self._drops_by_reason.get("crash", 0) + 1
+            if entry is not None:
+                self._transport.schedule_or_expire(entry, self._tick)
+            return 0
+        self._counter.record_delivered(message)
+        extra = self._deliver(envelope, queue)
+        dup_rate = self._faults.duplication_rate \
+            if self._faults is not None else 0.0
+        if dup_rate > 0.0 and self._rng.random() < dup_rate:
+            # The radio hears the frame twice: a second full attempt.
+            self._messages_duplicated += 1
+            self._counter.record(message)
+            self._counter.record_delivered(message)
+            if self._energy is not None:
+                self._energy.record(sender, dest, message, delivered=True)
+            extra += 1 + self._deliver(envelope, queue)
+        return extra
+
+    def _deliver(self, envelope: _Envelope, queue: "deque[_Envelope]") -> int:
+        """Hand a received message to the transport shim / behaviour."""
+        dest, sender = envelope.dest, envelope.sender
+        entry = envelope.entry
+        extra = 0
+        first_copy = True
+        if entry is not None:
+            first_copy = not entry.delivered_to_app
+            entry.delivered_to_app = True
+            extra += self._send_ack(entry)
+        if first_copy:
             for nxt_dest, nxt_msg in self._nodes[dest].on_message(
-                    message, sender, self._tick):
-                queue.append((nxt_dest, dest, nxt_msg))
+                    envelope.message, sender, self._tick):
+                self._enqueue(queue, dest, nxt_dest, nxt_msg)
+        return extra
+
+    def _send_ack(self, entry: PendingMessage) -> int:
+        """Transmit the per-hop ack back to the sender; returns 1."""
+        ack = Ack(seq=entry.seq)
+        self._counter.record(ack)
+        rate = self._link_loss_rate(entry.dest, entry.sender)
+        ack_lost = rate > 0.0 and self._rng.random() < rate
+        sender_down = self._node_down(entry.sender, self._tick)
+        ack_delivered = not ack_lost and not sender_down
+        if self._energy is not None:
+            self._energy.record(entry.dest, entry.sender, ack,
+                                delivered=ack_delivered)
+        if ack_delivered:
+            self._counter.record_delivered(ack)
+            self._transport.acknowledge(entry)
+        else:
+            self._counter.record_dropped(ack)
+            if ack_lost:
+                self._messages_lost += 1
+                self._drops_by_reason["loss"] = \
+                    self._drops_by_reason.get("loss", 0) + 1
+            else:
+                self._drops_by_reason["crash"] = \
+                    self._drops_by_reason.get("crash", 0) + 1
+            self._transport.schedule_or_expire(entry, self._tick)
+        return 1
+
+    # ------------------------------------------------------------------
 
     def step_epoch(self, n_ticks: int) -> None:
         """Advance ``n_ticks`` ticks, feeding each leaf its block at once.
@@ -170,7 +373,9 @@ class NetworkSimulator:
         the usual order.  Leaves without it fall back to per-tick
         ``on_reading``.  Either way the message sequence -- and hence
         every parent's state, the counters and the detection log --
-        matches ``n_ticks`` calls to :meth:`step`.
+        matches ``n_ticks`` calls to :meth:`step`.  A leaf with a crash
+        window inside the epoch is routed through the per-tick fallback
+        so its blackout matches the stepped path exactly.
         """
         if n_ticks < 1:
             raise SimulationError(f"n_ticks must be >= 1, got {n_ticks}")
@@ -183,25 +388,34 @@ class NetworkSimulator:
         batched: "dict[int, list[list]]" = {}
         for i, leaf in enumerate(leaf_ids):
             node = self._nodes[leaf]
-            if hasattr(node, "on_readings") and hasattr(node, "on_tick_start"):
-                batched[leaf] = node.on_readings(
-                    self._streams.block(i, start, start + n_ticks), start)
+            if not (hasattr(node, "on_readings")
+                    and hasattr(node, "on_tick_start")):
+                continue
+            if self._faults is not None and self._faults.crash_overlaps(
+                    leaf, start, start + n_ticks):
+                continue   # blackout inside the epoch: per-tick fallback
+            batched[leaf] = node.on_readings(
+                self._streams.block(i, start, start + n_ticks), start)
 
         for offset in range(n_ticks):
-            queue: "deque[tuple[int, int, object]]" = deque()
+            self._begin_tick()
+            queue: "deque[_Envelope]" = deque()
+            self._enqueue_due_retransmits(queue)
             for i, leaf in enumerate(leaf_ids):
                 if leaf in batched:
                     outgoing = list(batched[leaf][offset])
                     outgoing.extend(self._nodes[leaf].on_tick_start(self._tick))
+                elif self._node_down(leaf, self._tick):
+                    continue
                 else:
                     reading = self._streams.reading(i, self._tick)
                     outgoing = self._nodes[leaf].on_reading(reading, self._tick)
                 for dest, message in outgoing:
-                    queue.append((dest, leaf, message))
+                    self._enqueue(queue, leaf, dest, message)
             self._drain(queue)
             self._tick += 1
 
-    def run(self, n_ticks: int | None = None,
+    def run(self, n_ticks: "int | None" = None,
             on_tick: "Callable[[int], None] | None" = None) -> None:
         """Run ``n_ticks`` steps (all remaining when omitted).
 
@@ -218,7 +432,7 @@ class NetworkSimulator:
             if on_tick is not None:
                 on_tick(self._tick - 1)
 
-    def run_batched(self, n_ticks: int | None = None, *,
+    def run_batched(self, n_ticks: "int | None" = None, *,
                     epoch_size: int = 64,
                     on_tick: "Callable[[int], None] | None" = None) -> None:
         """Run in epochs of ``epoch_size`` ticks via :meth:`step_epoch`.

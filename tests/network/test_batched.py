@@ -15,7 +15,7 @@ from repro.network.simulator import NetworkSimulator
 from repro.network.topology import build_hierarchy
 
 
-def build_d3(seed):
+def build_d3(seed, **sim_kwargs):
     hierarchy = build_hierarchy(8, 4)
     config = D3Config(
         spec=DistanceOutlierSpec(radius=0.01, count_threshold=5),
@@ -23,7 +23,7 @@ def build_d3(seed):
     network = build_d3_network(hierarchy, config, 1,
                                rng=np.random.default_rng(seed))
     streams = StreamSet.from_arrays(make_mixture_streams(8, 600, seed=seed))
-    sim = NetworkSimulator(hierarchy, network.nodes, streams)
+    sim = NetworkSimulator(hierarchy, network.nodes, streams, **sim_kwargs)
     return network, sim
 
 
@@ -44,6 +44,13 @@ def snapshot(network, sim):
     detections = [(d.tick, d.node_id, d.origin, d.level)
                   for d in network.log.detections]
     return detections, dict(sim.counter.counts), sim.tick
+
+
+def loss_snapshot(network, sim):
+    """Snapshot extended with the per-attempt outcome accounting."""
+    return (snapshot(network, sim), sim.messages_lost,
+            dict(sim.counter.delivered), dict(sim.counter.dropped),
+            sim.drops_by_reason)
 
 
 class TestBatchedEquivalence:
@@ -77,3 +84,48 @@ class TestBatchedEquivalence:
         seen = []
         sim.run_batched(200, epoch_size=64, on_tick=seen.append)
         assert seen == list(range(200))
+
+
+class TestLossyBatchedEquivalence:
+    """Satellite (d): the two ingestion paths consume the loss rng in the
+    same order, so detections, counters, and loss patterns all match."""
+
+    @pytest.mark.parametrize("epoch_size", [64, 17])
+    def test_d3_lossy_runs_identical(self, epoch_size):
+        network_a, sim_a = build_d3(seed=9, loss_rate=0.2,
+                                    rng=np.random.default_rng(11))
+        sim_a.run()
+        network_b, sim_b = build_d3(seed=9, loss_rate=0.2,
+                                    rng=np.random.default_rng(11))
+        sim_b.run_batched(epoch_size=epoch_size)
+        assert loss_snapshot(network_a, sim_a) \
+            == loss_snapshot(network_b, sim_b)
+        assert sim_a.messages_lost > 0
+
+    def test_d3_lossy_step_vs_step_epoch(self):
+        network_a, sim_a = build_d3(seed=3, loss_rate=0.3,
+                                    rng=np.random.default_rng(5))
+        for _ in range(600):
+            sim_a.step()
+        network_b, sim_b = build_d3(seed=3, loss_rate=0.3,
+                                    rng=np.random.default_rng(5))
+        for n_ticks in (100, 1, 37, 462):
+            sim_b.step_epoch(n_ticks)
+        assert loss_snapshot(network_a, sim_a) \
+            == loss_snapshot(network_b, sim_b)
+
+    def test_d3_crash_plan_runs_identical(self):
+        from repro.network.faults import CrashWindow, FaultPlan
+        # Crash a leaf (stops sending) and an L2 leader (node 8: its
+        # children's forwards drop while it is down).
+        faults = FaultPlan(crashes=[CrashWindow(node=1, start=350, end=450),
+                                    CrashWindow(node=8, start=400, end=500)])
+        network_a, sim_a = build_d3(seed=9, loss_rate=0.1, faults=faults,
+                                    rng=np.random.default_rng(2))
+        sim_a.run()
+        network_b, sim_b = build_d3(seed=9, loss_rate=0.1, faults=faults,
+                                    rng=np.random.default_rng(2))
+        sim_b.run_batched(epoch_size=64)
+        assert loss_snapshot(network_a, sim_a) \
+            == loss_snapshot(network_b, sim_b)
+        assert sim_a.drops_by_reason.get("crash", 0) > 0

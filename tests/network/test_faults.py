@@ -1,0 +1,132 @@
+"""Fault injection: crash schedules, link loss, duplication."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ParameterError, TopologyError
+from repro.network.faults import CrashWindow, FaultPlan, random_crash_plan
+from repro.network.topology import build_hierarchy
+
+
+class TestCrashWindow:
+    def test_covers_half_open_interval(self):
+        window = CrashWindow(node=3, start=10, end=20)
+        assert not window.covers(9)
+        assert window.covers(10)
+        assert window.covers(19)
+        assert not window.covers(20)
+
+    def test_open_ended_never_recovers(self):
+        window = CrashWindow(node=3, start=10)
+        assert window.covers(10)
+        assert window.covers(1_000_000)
+
+    def test_overlaps_range(self):
+        window = CrashWindow(node=3, start=10, end=20)
+        assert window.overlaps(0, 11)
+        assert window.overlaps(19, 30)
+        assert not window.overlaps(0, 10)
+        assert not window.overlaps(20, 30)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ParameterError):
+            CrashWindow(node=0, start=-1)
+        with pytest.raises(ParameterError):
+            CrashWindow(node=0, start=5, end=5)
+
+
+class TestFaultPlan:
+    def test_crashed_consults_windows(self):
+        plan = FaultPlan(crashes=[CrashWindow(node=1, start=5, end=8),
+                                  CrashWindow(node=1, start=20, end=25)])
+        assert plan.crashed(1, 6)
+        assert not plan.crashed(1, 10)
+        assert plan.crashed(1, 24)
+        assert not plan.crashed(2, 6)
+        assert plan.crashed_node_ids == (1,)
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(ParameterError, match="overlapping"):
+            FaultPlan(crashes=[CrashWindow(node=1, start=5, end=10),
+                               CrashWindow(node=1, start=8, end=12)])
+
+    def test_crash_overlaps_range(self):
+        plan = FaultPlan(crashes=[CrashWindow(node=1, start=5, end=8)])
+        assert plan.crash_overlaps(1, 0, 6)
+        assert not plan.crash_overlaps(1, 8, 20)
+        assert not plan.crash_overlaps(2, 0, 100)
+
+    def test_link_loss_override_chain(self):
+        plan = FaultPlan(link_loss={(1, 2): 0.9}, default_loss_rate=0.2)
+        assert plan.loss_rate_for(1, 2, fallback=0.05) == 0.9
+        assert plan.loss_rate_for(2, 1, fallback=0.05) == 0.2
+
+    def test_fallback_to_simulator_rate(self):
+        plan = FaultPlan(link_loss={(1, 2): 0.9})
+        assert plan.loss_rate_for(3, 4, fallback=0.05) == 0.05
+
+    def test_rate_validation(self):
+        with pytest.raises(ParameterError):
+            FaultPlan(link_loss={(0, 1): 1.5})
+        with pytest.raises(ParameterError):
+            FaultPlan(default_loss_rate=-0.1)
+        with pytest.raises(ParameterError):
+            FaultPlan(duplication_rate=2.0)
+
+    def test_has_link_faults(self):
+        assert not FaultPlan().has_link_faults
+        assert FaultPlan(link_loss={(0, 1): 0.5}).has_link_faults
+        assert FaultPlan(default_loss_rate=0.1).has_link_faults
+        assert FaultPlan(duplication_rate=0.1).has_link_faults
+
+
+class TestRandomCrashPlan:
+    def test_crashes_requested_fraction_of_leaves(self):
+        hierarchy = build_hierarchy(16, 4)
+        plan = random_crash_plan(hierarchy, crash_fraction=0.25,
+                                 first_tick=100, last_tick=200,
+                                 min_down=10, max_down=50,
+                                 rng=np.random.default_rng(0))
+        assert len(plan.crashed_node_ids) == 4
+        assert set(plan.crashed_node_ids) <= set(hierarchy.leaf_ids)
+
+    def test_windows_inside_requested_range(self):
+        hierarchy = build_hierarchy(16, 4)
+        plan = random_crash_plan(hierarchy, crash_fraction=0.5,
+                                 first_tick=100, last_tick=200,
+                                 min_down=10, max_down=50,
+                                 rng=np.random.default_rng(1))
+        for window in plan.crash_windows:
+            assert window.start >= 100
+            assert window.end is not None and window.end <= 200
+            assert window.end - window.start >= 1
+
+    def test_same_seed_same_plan(self):
+        hierarchy = build_hierarchy(16, 4)
+        plans = [random_crash_plan(hierarchy, crash_fraction=0.25,
+                                   first_tick=0, last_tick=100,
+                                   min_down=5, max_down=20,
+                                   rng=np.random.default_rng(42))
+                 for _ in range(2)]
+        assert plans[0].crash_windows == plans[1].crash_windows
+
+    def test_parameter_validation(self):
+        hierarchy = build_hierarchy(4, 4)
+        with pytest.raises(ParameterError):
+            random_crash_plan(hierarchy, crash_fraction=1.5,
+                              first_tick=0, last_tick=10,
+                              min_down=1, max_down=2)
+        with pytest.raises(TopologyError):
+            random_crash_plan(hierarchy, crash_fraction=0.5,
+                              first_tick=10, last_tick=10,
+                              min_down=1, max_down=2)
+        with pytest.raises(ParameterError):
+            random_crash_plan(hierarchy, crash_fraction=0.5,
+                              first_tick=0, last_tick=10,
+                              min_down=3, max_down=2)
+        with pytest.raises(ParameterError):
+            random_crash_plan(hierarchy, crash_fraction=0.5,
+                              first_tick=5, last_tick=8,
+                              min_down=5, max_down=6)

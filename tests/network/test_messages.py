@@ -6,8 +6,10 @@ import numpy as np
 import pytest
 
 from repro.network.messages import (
+    Ack,
     Message,
     MessageCounter,
+    ModelHandoff,
     ModelUpdate,
     OutlierReport,
     ValueForward,
@@ -34,6 +36,12 @@ class TestSizes:
         msg = ModelUpdate(stddev=np.array([0.05, 0.04]),
                           full_sample=np.zeros((10, 2)), window_size=100)
         assert msg.size_words() == 2 + 1 + 20
+
+    def test_ack(self):
+        assert Ack(seq=17).size_words() == 2   # seq + timestamp
+
+    def test_model_handoff(self):
+        assert ModelHandoff(leader=9, words=85).size_words() == 85
 
     def test_base_class_abstract(self):
         with pytest.raises(NotImplementedError):
@@ -62,3 +70,27 @@ class TestCounter:
             counter.record(ValueForward(value=np.array([0.1])))
         assert counter.messages_per_tick(5) == 2.0
         assert counter.messages_per_tick(0) == 0.0
+
+    def test_delivered_and_dropped_by_kind(self):
+        counter = MessageCounter()
+        msg = ValueForward(value=np.array([0.1]))
+        for _ in range(3):
+            counter.record(msg)
+        counter.record_delivered(msg)
+        counter.record_delivered(msg)
+        counter.record_dropped(msg)
+        assert counter.delivered == {"ValueForward": 2}
+        assert counter.dropped == {"ValueForward": 1}
+        assert counter.total_delivered == 2
+        assert counter.total_dropped == 1
+
+    def test_conservation_identity(self):
+        counter = MessageCounter()
+        msg = ValueForward(value=np.array([0.1]))
+        ack = Ack(seq=1)
+        counter.record(msg)
+        counter.record_delivered(msg)
+        counter.record(ack)
+        assert counter.conservation_failures() == ["Ack"]
+        counter.record_dropped(ack)
+        assert counter.conservation_failures() == []

@@ -1,0 +1,120 @@
+"""Leader bearer repair under crash faults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._exceptions import TopologyError
+from repro.network.election import (
+    BearerRepair,
+    EnergyAwareElection,
+    RoundRobinElection,
+    handoff_cost_words,
+)
+from repro.network.faults import CrashWindow, FaultPlan
+from repro.network.messages import MessageCounter
+from repro.network.topology import build_hierarchy
+
+
+def make_repair(faults, *, epoch_length=10, counter=None,
+                handoff_words=None):
+    hierarchy = build_hierarchy(8, 4)
+    election = RoundRobinElection(hierarchy, epoch_length=epoch_length)
+    if handoff_words is None:
+        handoff_words = handoff_cost_words(30, 1, sketch_words=8)
+    return hierarchy, BearerRepair(election, faults,
+                                   handoff_words=handoff_words,
+                                   counter=counter)
+
+
+class TestScheduledRotation:
+    def test_initial_assignment_not_charged(self):
+        counter = MessageCounter()
+        _, repair = make_repair(FaultPlan(), counter=counter)
+        repair.maintain(0)
+        assert repair.handoffs == []
+        assert counter.total_messages == 0
+
+    def test_epoch_rotation_charges_handoffs(self):
+        counter = MessageCounter()
+        _, repair = make_repair(FaultPlan(), epoch_length=10,
+                                counter=counter)
+        repair.maintain(0)
+        repair.maintain(10)   # epoch turnover: every leader rotates
+        rotations = [h for h in repair.handoffs if h.reason == "rotation"]
+        assert len(rotations) == 3   # two L2 leaders + the root
+        assert counter.counts["ModelHandoff"] == 3
+        assert counter.conservation_failures() == []
+
+    def test_maintain_idempotent_per_tick(self):
+        counter = MessageCounter()
+        _, repair = make_repair(FaultPlan(), counter=counter)
+        repair.maintain(0)
+        before = list(repair.handoffs)
+        assert repair.maintain(0) == repair.maintain(0)
+        assert repair.handoffs == before
+
+
+class TestCrashRepair:
+    def test_crashed_bearer_replaced_by_survivor(self):
+        hierarchy, repair = make_repair(FaultPlan(
+            crashes=[CrashWindow(node=0, start=0, end=50)]))
+        bearers = repair.maintain(0)
+        # Leader 8 covers leaves 0-3; round-robin epoch 0 schedules leaf
+        # 0, which is down, so the next survivor takes the role.
+        leader = hierarchy.levels[1][0]
+        assert bearers[leader] in hierarchy.leaves_under(leader)
+        assert bearers[leader] != 0
+
+    def test_crash_mid_epoch_triggers_handoff(self):
+        counter = MessageCounter()
+        _, repair = make_repair(FaultPlan(
+            crashes=[CrashWindow(node=0, start=3, end=8)]), counter=counter)
+        repair.maintain(0)
+        repair.maintain(3)
+        crashes = [h for h in repair.handoffs if h.reason == "crash"]
+        assert len(crashes) >= 1
+        assert counter.counts["ModelHandoff"] == len(repair.handoffs)
+
+    def test_all_candidates_down_leader_is_down(self):
+        hierarchy, repair = make_repair(FaultPlan(crashes=[
+            CrashWindow(node=leaf, start=0, end=20)
+            for leaf in (0, 1, 2, 3)]))
+        leader = hierarchy.levels[1][0]
+        assert repair.leader_is_down(leader, 5)
+        assert repair.bearer_of(leader) is None
+        # Its sibling leader still has live bearers.
+        other = hierarchy.levels[1][1]
+        assert not repair.leader_is_down(other, 5)
+
+    def test_recovery_restores_a_bearer(self):
+        hierarchy, repair = make_repair(FaultPlan(crashes=[
+            CrashWindow(node=leaf, start=0, end=4)
+            for leaf in (0, 1, 2, 3)]))
+        leader = hierarchy.levels[1][0]
+        assert repair.leader_is_down(leader, 2)
+        assert not repair.leader_is_down(leader, 4)
+        recoveries = [h for h in repair.handoffs if h.reason == "recovery"]
+        assert len(recoveries) == 1
+
+    def test_non_leader_nodes_never_down_by_this_criterion(self):
+        hierarchy, repair = make_repair(FaultPlan(
+            crashes=[CrashWindow(node=0, start=0, end=10)]))
+        assert not repair.leader_is_down(0, 5)
+
+    def test_bearer_of_unknown_leader_rejected(self):
+        _, repair = make_repair(FaultPlan())
+        repair.maintain(0)
+        with pytest.raises(TopologyError):
+            repair.bearer_of(0)
+
+
+class TestEnergyAwareRepair:
+    def test_energy_election_without_accountant_uses_empty_map(self):
+        hierarchy = build_hierarchy(8, 4)
+        election = EnergyAwareElection(hierarchy, epoch_length=10)
+        repair = BearerRepair(election, FaultPlan(), handoff_words=10)
+        bearers = repair.maintain(0)
+        # Ties break toward the lowest id.
+        leader = hierarchy.levels[1][0]
+        assert bearers[leader] == min(hierarchy.leaves_under(leader))

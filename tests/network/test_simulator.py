@@ -129,6 +129,78 @@ class TestStepping:
             sim.step()
 
 
+class TestLossAccounting:
+    def test_total_loss_rate_drops_everything(self):
+        hierarchy, nodes, streams = build_sim(length=5)
+        sim = NetworkSimulator(hierarchy, nodes, streams, loss_rate=1.0,
+                               rng=np.random.default_rng(0))
+        sim.run()
+        assert len(nodes[hierarchy.root_id].received) == 0
+        assert sim.messages_lost == sim.counter.total_messages == 20
+        assert sim.counter.conservation_failures() == []
+
+    def test_loss_rate_out_of_range_rejected(self):
+        hierarchy, nodes, streams = build_sim()
+        for bad in (1.5, -0.1):
+            with pytest.raises(SimulationError):
+                NetworkSimulator(hierarchy, nodes, streams, loss_rate=bad)
+
+    def test_conservation_per_kind_under_loss(self):
+        hierarchy, nodes, streams = build_sim(n_leaves=16, length=10,
+                                              relays=True)
+        sim = NetworkSimulator(hierarchy, nodes, streams, loss_rate=0.3,
+                               rng=np.random.default_rng(1))
+        sim.run()
+        counter = sim.counter
+        assert counter.conservation_failures() == []
+        for kind, sent in counter.counts.items():
+            assert sent == counter.delivered.get(kind, 0) \
+                + counter.dropped.get(kind, 0)
+        assert 0 < sim.messages_lost < counter.total_messages
+        assert sim.messages_lost == counter.total_dropped
+
+    def test_drops_attributed_by_reason(self):
+        from repro.network.faults import CrashWindow, FaultPlan
+        hierarchy, nodes, streams = build_sim(length=6)
+        faults = FaultPlan(crashes=[
+            CrashWindow(node=hierarchy.root_id, start=0, end=3)])
+        sim = NetworkSimulator(hierarchy, nodes, streams, loss_rate=0.4,
+                               faults=faults,
+                               rng=np.random.default_rng(2))
+        sim.run()
+        reasons = sim.drops_by_reason
+        assert reasons["crash"] > 0
+        assert reasons["loss"] > 0
+        # messages_lost counts radio losses; crash drops are separate.
+        assert reasons["loss"] == sim.messages_lost
+        assert sum(reasons.values()) == sim.counter.total_dropped
+
+
+class TestDeliveryCap:
+    def test_cap_is_configurable(self):
+        # Finite traffic (4 sends + 4 bounces the leaves absorb) is
+        # fine by the default guard but trips a tiny configured cap.
+        hierarchy, nodes, streams = build_sim(n_leaves=4)
+        nodes[hierarchy.root_id] = LoopingNode(hierarchy.root_id)
+        sim = NetworkSimulator(hierarchy, nodes, streams,
+                               max_deliveries_per_tick=5)
+        with pytest.raises(SimulationError, match="storm"):
+            sim.step()
+
+    def test_cap_above_traffic_is_harmless(self):
+        hierarchy, nodes, streams = build_sim()
+        sim = NetworkSimulator(hierarchy, nodes, streams,
+                               max_deliveries_per_tick=4)
+        sim.step()
+        assert len(nodes[hierarchy.root_id].received) == 4
+
+    def test_cap_below_one_rejected(self):
+        hierarchy, nodes, streams = build_sim()
+        with pytest.raises(SimulationError):
+            NetworkSimulator(hierarchy, nodes, streams,
+                             max_deliveries_per_tick=0)
+
+
 class TestValidation:
     def test_stream_count_mismatch(self):
         hierarchy, nodes, _ = build_sim(n_leaves=4)

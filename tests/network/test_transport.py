@@ -1,0 +1,188 @@
+"""Reliable transport: acks, retransmission, parking, dedup."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ParameterError
+from repro.data.streams import StreamSet
+from repro.network.faults import CrashWindow, FaultPlan
+from repro.network.messages import ValueForward
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import build_hierarchy
+from repro.network.transport import ReliableTransport, TransportConfig
+
+from tests.network.test_simulator import CollectingNode, ForwardingLeaf
+
+
+def _msg():
+    return ValueForward(value=np.array([0.5]))
+
+
+class TestTransportConfig:
+    def test_backoff_schedule(self):
+        config = TransportConfig(backoff_base=2, backoff_factor=3)
+        assert config.backoff_ticks(1) == 2
+        assert config.backoff_ticks(2) == 6
+        assert config.backoff_ticks(3) == 18
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            TransportConfig(max_retries=-1)
+        with pytest.raises(ParameterError):
+            TransportConfig(backoff_base=0)
+        with pytest.raises(ParameterError):
+            TransportConfig(backoff_factor=0)
+
+
+class TestReliableTransportState:
+    def test_submit_due_immediately(self):
+        transport = ReliableTransport(config=TransportConfig())
+        entry = transport.submit(0, 1, _msg(), tick=5)
+        due = transport.collect_due(5, lambda node, tick: False)
+        assert due == [entry]
+
+    def test_acknowledge_retires(self):
+        transport = ReliableTransport(config=TransportConfig())
+        entry = transport.submit(0, 1, _msg(), tick=0)
+        transport.acknowledge(entry)
+        assert transport.n_pending == 0
+        assert not transport.collect_due(10, lambda node, tick: False)
+
+    def test_backoff_then_expiry(self):
+        transport = ReliableTransport(
+            config=TransportConfig(max_retries=2, backoff_base=1,
+                                   backoff_factor=2))
+        entry = transport.submit(0, 1, _msg(), tick=0)
+        # Attempt 1 fails: retry after 1 tick.  Attempt 2 fails: retry
+        # after 2 more.  Attempt 3 fails: budget exhausted.
+        transport.note_attempt(entry)
+        assert transport.schedule_or_expire(entry, 0)
+        assert entry.next_attempt == 1
+        transport.note_attempt(entry)
+        assert transport.schedule_or_expire(entry, 1)
+        assert entry.next_attempt == 3
+        transport.note_attempt(entry)
+        assert not transport.schedule_or_expire(entry, 3)
+        assert transport.n_expired == 1
+        assert transport.n_retransmissions == 2
+        assert transport.n_pending == 0
+
+    def test_sender_crash_drops_pending(self):
+        transport = ReliableTransport(config=TransportConfig())
+        transport.submit(0, 1, _msg(), tick=0)
+        due = transport.collect_due(1, lambda node, tick: node == 0)
+        assert due == []
+        assert transport.n_sender_crashes == 1
+        assert transport.n_pending == 0
+
+    def test_park_and_flush_on_recovery(self):
+        transport = ReliableTransport(config=TransportConfig())
+        entry = transport.submit(0, 1, _msg(), tick=0)
+        transport.park(entry)
+        assert transport.n_parked == 1
+        assert not transport.collect_due(1, lambda node, tick: node == 1)
+        due = transport.collect_due(2, lambda node, tick: False)
+        assert due == [entry]
+        assert not entry.parked
+        assert transport.n_park_flushes == 1
+
+
+def build_lossy_sim(loss_rate, transport=None, faults=None, length=12,
+                    seed=0, **kwargs):
+    hierarchy = build_hierarchy(2, 2)
+    rng = np.random.default_rng(seed)
+    streams = StreamSet.from_arrays(
+        [rng.uniform(size=(length, 1)) for _ in range(2)])
+    nodes = {leaf: ForwardingLeaf(leaf, hierarchy.parent_of(leaf))
+             for leaf in hierarchy.leaf_ids}
+    nodes[hierarchy.root_id] = CollectingNode(hierarchy.root_id)
+    sim = NetworkSimulator(hierarchy, nodes, streams,
+                           loss_rate=loss_rate, transport=transport,
+                           faults=faults,
+                           rng=np.random.default_rng(seed + 100), **kwargs)
+    return hierarchy, nodes, sim
+
+
+class TestSimulatorIntegration:
+    def test_retransmission_recovers_lost_messages(self):
+        # Heavy loss without transport loses messages for good; with the
+        # shim, retries push delivery close to complete.
+        _, bare_nodes, bare = build_lossy_sim(0.5)
+        bare.run()
+        _, rel_nodes, reliable = build_lossy_sim(
+            0.5, transport=TransportConfig(max_retries=8))
+        reliable.run()
+        bare_got = len(bare_nodes[bare.hierarchy.root_id].received)
+        rel_got = len(rel_nodes[reliable.hierarchy.root_id].received)
+        assert rel_got > bare_got
+        assert reliable.transport.n_retransmissions > 0
+
+    def test_every_attempt_and_ack_counted(self):
+        _, _, sim = build_lossy_sim(
+            0.3, transport=TransportConfig(max_retries=4))
+        sim.run()
+        counter = sim.counter
+        assert counter.conservation_failures() == []
+        # Data attempts = the 2-per-tick originals + retransmissions.
+        assert counter.counts["ValueForward"] == \
+            2 * sim.tick + sim.transport.n_retransmissions
+        # Every delivered data attempt triggers exactly one ack attempt.
+        assert counter.counts["Ack"] == counter.delivered["ValueForward"]
+
+    def test_exactly_once_delivery_to_behaviour(self):
+        # Lost acks force retransmission of already-delivered messages;
+        # the receiver-side dedup must keep the app-level count at one
+        # per original send.
+        hierarchy, nodes, sim = build_lossy_sim(
+            0.4, transport=TransportConfig(max_retries=10), length=30,
+            seed=3)
+        sim.run()
+        root = nodes[hierarchy.root_id]
+        n_sent = 2 * sim.tick   # every leaf forwards every reading
+        expired = sim.transport.n_expired
+        pending = sim.transport.n_pending
+        # Each original is delivered to the behaviour at most once, and
+        # only expired/pending ones may be missing.
+        assert len(root.received) <= n_sent
+        assert len(root.received) >= n_sent - expired - pending
+
+    def test_total_loss_expires_after_budget(self):
+        _, nodes, sim = build_lossy_sim(
+            1.0, transport=TransportConfig(max_retries=2), length=12)
+        sim.run()
+        assert len(nodes[sim.hierarchy.root_id].received) == 0
+        assert sim.transport.n_expired > 0
+        assert sim.counter.conservation_failures() == []
+
+    def test_parked_messages_flush_on_recovery(self):
+        # The root (node 2) is down for ticks [2, 6): leaf messages park
+        # and flush when it recovers, with nothing dropped.
+        faults = FaultPlan(crashes=[CrashWindow(node=2, start=2, end=6)])
+        hierarchy, nodes, sim = build_lossy_sim(
+            0.0, transport=TransportConfig(max_retries=3), faults=faults,
+            length=10)
+        assert hierarchy.root_id == 2
+        sim.run()
+        root = nodes[hierarchy.root_id]
+        # All 2 x 10 forwards eventually arrive (none lost, parking only).
+        assert len(root.received) == 20
+        assert sim.transport.n_park_flushes > 0
+        assert sim.counter.conservation_failures() == []
+
+    def test_sender_crash_loses_its_buffer(self):
+        # Leaf 0 crashes while the root is down: its parked messages die
+        # with it, leaf 1's flush through.
+        faults = FaultPlan(crashes=[
+            CrashWindow(node=2, start=2, end=6),
+            CrashWindow(node=0, start=4, end=None)])
+        hierarchy, nodes, sim = build_lossy_sim(
+            0.0, transport=TransportConfig(max_retries=3), faults=faults,
+            length=10)
+        sim.run()
+        assert sim.transport.n_sender_crashes > 0
+        senders = [sender for _, sender, _
+                   in nodes[hierarchy.root_id].received]
+        assert senders.count(1) == 10
+        assert senders.count(0) < 10
