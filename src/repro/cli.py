@@ -18,6 +18,13 @@ Commands
     Measure detection quality and message overhead under injected node
     crashes and link loss (docs/FAULT_MODEL.md) and write
     ``BENCH_resilience.json``.
+``trace``
+    Run one traced experiment under :mod:`repro.obs`, stream the JSONL
+    trace to a file, validate every event against the schema, and print
+    the trace summary (docs/OBSERVABILITY.md).
+``profile``
+    Run the profiling workload traced and print the per-phase hot-path
+    breakdown (batched ingestion, estimator rebuilds, range queries).
 """
 
 from __future__ import annotations
@@ -29,6 +36,25 @@ __all__ = ["main", "build_parser"]
 
 _EXHIBITS = ("figure5", "figure6", "figure7", "figure8", "figure9",
              "figure10", "figure11", "memory", "selectivity")
+
+
+def _add_run_options(parser: argparse.ArgumentParser, *, seed: int,
+                     json_out: "str | None") -> None:
+    """The option group shared by every benchmark-style subcommand.
+
+    All of them take a root seed and write a JSON artifact; wiring the
+    two here keeps flag names and help text identical across
+    ``bench-*``, ``trace`` and ``profile``.  ``--output`` stays as a
+    back-compat alias for ``--json-out``.
+    """
+    group = parser.add_argument_group("run options")
+    group.add_argument("--seed", type=int, default=seed,
+                       help="root random seed")
+    group.add_argument("--json-out", "--output", dest="json_out",
+                       default=json_out, metavar="PATH",
+                       help="where to write the JSON results"
+                            + ("" if json_out is None
+                               else f" (default: {json_out})"))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,9 +107,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="leaf sensors in the network workload")
     bench.add_argument("--ticks", type=int, default=800,
                        help="ticks in the network workload")
-    bench.add_argument("--seed", type=int, default=0)
-    bench.add_argument("--output", default="BENCH_throughput.json",
-                       help="where to write the JSON results")
+    bench.add_argument("--obs", action="store_true",
+                       help="attach a traced profile run and embed its "
+                            "breakdown under the 'obs' key (the timed "
+                            "measurements stay untraced)")
+    _add_run_options(bench, seed=0, json_out="BENCH_throughput.json")
 
     resilience = commands.add_parser(
         "bench-resilience",
@@ -100,9 +128,44 @@ def build_parser() -> argparse.ArgumentParser:
     resilience.add_argument("--crash-fractions", type=float, nargs="+",
                             default=[0.0, 0.25],
                             help="leaf crash fractions to sweep")
-    resilience.add_argument("--seed", type=int, default=7)
-    resilience.add_argument("--output", default="BENCH_resilience.json",
-                            help="where to write the JSON results")
+    _add_run_options(resilience, seed=7, json_out="BENCH_resilience.json")
+
+    trace = commands.add_parser(
+        "trace", help="run one traced experiment and summarize its JSONL "
+                      "trace")
+    trace.add_argument("experiment", choices=("d3", "mgdd"),
+                       help="which detector to trace")
+    trace.add_argument("--leaves", type=int, default=8,
+                       help="leaf sensors in the deployment")
+    trace.add_argument("--window", type=int, default=200,
+                       help="sliding-window size |W|")
+    trace.add_argument("--measure", type=int, default=200,
+                       help="measured ticks after warm-up")
+    trace.add_argument("--loss-rate", type=float, default=0.1,
+                       help="injected link loss probability")
+    trace.add_argument("--crash-fraction", type=float, default=0.25,
+                       help="fraction of leaves crashing mid-run")
+    trace.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="JSONL trace file "
+                            "(default: TRACE_<experiment>.jsonl)")
+    _add_run_options(trace, seed=7, json_out=None)
+
+    profile = commands.add_parser(
+        "profile", help="run the profiling workload and print the "
+                        "per-phase hot-path breakdown")
+    profile.add_argument("--window", type=int, default=2_000,
+                         help="sliding-window size |W|")
+    profile.add_argument("--sample", type=int, default=100,
+                         help="kernel sample slots |R|")
+    profile.add_argument("--readings", type=int, default=10_000,
+                         help="single-node readings to ingest")
+    profile.add_argument("--leaves", type=int, default=8,
+                         help="leaf sensors in the network workload")
+    profile.add_argument("--ticks", type=int, default=400,
+                         help="ticks in the network workload")
+    profile.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="also stream the JSONL trace to this file")
+    _add_run_options(profile, seed=0, json_out=None)
     return parser
 
 
@@ -167,9 +230,10 @@ def _cmd_bench_throughput(args) -> int:
     results = throughput.run_throughput_benchmark(
         window_size=args.window, sample_size=args.sample,
         n_readings=args.readings, batch_size=args.batch,
-        n_leaves=args.leaves, n_ticks=args.ticks, seed=args.seed)
+        n_leaves=args.leaves, n_ticks=args.ticks, seed=args.seed,
+        obs=args.obs)
     print(throughput.format_table(results))
-    path = throughput.write_results(results, args.output)
+    path = throughput.write_results(results, args.json_out)
     print(f"# wrote {path}", file=sys.stderr)
     return 0
 
@@ -183,12 +247,65 @@ def _cmd_bench_resilience(args) -> int:
         n_leaves=args.leaves, window_size=args.window,
         measure_ticks=args.measure, seed=args.seed)
     print(resilience.format_table(results))
-    path = resilience.write_results(results, args.output)
+    path = resilience.write_results(results, args.json_out)
     print(f"# wrote {path}", file=sys.stderr)
     failures = resilience.check_degradation(results)
     for failure in failures:
         print(f"# DEGRADATION FAILURE: {failure}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.eval.harness import ExperimentConfig, run_accuracy_run
+    from repro.obs import report, schema
+
+    trace_out = args.trace_out or f"TRACE_{args.experiment}.jsonl"
+    dataset = "synthetic" if args.experiment == "d3" else "plateau"
+    config = ExperimentConfig(
+        algorithm=args.experiment, dataset=dataset, n_leaves=args.leaves,
+        window_size=args.window, measure_ticks=args.measure,
+        n_runs=1, seed=args.seed, loss_rate=args.loss_rate,
+        crash_fraction=args.crash_fraction, reliable_transport=True,
+        repair_leaders=args.crash_fraction > 0.0,
+        staleness_horizon=max(1, args.window // 2))
+    result = run_accuracy_run(config, seed=args.seed, obs=trace_out)
+
+    events = report.load_events(trace_out)
+    problems = schema.validate_events(events)
+    for problem in problems[:20]:
+        print(f"# SCHEMA VIOLATION: {problem}", file=sys.stderr)
+    print(report.format_report(report.summarize(events)))
+    print(f"# wrote {trace_out} ({len(events)} events)", file=sys.stderr)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(result.network_stats["obs"], handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"# wrote {args.json_out}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro.eval.profiling import (
+        format_profile_table,
+        run_profile_benchmark,
+    )
+
+    doc = run_profile_benchmark(
+        window_size=args.window, sample_size=args.sample,
+        n_readings=args.readings, n_leaves=args.leaves,
+        n_ticks=args.ticks, seed=args.seed, trace_path=args.trace_out)
+    print(format_profile_table(doc))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# wrote {args.json_out}", file=sys.stderr)
+    return 0
 
 
 def _cmd_info(args) -> int:
@@ -207,7 +324,8 @@ def main(argv: "list[str] | None" = None) -> int:
     handlers = {"reproduce": _cmd_reproduce, "detect": _cmd_detect,
                 "info": _cmd_info,
                 "bench-throughput": _cmd_bench_throughput,
-                "bench-resilience": _cmd_bench_resilience}
+                "bench-resilience": _cmd_bench_resilience,
+                "trace": _cmd_trace, "profile": _cmd_profile}
     return handlers[args.command](args)
 
 

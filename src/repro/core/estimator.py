@@ -27,6 +27,7 @@ Two evaluation strategies are implemented:
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -34,7 +35,7 @@ import numpy as np
 from repro._exceptions import EmptyModelError, ParameterError
 from repro._rng import resolve_rng
 from repro._validation import as_point, as_points
-from repro import _sanitize
+from repro import _sanitize, obs
 from repro.core.bandwidth import scott_bandwidths
 from repro.core.kernels import EPANECHNIKOV, Kernel
 
@@ -260,12 +261,22 @@ class KernelDensityEstimator:
         low_pt = as_point("low", low_arr, self._d)
         high_pt = as_point("high", high_arr, self._d)
         if self._sorted_1d is not None:
+            if obs.ACTIVE:
+                t0 = time.perf_counter()
+                result = self._range_probability_sorted_1d(
+                    low_pt[0], high_pt[0])
+                elapsed = time.perf_counter() - t0
+                obs.profiler().record("estimator.query_sorted", elapsed)
+                obs.metrics().histogram(
+                    "estimator.range_query.latency").observe(elapsed)
+                return result
             return self._range_probability_sorted_1d(low_pt[0], high_pt[0])
         return float(self._range_probability_batch(low_pt[None, :], high_pt[None, :])[0])
 
     def _range_probability_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
         if (highs < lows).any():
             raise ParameterError("each high must be >= the corresponding low")
+        t0 = time.perf_counter() if obs.ACTIVE else 0.0
         out = np.empty(lows.shape[0], dtype=float)
         chunk = max(1, _MAX_CHUNK_CELLS // max(1, self._n * self._d))
         inv_bw = 1.0 / self._bandwidths
@@ -287,6 +298,11 @@ class KernelDensityEstimator:
             out[start:start + chunk] = per_dim.prod(axis=2).mean(axis=1)
         if _sanitize.ACTIVE:
             _sanitize.check_probabilities(out, label="range_probability")
+        if obs.ACTIVE:
+            elapsed = time.perf_counter() - t0
+            obs.profiler().record("estimator.query_batch", elapsed)
+            obs.metrics().histogram(
+                "estimator.range_query.latency").observe(elapsed)
         # Clamp tiny negative values from floating point cancellation.
         return np.clip(out, 0.0, 1.0)
 

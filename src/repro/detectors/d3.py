@@ -23,6 +23,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import obs
 from repro._exceptions import ParameterError
 from repro._rng import resolve_rng
 from repro._validation import (
@@ -334,7 +335,12 @@ class D3ParentNode:
                 if model is not None:
                     count = float(np.asarray(model.neighborhood_count(
                         message.value, self._config.spec.radius)).reshape(()))
-                    if count < self._config.spec.count_threshold:
+                    flagged = count < self._config.spec.count_threshold
+                    if obs.ACTIVE:
+                        obs.emit("detector.check", node=self.node_id,
+                                 level=self._level, origin=message.origin,
+                                 flagged=flagged, tick=tick)
+                    if flagged:
                         self._log.record(Detection(
                             tick=message.tick, node_id=self.node_id,
                             level=self._level, origin=message.origin,

@@ -30,6 +30,7 @@ from typing import Literal, Mapping
 
 import numpy as np
 
+from repro import obs
 from repro._exceptions import ParameterError
 from repro._rng import resolve_rng
 from repro._validation import require_fraction, require_positive_int
@@ -288,6 +289,8 @@ class MGDDLeafNode:
             # The mirrored reference is too old to trust: the path to
             # the model source has been down longer than the horizon.
             # Pausing beats flagging against a frozen distribution.
+            if obs.ACTIVE:
+                obs.emit("detector.pause", node=self.node_id, tick=tick)
             return
         model = self._global.model()
         if model is not None:
@@ -379,6 +382,9 @@ class MGDDLeaderNode:
             value=np.array(value, dtype=float),
             window_size=self._global_window_size(tick))
         self.updates_sent += 1
+        if obs.ACTIVE:
+            obs.emit("detector.model_update", node=self.node_id,
+                     policy="incremental", full=False, tick=tick)
         return [(child, update) for child in self._children]
 
     def _maybe_broadcast_lazy(self, tick: int) -> "list[Outgoing]":
@@ -399,6 +405,9 @@ class MGDDLeaderNode:
             full_sample=current.sample.copy(),
             window_size=self._global_window_size(tick))
         self.updates_sent += 1
+        if obs.ACTIVE:
+            obs.emit("detector.model_update", node=self.node_id,
+                     policy="lazy", full=True, tick=tick)
         return [(child, update) for child in self._children]
 
     def on_message(self, message: Message, sender: int,

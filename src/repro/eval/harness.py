@@ -24,6 +24,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs as _obs
 from repro._exceptions import ParameterError
 from repro.core.mdef import MDEFOutlierDetector, MDEFSpec
 from repro.core.outliers import DistanceOutlierSpec
@@ -322,8 +323,31 @@ def _build_fault_plan(config: ExperimentConfig, hierarchy: Hierarchy,
         rng=np.random.default_rng(seed + 7919))
 
 
-def run_accuracy_run(config: ExperimentConfig, seed: int) -> AccuracyResult:
-    """One full simulation + ground truth + precision/recall, one seed."""
+def run_accuracy_run(config: ExperimentConfig, seed: int, *,
+                     obs: "bool | str" = False) -> AccuracyResult:
+    """One full simulation + ground truth + precision/recall, one seed.
+
+    ``obs`` attaches the :mod:`repro.obs` instrumentation to this run:
+    ``True`` collects in memory only, a string additionally streams the
+    trace to that JSONL path.  The collected snapshot (events by kind,
+    metrics, phase profile) is embedded in ``result.network_stats`` under
+    the ``"obs"`` key.  Prior singleton state is discarded so the
+    snapshot describes exactly this run.
+    """
+    if obs:
+        _obs.reset()
+        trace_path = obs if isinstance(obs, str) else None
+        with _obs.enabled(trace_path):
+            result = _run_accuracy_run(config, seed)
+        stats = _obs.snapshot()
+        if trace_path is not None:
+            stats["trace_path"] = trace_path
+        result.network_stats["obs"] = stats
+        return result
+    return _run_accuracy_run(config, seed)
+
+
+def _run_accuracy_run(config: ExperimentConfig, seed: int) -> AccuracyResult:
     hierarchy = build_hierarchy(config.n_leaves, config.branching)
     streams = make_streams(config, seed)
     rng = np.random.default_rng(seed + 1)
@@ -456,6 +480,11 @@ def run_accuracy_run(config: ExperimentConfig, seed: int) -> AccuracyResult:
         if faults is not None else [],
         "child_staleness": staleness,
     }
+    if _obs.ACTIVE:
+        registry = _obs.metrics()
+        registry.absorb_message_counter(counter)
+        if simulator.transport is not None:
+            registry.absorb_mapping(simulator.transport.stats(), "transport")
     return result
 
 

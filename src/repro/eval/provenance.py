@@ -1,0 +1,53 @@
+"""Run metadata for benchmark artifacts.
+
+``BENCH_throughput.json`` / ``BENCH_resilience.json`` numbers are only
+attributable over time if each document records what produced it.  This
+module stamps a ``meta`` key -- git sha, seed, python/numpy versions,
+platform, wall clock -- without touching the keys the CI gates read.
+"""
+
+from __future__ import annotations
+
+import datetime
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["git_sha", "run_metadata"]
+
+
+def git_sha() -> str:
+    """The repository's current commit sha, or ``"unknown"``.
+
+    Resolved relative to this file so it works regardless of the
+    caller's working directory; any git failure (no repo, no binary)
+    degrades to ``"unknown"`` rather than poisoning a benchmark run.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10, check=False)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def run_metadata(*, seed: "int | None" = None) -> "dict[str, object]":
+    """The ``meta`` stamp for a benchmark document."""
+    meta: "dict[str, object]" = {
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "wall_clock_utc": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+    }
+    if seed is not None:
+        meta["seed"] = seed
+    return meta

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro._exceptions import ParameterError
 from repro.eval.harness import ExperimentConfig, run_accuracy_run
+from repro.eval.provenance import run_metadata
 
 __all__ = [
     "run_resilience_cell",
@@ -59,13 +60,17 @@ def run_resilience_cell(*, algorithm: str, loss_rate: float,
                         n_leaves: int = 8, window_size: int = 500,
                         measure_ticks: int = 400, truth_stride: int = 4,
                         staleness_horizon: "int | None" = None,
-                        seed: int = 7) -> "dict[str, object]":
+                        seed: int = 7,
+                        obs: "bool | str" = False) -> "dict[str, object]":
     """One (algorithm, loss, crash) cell of the resilience grid.
 
     The reliable transport runs in *every* cell -- including the
     fault-free baseline, so overhead ratios isolate fault-induced
     retransmissions from the protocol's flat ack cost.  The staleness
-    horizon defaults to half the window.
+    horizon defaults to half the window.  ``obs`` attaches the
+    :mod:`repro.obs` instrumentation (see
+    :func:`~repro.eval.harness.run_accuracy_run`); the snapshot lands
+    in the cell's ``network["obs"]``.
     """
     if algorithm not in _DATASETS:
         raise ParameterError(
@@ -81,7 +86,7 @@ def run_resilience_cell(*, algorithm: str, loss_rate: float,
         duplication_rate=duplication_rate, reliable_transport=True,
         repair_leaders=crash_fraction > 0.0,
         staleness_horizon=staleness_horizon)
-    result = run_accuracy_run(config, seed=seed)
+    result = run_accuracy_run(config, seed=seed, obs=obs)
     return {
         "algorithm": algorithm,
         "loss_rate": loss_rate,
@@ -130,6 +135,7 @@ def run_resilience_benchmark(*, algorithms: "tuple[str, ...]" = ("d3", "mgdd"),
             "numpy": np.__version__,
             "platform": platform.platform(),
         },
+        "meta": run_metadata(seed=seed),
         "grid": {
             "algorithms": list(algorithms),
             "loss_rates": sorted(set(loss_rates) | {0.0}),

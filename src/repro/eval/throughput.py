@@ -36,6 +36,7 @@ from repro.data.streams import StreamSet
 from repro.data.synthetic import make_mixture_streams
 from repro.detectors.d3 import D3Config, build_d3_network
 from repro.detectors.single import OnlineOutlierDetector
+from repro.eval.provenance import run_metadata
 from repro.network.simulator import NetworkSimulator
 from repro.network.topology import build_hierarchy
 
@@ -171,21 +172,39 @@ def run_throughput_benchmark(*, window_size: int = 2_000,
                              n_readings: int = 20_000,
                              batch_size: int = 1_024,
                              n_leaves: int = 8, n_ticks: int = 800,
-                             seed: int = 0) -> dict:
-    """Run both measurements; return the full result document."""
-    return {
+                             seed: int = 0,
+                             obs: "bool | str" = False) -> dict:
+    """Run both measurements; return the full result document.
+
+    The timed measurements always run with instrumentation *off* (the
+    committed throughput numbers must not pay tracing overhead).  With
+    ``obs`` truthy, a reduced traced workload runs afterwards via
+    :func:`repro.eval.profiling.run_profile_benchmark` and its per-phase
+    profile is embedded under the ``"obs"`` key (a string value also
+    streams that trace to the given JSONL path).
+    """
+    results = {
         "benchmark": "ingest-throughput",
         "machine": {
             "python": platform.python_version(),
             "numpy": np.__version__,
             "platform": platform.platform(),
         },
+        "meta": run_metadata(seed=seed),
         "single_node": measure_single_node(
             window_size=window_size, sample_size=sample_size,
             n_readings=n_readings, batch_size=batch_size, seed=seed),
         "network": measure_network(
             n_leaves=n_leaves, n_ticks=n_ticks, seed=seed),
     }
+    if obs:
+        from repro.eval.profiling import run_profile_benchmark
+        results["obs"] = run_profile_benchmark(
+            window_size=window_size, sample_size=sample_size,
+            n_readings=min(n_readings, 10_000), batch_size=batch_size,
+            n_leaves=n_leaves, n_ticks=min(n_ticks, 400), seed=seed,
+            trace_path=obs if isinstance(obs, str) else None)
+    return results
 
 
 def write_results(results: dict, path: "str | Path" = DEFAULT_OUTPUT) -> Path:

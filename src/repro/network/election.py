@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro._exceptions import ParameterError, TopologyError
 from repro._validation import require_positive_int
 from repro.network.energy import EnergyAccountant
@@ -233,6 +234,10 @@ class BearerRepair:
             self.handoffs.append(BearerChange(
                 tick=tick, leader=leader, old_bearer=have,
                 new_bearer=want, reason=reason))
+            if obs.ACTIVE:
+                obs.emit("election.handoff", leader=leader,
+                         new_bearer=want, old_bearer=have,
+                         reason=reason, tick=tick)
             self._charge(leader, have, want, tick)
         self._initialised = True
         return dict(self._bearers)
@@ -249,6 +254,13 @@ class BearerRepair:
         if self._counter is not None:
             self._counter.record(message)
             self._counter.record_delivered(message)
+            if obs.ACTIVE:
+                source = old_bearer if old_bearer is not None else leader
+                obs.emit("message.send", kind="ModelHandoff", sender=source,
+                         dest=new_bearer, words=message.size_words(),
+                         tick=tick)
+                obs.emit("message.deliver", kind="ModelHandoff",
+                         dest=new_bearer, tick=tick)
         if self._energy is not None:
             source = old_bearer if (
                 old_bearer is not None

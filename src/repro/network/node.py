@@ -13,6 +13,7 @@ from typing import Iterable, Protocol, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.network.messages import Message
 
 __all__ = ["SimNode", "Outgoing", "Detection", "DetectionLog"]
@@ -75,6 +76,11 @@ class DetectionLog:
     def record(self, detection: Detection) -> None:
         """Append one detection."""
         self.detections.append(detection)
+        if obs.ACTIVE:
+            obs.emit("detector.flag", node=detection.node_id,
+                     level=detection.level, origin=detection.origin,
+                     tick=detection.tick)
+            obs.metrics().counter("detector.outliers_flagged").inc()
 
     def at_level(self, level: int) -> "list[Detection]":
         """All detections flagged by nodes of the given 1-based level."""

@@ -25,12 +25,14 @@ per message kind.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
 import numpy as np
 
+from repro import obs
 from repro._exceptions import SimulationError, TopologyError
 from repro._rng import resolve_rng
 from repro.data.streams import StreamSet
@@ -222,6 +224,14 @@ class NetworkSimulator:
         """Advance one tick: every live leaf reads once; messages drain."""
         if self._tick >= self._streams.length:
             raise SimulationError("streams exhausted; cannot step further")
+        if obs.ACTIVE:
+            with obs.span("tick", tick=self._tick):
+                self._step_body()
+        else:
+            self._step_body()
+        self._tick += 1
+
+    def _step_body(self) -> None:
         self._begin_tick()
         queue: "deque[_Envelope]" = deque()
         self._enqueue_due_retransmits(queue)
@@ -234,7 +244,6 @@ class NetworkSimulator:
                 self._enqueue(queue, leaf, dest, message)
 
         self._drain(queue)
-        self._tick += 1
 
     # -- queue plumbing ------------------------------------------------
 
@@ -259,6 +268,16 @@ class NetworkSimulator:
 
     def _drain(self, queue: "deque[_Envelope]") -> None:
         """Route queued messages until the network is quiet this tick."""
+        if obs.ACTIVE:
+            start = time.perf_counter()
+            with obs.span("phase", phase="drain", tick=self._tick):
+                self._drain_queue(queue)
+            obs.profiler().record("simulator.drain",
+                                  time.perf_counter() - start)
+        else:
+            self._drain_queue(queue)
+
+    def _drain_queue(self, queue: "deque[_Envelope]") -> None:
         deliveries = 0
         while queue:
             envelope = queue.popleft()
@@ -286,6 +305,10 @@ class NetworkSimulator:
         # Sending happens regardless of delivery: the message is counted
         # and the sender pays transmit energy even when the radio loses it.
         self._counter.record(message)
+        if obs.ACTIVE:
+            obs.emit("message.send", kind=type(message).__name__,
+                     sender=sender, dest=dest,
+                     words=message.size_words(), tick=self._tick)
         if entry is not None:
             self._transport.note_attempt(entry)
         rate = self._link_loss_rate(sender, dest)
@@ -295,17 +318,21 @@ class NetworkSimulator:
             self._energy.record(sender, dest, message, delivered=delivered)
         if not delivered:
             self._counter.record_dropped(message)
+            reason = "loss" if lost else "crash"
             if lost:
                 self._messages_lost += 1
-                self._drops_by_reason["loss"] = \
-                    self._drops_by_reason.get("loss", 0) + 1
-            else:
-                self._drops_by_reason["crash"] = \
-                    self._drops_by_reason.get("crash", 0) + 1
+            self._drops_by_reason[reason] = \
+                self._drops_by_reason.get(reason, 0) + 1
+            if obs.ACTIVE:
+                obs.emit("message.drop", kind=type(message).__name__,
+                         reason=reason, dest=dest, tick=self._tick)
             if entry is not None:
                 self._transport.schedule_or_expire(entry, self._tick)
             return 0
         self._counter.record_delivered(message)
+        if obs.ACTIVE:
+            obs.emit("message.deliver", kind=type(message).__name__,
+                     dest=dest, tick=self._tick)
         extra = self._deliver(envelope, queue)
         dup_rate = self._faults.duplication_rate \
             if self._faults is not None else 0.0
@@ -314,6 +341,13 @@ class NetworkSimulator:
             self._messages_duplicated += 1
             self._counter.record(message)
             self._counter.record_delivered(message)
+            if obs.ACTIVE:
+                obs.emit("message.send", kind=type(message).__name__,
+                         sender=sender, dest=dest,
+                         words=message.size_words(), tick=self._tick,
+                         duplicate=True)
+                obs.emit("message.deliver", kind=type(message).__name__,
+                         dest=dest, tick=self._tick, duplicate=True)
             if self._energy is not None:
                 self._energy.record(sender, dest, message, delivered=True)
             extra += 1 + self._deliver(envelope, queue)
@@ -330,8 +364,14 @@ class NetworkSimulator:
             entry.delivered_to_app = True
             extra += self._send_ack(entry)
         if first_copy:
-            for nxt_dest, nxt_msg in self._nodes[dest].on_message(
-                    envelope.message, sender, self._tick):
+            if obs.ACTIVE:
+                with obs.span("node", node=dest, tick=self._tick):
+                    outgoing = list(self._nodes[dest].on_message(
+                        envelope.message, sender, self._tick))
+            else:
+                outgoing = self._nodes[dest].on_message(
+                    envelope.message, sender, self._tick)
+            for nxt_dest, nxt_msg in outgoing:
                 self._enqueue(queue, dest, nxt_dest, nxt_msg)
         return extra
 
@@ -339,6 +379,10 @@ class NetworkSimulator:
         """Transmit the per-hop ack back to the sender; returns 1."""
         ack = Ack(seq=entry.seq)
         self._counter.record(ack)
+        if obs.ACTIVE:
+            obs.emit("message.send", kind="Ack", sender=entry.dest,
+                     dest=entry.sender, words=ack.size_words(),
+                     tick=self._tick)
         rate = self._link_loss_rate(entry.dest, entry.sender)
         ack_lost = rate > 0.0 and self._rng.random() < rate
         sender_down = self._node_down(entry.sender, self._tick)
@@ -348,16 +392,20 @@ class NetworkSimulator:
                                 delivered=ack_delivered)
         if ack_delivered:
             self._counter.record_delivered(ack)
+            if obs.ACTIVE:
+                obs.emit("message.deliver", kind="Ack", dest=entry.sender,
+                         tick=self._tick)
             self._transport.acknowledge(entry)
         else:
             self._counter.record_dropped(ack)
+            reason = "loss" if ack_lost else "crash"
             if ack_lost:
                 self._messages_lost += 1
-                self._drops_by_reason["loss"] = \
-                    self._drops_by_reason.get("loss", 0) + 1
-            else:
-                self._drops_by_reason["crash"] = \
-                    self._drops_by_reason.get("crash", 0) + 1
+            self._drops_by_reason[reason] = \
+                self._drops_by_reason.get(reason, 0) + 1
+            if obs.ACTIVE:
+                obs.emit("message.drop", kind="Ack", reason=reason,
+                         dest=entry.sender, tick=self._tick)
             self._transport.schedule_or_expire(entry, self._tick)
         return 1
 
@@ -394,26 +442,39 @@ class NetworkSimulator:
             if self._faults is not None and self._faults.crash_overlaps(
                     leaf, start, start + n_ticks):
                 continue   # blackout inside the epoch: per-tick fallback
+            t0 = time.perf_counter() if obs.ACTIVE else 0.0
             batched[leaf] = node.on_readings(
                 self._streams.block(i, start, start + n_ticks), start)
+            if obs.ACTIVE:
+                obs.profiler().record("simulator.batch_ingest",
+                                      time.perf_counter() - t0)
 
         for offset in range(n_ticks):
-            self._begin_tick()
-            queue: "deque[_Envelope]" = deque()
-            self._enqueue_due_retransmits(queue)
-            for i, leaf in enumerate(leaf_ids):
-                if leaf in batched:
-                    outgoing = list(batched[leaf][offset])
-                    outgoing.extend(self._nodes[leaf].on_tick_start(self._tick))
-                elif self._node_down(leaf, self._tick):
-                    continue
-                else:
-                    reading = self._streams.reading(i, self._tick)
-                    outgoing = self._nodes[leaf].on_reading(reading, self._tick)
-                for dest, message in outgoing:
-                    self._enqueue(queue, leaf, dest, message)
-            self._drain(queue)
+            if obs.ACTIVE:
+                with obs.span("tick", tick=self._tick):
+                    self._epoch_tick(batched, leaf_ids, offset)
+            else:
+                self._epoch_tick(batched, leaf_ids, offset)
             self._tick += 1
+
+    def _epoch_tick(self, batched: "dict[int, list[list]]",
+                    leaf_ids: "tuple[int, ...]", offset: int) -> None:
+        """One tick of an epoch: staged/fallback leaf output, then drain."""
+        self._begin_tick()
+        queue: "deque[_Envelope]" = deque()
+        self._enqueue_due_retransmits(queue)
+        for i, leaf in enumerate(leaf_ids):
+            if leaf in batched:
+                outgoing = list(batched[leaf][offset])
+                outgoing.extend(self._nodes[leaf].on_tick_start(self._tick))
+            elif self._node_down(leaf, self._tick):
+                continue
+            else:
+                reading = self._streams.reading(i, self._tick)
+                outgoing = self._nodes[leaf].on_reading(reading, self._tick)
+            for dest, message in outgoing:
+                self._enqueue(queue, leaf, dest, message)
+        self._drain(queue)
 
     def run(self, n_ticks: "int | None" = None,
             on_tick: "Callable[[int], None] | None" = None) -> None:
@@ -427,6 +488,14 @@ class NetworkSimulator:
         if n_ticks < 0 or n_ticks > self.n_ticks_available:
             raise SimulationError(
                 f"cannot run {n_ticks} ticks; only {self.n_ticks_available} available")
+        if obs.ACTIVE:
+            with obs.span("run", mode="stepped", n_ticks=n_ticks):
+                self._run_loop(n_ticks, on_tick)
+        else:
+            self._run_loop(n_ticks, on_tick)
+
+    def _run_loop(self, n_ticks: int,
+                  on_tick: "Callable[[int], None] | None") -> None:
         for _ in range(n_ticks):
             self.step()
             if on_tick is not None:
@@ -450,6 +519,15 @@ class NetworkSimulator:
         if n_ticks < 0 or n_ticks > self.n_ticks_available:
             raise SimulationError(
                 f"cannot run {n_ticks} ticks; only {self.n_ticks_available} available")
+        if obs.ACTIVE:
+            with obs.span("run", mode="batched", n_ticks=n_ticks,
+                          epoch_size=epoch_size):
+                self._run_batched_loop(n_ticks, epoch_size, on_tick)
+        else:
+            self._run_batched_loop(n_ticks, epoch_size, on_tick)
+
+    def _run_batched_loop(self, n_ticks: int, epoch_size: int,
+                          on_tick: "Callable[[int], None] | None") -> None:
         done = 0
         while done < n_ticks:
             span = min(epoch_size, n_ticks - done)

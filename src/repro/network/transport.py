@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro._exceptions import ParameterError
 from repro._validation import require_positive_int
 from repro.network.messages import Message
@@ -139,12 +140,18 @@ class ReliableTransport:
             if is_down(entry.sender, tick):
                 del self._pending[seq]
                 self.n_sender_crashes += 1
+                if obs.ACTIVE:
+                    obs.emit("transport.sender_crash", seq_no=entry.seq,
+                             sender=entry.sender, tick=tick)
                 continue
             if entry.parked:
                 if not is_down(entry.dest, tick):
                     entry.parked = False
                     entry.next_attempt = tick
                     self.n_park_flushes += 1
+                    if obs.ACTIVE:
+                        obs.emit("transport.flush", seq_no=entry.seq,
+                                 dest=entry.dest, tick=tick)
                     due.append(entry)
                 continue
             if entry.next_attempt <= tick:
@@ -154,12 +161,18 @@ class ReliableTransport:
     def park(self, entry: PendingMessage) -> None:
         """Buffer ``entry`` until its destination recovers."""
         entry.parked = True
+        if obs.ACTIVE:
+            obs.emit("transport.park", seq_no=entry.seq, dest=entry.dest)
 
     def note_attempt(self, entry: PendingMessage) -> None:
         """Account one physical transmission of ``entry``."""
         entry.attempts += 1
         if entry.attempts > 1:
             self.n_retransmissions += 1
+            if obs.ACTIVE:
+                obs.emit("transport.retransmit", seq_no=entry.seq,
+                         attempt=entry.attempts)
+                obs.metrics().counter("transport.retries").inc()
 
     def acknowledge(self, entry: PendingMessage) -> None:
         """The sender heard the ack: retire the entry."""
@@ -175,6 +188,9 @@ class ReliableTransport:
         if entry.attempts >= 1 + self.config.max_retries:
             self._pending.pop(entry.seq, None)
             self.n_expired += 1
+            if obs.ACTIVE:
+                obs.emit("transport.expire", seq_no=entry.seq,
+                         attempts=entry.attempts)
             return False
         entry.next_attempt = tick + self.config.backoff_ticks(entry.attempts)
         return True

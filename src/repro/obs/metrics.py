@@ -1,0 +1,156 @@
+"""Metrics registry: counters, gauges and histograms.
+
+One queryable surface unifying the repo's ad-hoc accounting --
+``MessageCounter`` per-kind word costs, ``ReliableTransport.stats()``
+and the ``network_stats`` dicts the eval harness assembles -- without
+changing any of their semantics.  Instrumented code increments named
+metrics; :meth:`MetricsRegistry.absorb_message_counter` and
+:meth:`MetricsRegistry.absorb_mapping` copy the legacy accounting in at
+the end of a run so a single :meth:`MetricsRegistry.snapshot` answers
+"what happened".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, TYPE_CHECKING
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.network.messages import MessageCounter
+
+
+class Counter:
+    """Monotone integer counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the counter."""
+        self.value += n
+
+
+class Gauge:
+    """Last-value-wins float gauge."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level of the tracked quantity."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of observed values (count/total/min/max).
+
+    Deliberately O(1) memory: the hot paths observing into a histogram
+    (e.g. ``estimator.range_query.latency``) run millions of times and
+    must not accumulate per-observation state.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def summary(self) -> "dict[str, float]":
+        """count/total/mean/min/max as a plain dict (zeros when empty)."""
+        if self.count == 0:
+            return {"count": 0, "total": 0.0, "mean": 0.0,
+                    "min": 0.0, "max": 0.0}
+        return {"count": self.count, "total": self.total,
+                "mean": self.total / self.count,
+                "min": self.min, "max": self.max}
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: "dict[str, Counter]" = {}
+        self._gauges: "dict[str, Gauge]" = {}
+        self._histograms: "dict[str, Histogram]" = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name``, creating it if needed."""
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name``, creating it if needed."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name``, creating it if needed."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # -- legacy-accounting absorption ----------------------------------
+
+    def absorb_message_counter(self, counter: "MessageCounter",
+                               prefix: str = "messages") -> None:
+        """Mirror a ``MessageCounter``'s per-kind totals as counters.
+
+        Word-cost semantics are untouched: the counter object stays the
+        source of truth, this copies its totals under
+        ``{prefix}.{kind}.{sent,delivered,dropped,words}``.
+        """
+        for kind, n in counter.counts.items():
+            self.counter(f"{prefix}.{kind}.sent").value = int(n)
+        for kind, n in counter.delivered.items():
+            self.counter(f"{prefix}.{kind}.delivered").value = int(n)
+        for kind, n in counter.dropped.items():
+            self.counter(f"{prefix}.{kind}.dropped").value = int(n)
+        for kind, n in counter.words.items():
+            self.counter(f"{prefix}.{kind}.words").value = int(n)
+
+    def absorb_mapping(self, mapping: "Mapping[str, object]",
+                       prefix: str) -> None:
+        """Mirror numeric leaves of a stats dict as gauges.
+
+        Nested mappings recurse with dotted names; non-numeric leaves
+        are skipped.  Used for ``ReliableTransport.stats()`` and the
+        harness ``network_stats`` dicts.
+        """
+        for key, value in mapping.items():
+            name = f"{prefix}.{key}"
+            if isinstance(value, Mapping):
+                self.absorb_mapping(value, name)
+            elif isinstance(value, bool):
+                self.gauge(name).set(1.0 if value else 0.0)
+            elif isinstance(value, (int, float)):
+                self.gauge(name).set(float(value))
+
+    # -- export --------------------------------------------------------
+
+    def snapshot(self) -> "dict[str, dict[str, object]]":
+        """All metrics as plain data: counters, gauges, histograms."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.summary()
+                           for n, h in sorted(self._histograms.items())},
+        }

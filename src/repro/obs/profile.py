@@ -1,0 +1,62 @@
+"""Profiling hooks: named-phase wall-clock accumulation.
+
+``perf_counter``-based timers over the hot paths PR 1 optimized --
+batched ingestion, estimator cache rebuilds, Theorem 2 sorted-path
+range queries -- so a bench regression is attributable to a named phase
+rather than "somewhere in the run".  Call sites pay one ``ACTIVE``
+check when profiling is off; a :class:`PhaseProfiler` only ever holds
+four numbers per phase.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Iterator
+
+__all__ = ["PhaseProfiler"]
+
+
+class _PhaseStat:
+    __slots__ = ("calls", "total_s", "max_s")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+
+class PhaseProfiler:
+    """Accumulates call counts and wall-clock seconds per named phase."""
+
+    def __init__(self) -> None:
+        self._stats: "dict[str, _PhaseStat]" = {}
+
+    def record(self, phase: str, seconds: float) -> None:
+        """Fold one timed call of ``phase`` into its running totals."""
+        stat = self._stats.get(phase)
+        if stat is None:
+            stat = self._stats[phase] = _PhaseStat()
+        stat.calls += 1
+        stat.total_s += seconds
+        if seconds > stat.max_s:
+            stat.max_s = seconds
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> "Iterator[None]":
+        """Time the enclosed block and record it under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start)
+
+    def summary(self) -> "dict[str, dict[str, float]]":
+        """Per-phase ``{calls,total_s,mean_s,max_s}``, hottest first."""
+        out: "dict[str, dict[str, float]]" = {}
+        for name, stat in sorted(self._stats.items(),
+                                 key=lambda kv: kv[1].total_s, reverse=True):
+            out[name] = {"calls": stat.calls, "total_s": stat.total_s,
+                         "mean_s": stat.total_s / stat.calls,
+                         "max_s": stat.max_s}
+        return out

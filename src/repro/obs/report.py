@@ -1,0 +1,121 @@
+"""Trace summarization: turn a JSONL trace into a readable report.
+
+Backs ``tools/trace_report.py`` and the ``repro trace`` subcommand.
+Only depends on the trace format itself (plus :mod:`repro.obs.schema`
+for the validation hook), so it can digest traces produced by any run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+__all__ = ["load_events", "summarize", "format_report"]
+
+
+def load_events(path: str) -> "list[dict[str, object]]":
+    """Parse a JSONL trace file into a list of event records."""
+    events: "list[dict[str, object]]" = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def _as_int(value: object) -> int:
+    return int(value) if isinstance(value, (int, float)) else 0
+
+
+def summarize(
+        events: "list[Mapping[str, object]]") -> "dict[str, object]":
+    """Top-line rollup of a trace: events, messages, spans, detections."""
+    by_event: "dict[str, int]" = {}
+    messages: "dict[str, dict[str, int]]" = {}
+    span_names: "dict[int, str]" = {}
+    span_time: "dict[str, dict[str, float]]" = {}
+    n_detections = 0
+    n_evictions = 0
+    for record in events:
+        kind = str(record.get("event"))
+        by_event[kind] = by_event.get(kind, 0) + 1
+        if kind.startswith("message."):
+            mkind = str(record.get("kind"))
+            row = messages.setdefault(
+                mkind, {"send": 0, "deliver": 0, "drop": 0, "words": 0})
+            verb = kind.split(".", 1)[1]
+            row[verb] += 1
+            if verb == "send":
+                row["words"] += _as_int(record.get("words"))
+        elif kind == "span_open":
+            span_names[_as_int(record.get("id"))] = str(record.get("name"))
+        elif kind == "span_close":
+            name = span_names.get(_as_int(record.get("id")), "?")
+            dur = record.get("dur_s")
+            if isinstance(dur, (int, float)):
+                row_t = span_time.setdefault(
+                    name, {"count": 0, "total_s": 0.0})
+                row_t["count"] += 1
+                row_t["total_s"] += float(dur)
+        elif kind == "detector.flag":
+            n_detections += 1
+        elif kind == "sample.evict":
+            n_evictions += _as_int(record.get("count"))
+    return {
+        "n_events": len(events),
+        "by_event": dict(sorted(by_event.items())),
+        "messages": dict(sorted(messages.items())),
+        "spans": dict(sorted(span_time.items())),
+        "n_detections": n_detections,
+        "n_evictions": n_evictions,
+    }
+
+
+def _table(headers: "list[str]",
+           rows: "list[list[str]]") -> "list[str]":
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: "list[str]") -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return lines
+
+
+def format_report(summary: "Mapping[str, object]") -> str:
+    """Render :func:`summarize` output as an aligned plain-text report."""
+    lines: "list[str]" = []
+    lines.append(f"events: {summary['n_events']}"
+                 f"  detections: {summary['n_detections']}"
+                 f"  sample evictions: {summary['n_evictions']}")
+    by_event = summary["by_event"]
+    assert isinstance(by_event, Mapping)
+    lines.append("")
+    lines.extend(_table(
+        ["event", "count"],
+        [[kind, str(count)] for kind, count in by_event.items()]))
+    messages = summary["messages"]
+    assert isinstance(messages, Mapping)
+    if messages:
+        lines.append("")
+        rows = []
+        for kind, row in messages.items():
+            assert isinstance(row, Mapping)
+            rows.append([kind, str(row["send"]), str(row["deliver"]),
+                         str(row["drop"]), str(row["words"])])
+        lines.extend(_table(
+            ["message kind", "send", "deliver", "drop", "words"], rows))
+    spans = summary["spans"]
+    assert isinstance(spans, Mapping)
+    if spans:
+        lines.append("")
+        rows = []
+        for name, row in spans.items():
+            assert isinstance(row, Mapping)
+            rows.append([name, str(row["count"]),
+                         f"{float(row['total_s']):.6f}"])
+        lines.extend(_table(["span", "count", "total_s"], rows))
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Structured tracing: hierarchical spans and JSONL events.
+
+A :class:`Tracer` accumulates event records -- plain dicts -- in a
+bounded in-memory ring buffer and, when a file sink is open, appends
+each record to a JSONL file as it is emitted.  Spans impose the
+``run > tick > node > phase`` hierarchy of docs/OBSERVABILITY.md: every
+event carries the id of the innermost open span, so a trace consumer can
+attribute any message send or detection decision to the exact tick and
+node that produced it.
+
+This module holds mechanism only; the event vocabulary lives in
+:mod:`repro.obs.schema` and the module-level on/off switch in
+:mod:`repro.obs` itself.  Nothing here imports from the rest of the
+package (beyond :mod:`repro._exceptions`), so instrumented modules can
+import :mod:`repro.obs` without cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+from collections import deque
+from typing import Deque, Iterator, TextIO
+
+import numpy as np
+
+from repro._exceptions import ParameterError
+
+__all__ = ["DEFAULT_CAPACITY", "Tracer"]
+
+#: Ring-buffer capacity: old events are discarded past this many.  The
+#: file sink, when open, still receives every event.
+DEFAULT_CAPACITY = 65_536
+
+
+def _jsonable(value: object) -> object:
+    """JSON fallback for numpy scalars/arrays slipping into event fields."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return str(value)
+
+
+class Tracer:
+    """Span-structured event recorder with a ring buffer and file sink.
+
+    Events are dicts with four common fields -- ``event`` (kind),
+    ``seq`` (monotone emission index), ``t`` (wall-clock seconds) and
+    ``span`` (innermost open span id, or None) -- plus the kind-specific
+    fields of :mod:`repro.obs.schema`.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {capacity}")
+        self._ring: "Deque[dict[str, object]]" = deque(maxlen=capacity)
+        self._seq = 0
+        self._next_span = 0
+        self._stack: "list[int]" = []
+        self._sink: "TextIO | None" = None
+        self._sink_path: "str | None" = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Ring-buffer capacity in events."""
+        return int(self._ring.maxlen or 0)
+
+    @property
+    def n_emitted(self) -> int:
+        """Events emitted over the tracer's lifetime (sink-complete)."""
+        return self._seq
+
+    @property
+    def n_dropped(self) -> int:
+        """Events the ring buffer has discarded (0 unless it overflowed)."""
+        return max(0, self._seq - len(self._ring))
+
+    @property
+    def sink_path(self) -> "str | None":
+        """Path of the open JSONL sink, or None."""
+        return self._sink_path
+
+    def events(self) -> "list[dict[str, object]]":
+        """The buffered events, oldest first."""
+        return list(self._ring)
+
+    def counts_by_kind(self) -> "dict[str, int]":
+        """Buffered event counts per ``event`` kind."""
+        counts: "dict[str, int]" = {}
+        for record in self._ring:
+            kind = str(record["event"])
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    # -- sink ----------------------------------------------------------
+
+    def open_sink(self, path: str) -> None:
+        """Start appending every emitted event to ``path`` as JSONL."""
+        self.close_sink()
+        self._sink = open(path, "w", encoding="utf-8")
+        self._sink_path = str(path)
+
+    def close_sink(self) -> None:
+        """Flush and close the JSONL sink (no-op when none is open)."""
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+            self._sink_path = None
+
+    # -- events and spans ----------------------------------------------
+
+    def current_span(self) -> "int | None":
+        """Id of the innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def emit(self, event: str, **fields: object) -> "dict[str, object]":
+        """Record one event; returns the stored record."""
+        record: "dict[str, object]" = {
+            "event": event, "seq": self._seq, "t": time.time(),
+            "span": self.current_span()}
+        record.update(fields)
+        self._seq += 1
+        self._ring.append(record)
+        if self._sink is not None:
+            self._sink.write(json.dumps(record, default=_jsonable) + "\n")
+        return record
+
+    def open_span(self, name: str, **fields: object) -> int:
+        """Open a span; emits ``span_open`` and returns the span id."""
+        span_id = self._next_span
+        self._next_span += 1
+        self.emit("span_open", id=span_id, name=name,
+                  parent=self.current_span(), **fields)
+        self._stack.append(span_id)
+        return span_id
+
+    def close_span(self, span_id: int, **fields: object) -> None:
+        """Close a span (and any unclosed children); emits ``span_close``."""
+        if span_id in self._stack:
+            while self._stack and self._stack[-1] != span_id:
+                self._stack.pop()
+            self._stack.pop()
+        self.emit("span_close", id=span_id, **fields)
+
+    @contextlib.contextmanager
+    def span(self, name: str, **fields: object) -> "Iterator[int]":
+        """Context manager opening ``name`` and closing it with ``dur_s``."""
+        span_id = self.open_span(name, **fields)
+        start = time.perf_counter()
+        try:
+            yield span_id
+        finally:
+            self.close_span(span_id, dur_s=time.perf_counter() - start)

@@ -40,7 +40,7 @@ from typing import Deque, Sequence, Tuple
 
 import numpy as np
 
-from repro import _sanitize
+from repro import _sanitize, obs
 from repro._exceptions import ParameterError
 from repro._rng import resolve_rng
 from repro._validation import require_positive_int
@@ -102,6 +102,7 @@ class ChainSample:
         self._chains = [_Chain() for _ in range(sample_size)]
         self._timestamp = -1   # timestamp of the latest offered value
         self._mutations = 0    # active-element changes (see mutation_count)
+        self._evictions = 0    # expiry-driven active-element removals
 
     # ------------------------------------------------------------------
 
@@ -141,6 +142,15 @@ class ChainSample:
         """
         return self._mutations
 
+    @property
+    def eviction_count(self) -> int:
+        """Monotone counter of window-expiry removals of active elements.
+
+        The subset of :attr:`mutation_count` caused by elements aging
+        out of the window (as opposed to arrival replacements).
+        """
+        return self._evictions
+
     def __len__(self) -> int:
         """Number of slots currently holding an active element."""
         return sum(1 for chain in self._chains if chain.items)
@@ -151,6 +161,18 @@ class ChainSample:
         # Uniform over (ts, ts + W]; rng.integers' high bound is exclusive.
         return ts + int(self._successor_rngs[slot].integers(
             1, self._window_size + 1))
+
+    def _note_obs(self, mutations_before: int,
+                  evictions_before: int) -> None:
+        """Report this call's mutation/eviction deltas to ``repro.obs``."""
+        d_mut = self._mutations - mutations_before
+        d_evict = self._evictions - evictions_before
+        if d_mut:
+            obs.metrics().counter("sample.mutations").inc(d_mut)
+        if d_evict:
+            obs.metrics().counter("sample.evictions").inc(d_evict)
+            obs.emit("sample.evict", count=d_evict,
+                     timestamp=self._timestamp)
 
     def offer(self, value: "np.ndarray | Sequence[float] | float",
               timestamp: int | None = None) -> bool:
@@ -184,6 +206,8 @@ class ChainSample:
                 f"timestamps must be strictly increasing "
                 f"(got {timestamp} after {self._timestamp})")
         self._timestamp = timestamp
+        mutations_before = self._mutations
+        evictions_before = self._evictions
 
         inclusion_prob = 1.0 / min(timestamp + 1, self._window_size)
         # One random draw per slot; vectorised for the common large-|R| case.
@@ -205,8 +229,11 @@ class ChainSample:
             while chain.items and chain.items[0][0] <= timestamp - self._window_size:
                 chain.items.popleft()
                 self._mutations += 1
+                self._evictions += 1
         if _sanitize.ACTIVE:
             _sanitize.check_chain_sample(self)
+        if obs.ACTIVE:
+            self._note_obs(mutations_before, evictions_before)
         return tuple(changed)
 
     def offer_many(self, values: "np.ndarray | Sequence[Sequence[float]] | Sequence[float]",
@@ -239,6 +266,7 @@ class ChainSample:
         if m == 0:
             return []
         mutations_before = self._mutations
+        evictions_before = self._evictions
         ts0 = self._timestamp + 1 if start_timestamp is None \
             else int(start_timestamp)
         if ts0 <= self._timestamp:
@@ -284,6 +312,7 @@ class ChainSample:
                     while items and items[0][0] <= horizon:
                         items.popleft()
                         self._mutations += 1
+                        self._evictions += 1
                     if items:
                         items.append((succ_ts, vals[succ_ts - ts0].copy()))
                         chain.successor_ts = self._draw_successor(slot, succ_ts)
@@ -304,8 +333,11 @@ class ChainSample:
             while items and items[0][0] <= horizon:
                 items.popleft()
                 self._mutations += 1
+                self._evictions += 1
         if _sanitize.ACTIVE:
             _sanitize.check_chain_sample(self, mutations_before=mutations_before)
+        if obs.ACTIVE:
+            self._note_obs(mutations_before, evictions_before)
         return [tuple(slots) for slots in changed]
 
     def values(self) -> np.ndarray:

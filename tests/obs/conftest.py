@@ -1,0 +1,17 @@
+"""Shared fixtures: keep the process-global obs state clean per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Deactivate and reset the obs singletons around every test."""
+    obs.deactivate()
+    obs.reset()
+    yield
+    obs.deactivate()
+    obs.reset()

@@ -1,0 +1,104 @@
+"""Acceptance cross-check: a traced run's per-kind message events must
+equal the :class:`~repro.network.messages.MessageCounter` totals exactly,
+and tracing must not perturb the simulation.
+
+These run the full accuracy harness under faults (loss + crashes +
+duplication + reliable transport + leader repair), so the trace covers
+every message kind the simulator can produce -- ValueForward,
+OutlierReport, Ack, ModelHandoff for D3 and ModelUpdate for MGDD.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro import obs
+from repro.eval.harness import ExperimentConfig, run_accuracy_run
+from repro.obs import report, schema
+
+
+def _faulted_config(algorithm: str) -> ExperimentConfig:
+    dataset = {"d3": "synthetic", "mgdd": "plateau"}[algorithm]
+    return ExperimentConfig(
+        algorithm=algorithm, dataset=dataset, n_leaves=9, branching=3,
+        window_size=120, measure_ticks=120, n_runs=1, seed=3,
+        loss_rate=0.15, crash_fraction=0.3, duplication_rate=0.05,
+        reliable_transport=True, repair_leaders=True,
+        staleness_horizon=60)
+
+
+def _event_counts(events):
+    """Per-kind send/deliver/drop counts from message.* trace events."""
+    sent = collections.Counter()
+    delivered = collections.Counter()
+    dropped = collections.Counter()
+    for event in events:
+        if event["event"] == "message.send":
+            sent[event["kind"]] += 1
+        elif event["event"] == "message.deliver":
+            delivered[event["kind"]] += 1
+        elif event["event"] == "message.drop":
+            dropped[event["kind"]] += 1
+    return sent, delivered, dropped
+
+
+@pytest.mark.parametrize("algorithm", ["d3", "mgdd"])
+class TestConservation:
+    def test_trace_matches_counter_exactly(self, algorithm, tmp_path):
+        trace_path = tmp_path / f"trace_{algorithm}.jsonl"
+        result = run_accuracy_run(_faulted_config(algorithm), seed=3,
+                                  obs=str(trace_path))
+        events = report.load_events(str(trace_path))
+
+        # The whole trace is schema-valid JSONL.
+        assert schema.validate_events(events) == []
+
+        # Per-kind send events equal the counter's totals exactly.
+        sent, delivered, dropped = _event_counts(events)
+        counts_by_kind = result.network_stats["counts_by_kind"]
+        assert dict(sent) == counts_by_kind
+
+        # Every kind conserves: sent == delivered + dropped, in the
+        # trace itself and against the counter totals.
+        for kind in sent:
+            assert sent[kind] == delivered[kind] + dropped[kind], kind
+        assert result.network_stats["conservation_failures"] == []
+        assert sum(delivered.values()) \
+            == result.network_stats["messages_delivered"]
+        assert sum(dropped.values()) \
+            == result.network_stats["messages_dropped"]
+
+        # Faults actually fired, so the identity was stressed.
+        assert sum(dropped.values()) > 0
+
+    def test_tracing_does_not_perturb_results(self, algorithm, tmp_path):
+        config = _faulted_config(algorithm)
+        plain = run_accuracy_run(config, seed=3)
+        traced = run_accuracy_run(config, seed=3,
+                                  obs=str(tmp_path / "t.jsonl"))
+        assert not obs.ACTIVE   # restored afterwards
+
+        traced_stats = {k: v for k, v in traced.network_stats.items()
+                        if k != "obs"}
+        assert traced_stats == plain.network_stats
+        for level in plain.levels:
+            assert traced.precision(level) == plain.precision(level)
+            assert traced.recall(level) == plain.recall(level)
+
+
+class TestSnapshotEmbedding:
+    def test_obs_snapshot_in_network_stats(self):
+        result = run_accuracy_run(_faulted_config("d3"), seed=3, obs=True)
+        snap = result.network_stats["obs"]
+        assert snap["n_events"] > 0
+        # The metrics bridge mirrors the counter.
+        counters = snap["metrics"]["counters"]
+        for kind, count in result.network_stats["counts_by_kind"].items():
+            assert counters[f"messages.{kind}.sent"] == count
+
+    def test_disabled_run_has_no_obs_key(self):
+        result = run_accuracy_run(_faulted_config("d3"), seed=3)
+        assert "obs" not in result.network_stats
+        assert obs.tracer().n_emitted == 0

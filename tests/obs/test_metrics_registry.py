@@ -1,0 +1,85 @@
+"""Counters, gauges, histograms, and the MessageCounter bridge."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.messages import Ack, MessageCounter, ValueForward
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestPrimitives:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("transport.retries")
+        counter.inc()
+        counter.inc(3)
+        assert registry.counter("transport.retries") is counter
+        assert counter.value == 4
+
+    def test_gauge(self):
+        registry = MetricsRegistry()
+        registry.gauge("sample.size").set(100.0)
+        registry.gauge("sample.size").set(99.0)
+        assert registry.gauge("sample.size").value == 99.0
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("estimator.range_query.latency")
+        for value in (1.0, 3.0, 2.0):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == 2.0
+
+    def test_empty_histogram_summary_is_zeros(self):
+        summary = MetricsRegistry().histogram("x").summary()
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+
+
+class TestAbsorb:
+    def test_absorb_message_counter(self):
+        counter = MessageCounter()
+        forward = ValueForward(value=np.array([0.5]))
+        counter.record(forward)
+        counter.record(forward)
+        counter.record_delivered(forward)
+        counter.record_dropped(forward)
+        counter.record(Ack(seq=0))
+        counter.record_delivered(Ack(seq=0))
+
+        registry = MetricsRegistry()
+        registry.absorb_message_counter(counter)
+        counters = registry.snapshot()["counters"]
+        assert counters["messages.ValueForward.sent"] == 2
+        assert counters["messages.ValueForward.delivered"] == 1
+        assert counters["messages.ValueForward.dropped"] == 1
+        assert counters["messages.ValueForward.words"] == 2 * forward.size_words()
+        assert counters["messages.Ack.sent"] == 1
+        assert counters["messages.Ack.delivered"] == 1
+
+    def test_absorb_mapping_recurses_and_skips_non_numeric(self):
+        registry = MetricsRegistry()
+        registry.absorb_mapping({
+            "retransmissions": 7,
+            "enabled": True,
+            "nested": {"expired": 2.5},
+            "label": "ignored",
+        }, "transport")
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["transport.retransmissions"] == 7.0
+        assert gauges["transport.enabled"] == 1.0
+        assert gauges["transport.nested.expired"] == 2.5
+        assert "transport.label" not in gauges
+
+    def test_snapshot_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        registry.histogram("h").observe(1.0)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["histograms"]["h"]["count"] == 1

@@ -1,0 +1,37 @@
+"""Phase profiler accumulation and summary ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.profile import PhaseProfiler
+
+
+class TestPhaseProfiler:
+    def test_record_accumulates(self):
+        profiler = PhaseProfiler()
+        profiler.record("simulator.drain", 0.2)
+        profiler.record("simulator.drain", 0.4)
+        summary = profiler.summary()["simulator.drain"]
+        assert summary["calls"] == 2
+        assert summary["total_s"] == pytest.approx(0.6)
+        assert summary["mean_s"] == summary["total_s"] / 2
+        assert summary["max_s"] == 0.4
+
+    def test_summary_hottest_first(self):
+        profiler = PhaseProfiler()
+        profiler.record("cold", 0.1)
+        profiler.record("hot", 5.0)
+        profiler.record("warm", 1.0)
+        assert list(profiler.summary()) == ["hot", "warm", "cold"]
+
+    def test_phase_contextmanager(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("estimator.rebuild"):
+            pass
+        summary = profiler.summary()["estimator.rebuild"]
+        assert summary["calls"] == 1
+        assert summary["total_s"] >= 0.0
+
+    def test_empty_summary(self):
+        assert PhaseProfiler().summary() == {}

@@ -30,6 +30,36 @@ class TestParser:
         assert args.path == "readings.txt"
         assert args.radius == 0.02
 
+    def test_bench_subcommands_share_run_options(self):
+        # Every benchmark-style subcommand exposes the same --seed and
+        # --json-out flags, each with its own default.
+        for command, seed, json_out in (
+                (["bench-throughput"], 0, "BENCH_throughput.json"),
+                (["bench-resilience"], 7, "BENCH_resilience.json"),
+                (["trace", "d3"], 7, None),
+                (["profile"], 0, None)):
+            args = build_parser().parse_args(command)
+            assert args.seed == seed, command
+            assert args.json_out == json_out, command
+            args = build_parser().parse_args(
+                command + ["--seed", "99", "--json-out", "out.json"])
+            assert args.seed == 99
+            assert args.json_out == "out.json"
+
+    def test_output_is_an_alias_for_json_out(self):
+        args = build_parser().parse_args(
+            ["bench-throughput", "--output", "custom.json"])
+        assert args.json_out == "custom.json"
+
+    def test_trace_arguments(self):
+        args = build_parser().parse_args(
+            ["trace", "mgdd", "--loss-rate", "0.3", "--crash-fraction", "0"])
+        assert args.experiment == "mgdd"
+        assert args.loss_rate == 0.3
+        assert args.crash_fraction == 0.0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "unknown"])
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -68,3 +98,34 @@ class TestCommands:
         path.write_text("\n".join(lines))
         assert main(["detect", str(path), "--window", "30",
                      "--sample", "8"]) == 0
+
+    def test_trace_writes_valid_jsonl_and_summary(self, tmp_path, capsys):
+        import json
+
+        trace_out = tmp_path / "trace.jsonl"
+        json_out = tmp_path / "obs.json"
+        assert main(["trace", "d3", "--leaves", "4", "--window", "60",
+                     "--measure", "40", "--trace-out", str(trace_out),
+                     "--json-out", str(json_out)]) == 0
+        captured = capsys.readouterr()
+        assert "SCHEMA VIOLATION" not in captured.err
+        assert "message kind" in captured.out
+        events = [json.loads(line)
+                  for line in trace_out.read_text().splitlines()]
+        assert events
+        assert all("event" in event for event in events)
+        snapshot = json.loads(json_out.read_text())
+        assert snapshot["n_events"] == len(events)
+
+    def test_profile_prints_phase_table(self, tmp_path, capsys):
+        import json
+
+        json_out = tmp_path / "profile.json"
+        assert main(["profile", "--readings", "2000", "--ticks", "100",
+                     "--window", "500", "--sample", "50",
+                     "--json-out", str(json_out)]) == 0
+        out = capsys.readouterr().out
+        assert "simulator.batch_ingest" in out
+        doc = json.loads(json_out.read_text())
+        assert doc["benchmark"] == "profile"
+        assert "simulator.drain" in doc["phases"]

@@ -9,7 +9,8 @@ import pytest
 import repro
 
 SUBPACKAGES = ["repro.core", "repro.streams", "repro.network",
-               "repro.detectors", "repro.data", "repro.apps", "repro.eval"]
+               "repro.detectors", "repro.data", "repro.apps", "repro.eval",
+               "repro.obs"]
 
 
 def test_version():

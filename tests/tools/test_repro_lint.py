@@ -274,6 +274,53 @@ class TestRL005:
 
 
 # ---------------------------------------------------------------------------
+# RL006 -- bare print() in library code
+# ---------------------------------------------------------------------------
+
+class TestRL006:
+    def test_flags_bare_print_in_library_code(self):
+        findings = lint("""
+            def report(value: float) -> None:
+                print(value)
+        """)
+        assert rules_of(findings) == ["RL006"]
+
+    def test_cli_module_is_exempt(self):
+        assert lint("""
+            def report(value: float) -> None:
+                print(value)
+        """, path="src/repro/cli.py") == []
+
+    def test_main_module_is_exempt(self):
+        assert lint("""
+            def report(value: float) -> None:
+                print(value)
+        """, path="src/repro/__main__.py") == []
+
+    def test_tests_and_tools_are_out_of_scope(self):
+        assert lint("""
+            def report(value: float) -> None:
+                print(value)
+        """, path="tests/example_test.py") == []
+
+    def test_method_named_print_passes(self):
+        assert lint("""
+            class Reporter:
+                def emit(self) -> None:
+                    self.print()
+
+                def print(self) -> None:
+                    pass
+        """) == []
+
+    def test_line_suppression(self):
+        assert lint("""
+            def report(value: float) -> None:
+                print(value)  # repro-lint: disable=RL006
+        """) == []
+
+
+# ---------------------------------------------------------------------------
 # Engine behaviour
 # ---------------------------------------------------------------------------
 
@@ -294,7 +341,8 @@ class TestEngine:
     def test_cli_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005",
+                        "RL006"):
             assert rule_id in out
 
     def test_cli_exit_codes(self, tmp_path, capsys):

@@ -1,4 +1,4 @@
-"""Lint rules RL001-RL005.
+"""Lint rules RL001-RL006.
 
 Each rule is a class with an ``id``, a docstring stating what it
 enforces and why, and a ``check(tree, ctx)`` generator yielding
@@ -352,6 +352,36 @@ class BatchedScalarLoopRule(Rule):
                             "keep the batched path vectorised")
 
 
+class BarePrintRule(Rule):
+    """RL006: no bare ``print()`` in ``src/repro`` library code.
+
+    Library modules must report through return values, raised
+    exceptions, or the :mod:`repro.obs` instrumentation layer -- a
+    stray ``print`` in a hot loop is invisible overhead, pollutes the
+    CLI's stdout contract, and cannot be filtered, redirected, or
+    traced.  The CLI-facing modules (``cli.py`` / ``__main__.py``)
+    *are* the user interface and are exempt; everything else routes
+    diagnostics through ``repro.obs`` or returns data to its caller.
+    """
+
+    id = "RL006"
+
+    #: The user-interface modules whose job is printing.
+    EXEMPT = frozenset({"src/repro/cli.py", "src/repro/__main__.py"})
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.is_src or ctx.path in self.EXEMPT:
+            return
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                yield self.finding(
+                    ctx, node,
+                    "bare print() in library code; return data, raise, or "
+                    "emit through repro.obs instead")
+
+
 #: Rule registry, in ID order.
 ALL_RULES: "tuple[Rule, ...]" = (
     UnseededRandomnessRule(),
@@ -359,4 +389,5 @@ ALL_RULES: "tuple[Rule, ...]" = (
     IncompleteAnnotationsRule(),
     MutationHazardsRule(),
     BatchedScalarLoopRule(),
+    BarePrintRule(),
 )
