@@ -25,6 +25,18 @@ Commands
 ``profile``
     Run the profiling workload traced and print the per-phase hot-path
     breakdown (batched ingestion, estimator rebuilds, range queries).
+``export-metrics``
+    Run one monitored experiment (model-health checks on) and export
+    the full metrics registry -- counters, gauges incl. per-node health
+    scores, histograms -- as Prometheus text format or JSON lines.
+``top``
+    Live view: run a simulation and render a periodically-refreshing
+    per-node table (window fill, health score, drift, message
+    counters).
+
+``bench-*``, ``trace`` and ``profile`` additionally take
+``--metrics-out PATH`` to export their metrics as Prometheus text
+(``.prom``/``.txt``) or JSON lines (``.jsonl``/``.json``).
 """
 
 from __future__ import annotations
@@ -55,6 +67,10 @@ def _add_run_options(parser: argparse.ArgumentParser, *, seed: int,
                        help="where to write the JSON results"
                             + ("" if json_out is None
                                else f" (default: {json_out})"))
+    group.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="also export the run's metrics (Prometheus "
+                            "text for .prom/.txt, JSON lines for "
+                            ".jsonl/.json)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,6 +182,53 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--trace-out", default=None, metavar="PATH",
                          help="also stream the JSONL trace to this file")
     _add_run_options(profile, seed=0, json_out=None)
+
+    export = commands.add_parser(
+        "export-metrics",
+        help="run one health-monitored experiment and export the full "
+             "metrics registry")
+    export.add_argument("experiment", nargs="?", choices=("d3", "mgdd"),
+                        default="d3", help="which detector to run")
+    export.add_argument("--dataset", default="synthetic",
+                        choices=("synthetic", "plateau", "drift"),
+                        help="workload ('drift' injects a mid-stream "
+                             "distribution shift)")
+    export.add_argument("--leaves", type=int, default=8,
+                        help="leaf sensors in the deployment")
+    export.add_argument("--window", type=int, default=200,
+                        help="sliding-window size |W|")
+    export.add_argument("--measure", type=int, default=200,
+                        help="measured ticks after warm-up")
+    export.add_argument("--health-every", type=int, default=25,
+                        help="ticks between model-health sweeps")
+    export.add_argument("--out", default="metrics.prom", metavar="PATH",
+                        help="export path (default: metrics.prom)")
+    export.add_argument("--format", default=None,
+                        choices=("prom", "jsonl"),
+                        help="export format (default: from path suffix)")
+    export.add_argument("--seed", type=int, default=7,
+                        help="root random seed")
+
+    top = commands.add_parser(
+        "top", help="live per-node view over a running simulation")
+    top.add_argument("--leaves", type=int, default=8,
+                     help="leaf sensors in the deployment")
+    top.add_argument("--window", type=int, default=300,
+                     help="sliding-window size |W|")
+    top.add_argument("--ticks", type=int, default=600,
+                     help="total ticks to simulate")
+    top.add_argument("--refresh", type=int, default=50,
+                     help="ticks between frames")
+    top.add_argument("--interval", type=float, default=0.5,
+                     help="seconds to sleep between frames (0 for "
+                          "batch/CI use)")
+    top.add_argument("--dataset", default="synthetic",
+                     choices=("synthetic", "drift"),
+                     help="workload ('drift' shifts the mean mid-run)")
+    top.add_argument("--no-clear", dest="clear", action="store_false",
+                     help="append frames instead of clearing the screen")
+    top.add_argument("--seed", type=int, default=7,
+                     help="root random seed")
     return parser
 
 
@@ -224,6 +287,23 @@ def _cmd_detect(args) -> int:
     return 0
 
 
+def _export_metrics_file(snapshot, path: str) -> None:
+    """Write a metrics snapshot where ``--metrics-out`` points."""
+    from repro.obs.export import write_metrics
+
+    fmt = write_metrics(snapshot, path)
+    print(f"# wrote {path} ({fmt})", file=sys.stderr)
+
+
+def _doc_metrics_snapshot(doc, prefix: str):
+    """A bench document's numeric leaves as a metrics snapshot."""
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.absorb_mapping(doc, prefix)
+    return registry.snapshot()
+
+
 def _cmd_bench_throughput(args) -> int:
     from repro.eval import throughput
 
@@ -235,6 +315,10 @@ def _cmd_bench_throughput(args) -> int:
     print(throughput.format_table(results))
     path = throughput.write_results(results, args.json_out)
     print(f"# wrote {path}", file=sys.stderr)
+    if args.metrics_out:
+        _export_metrics_file(
+            _doc_metrics_snapshot(results, "bench.throughput"),
+            args.metrics_out)
     return 0
 
 
@@ -249,6 +333,10 @@ def _cmd_bench_resilience(args) -> int:
     print(resilience.format_table(results))
     path = resilience.write_results(results, args.json_out)
     print(f"# wrote {path}", file=sys.stderr)
+    if args.metrics_out:
+        _export_metrics_file(
+            _doc_metrics_snapshot(results, "bench.resilience"),
+            args.metrics_out)
     failures = resilience.check_degradation(results)
     for failure in failures:
         print(f"# DEGRADATION FAILURE: {failure}", file=sys.stderr)
@@ -284,6 +372,9 @@ def _cmd_trace(args) -> int:
                       sort_keys=True)
             handle.write("\n")
         print(f"# wrote {args.json_out}", file=sys.stderr)
+    if args.metrics_out:
+        _export_metrics_file(result.network_stats["obs"]["metrics"],
+                             args.metrics_out)
     return 1 if problems else 0
 
 
@@ -305,6 +396,47 @@ def _cmd_profile(args) -> int:
             json.dump(doc, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"# wrote {args.json_out}", file=sys.stderr)
+    if args.metrics_out:
+        _export_metrics_file(doc["metrics"], args.metrics_out)
+    return 0
+
+
+def _cmd_export_metrics(args) -> int:
+    from repro.eval.harness import ExperimentConfig, run_accuracy_run
+    from repro.obs.export import write_metrics
+
+    dataset = args.dataset
+    if args.experiment == "mgdd" and dataset == "synthetic":
+        dataset = "plateau"   # the MGDD accuracy workload (see harness)
+    config = ExperimentConfig(
+        algorithm=args.experiment, dataset=dataset, n_leaves=args.leaves,
+        window_size=args.window, measure_ticks=args.measure, n_runs=1,
+        seed=args.seed, health_check_every=args.health_every)
+    result = run_accuracy_run(config, seed=args.seed, obs=True)
+    stats = result.network_stats["obs"]
+    fmt = write_metrics(stats["metrics"], args.out, args.format)
+    health = result.network_stats["health"]
+    drift_events = stats["events_by_kind"].get("health.drift", 0)
+    print(f"# wrote {args.out} ({fmt})", file=sys.stderr)
+    print(f"health: {health['n_checks']} checks over {health['n_nodes']} "
+          f"nodes, min score "
+          f"{health['min_score'] if health['min_score'] is not None else 'n/a'}, "
+          f"{drift_events} drift event(s)")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.obs.top import run_top
+
+    summary = run_top(
+        n_leaves=args.leaves, window_size=args.window, n_ticks=args.ticks,
+        refresh_every=args.refresh, interval_s=args.interval,
+        seed=args.seed, dataset=args.dataset, clear=args.clear)
+    health = summary["health"]
+    print(f"# {summary['frames']} frame(s), final tick "
+          f"{summary['final_tick']}, min health score "
+          f"{health['min_score'] if health['min_score'] is not None else 'n/a'}",
+          file=sys.stderr)
     return 0
 
 
@@ -325,7 +457,8 @@ def main(argv: "list[str] | None" = None) -> int:
                 "info": _cmd_info,
                 "bench-throughput": _cmd_bench_throughput,
                 "bench-resilience": _cmd_bench_resilience,
-                "trace": _cmd_trace, "profile": _cmd_profile}
+                "trace": _cmd_trace, "profile": _cmd_profile,
+                "export-metrics": _cmd_export_metrics, "top": _cmd_top}
     return handlers[args.command](args)
 
 

@@ -262,14 +262,17 @@ class KernelDensityEstimator:
         high_pt = as_point("high", high_arr, self._d)
         if self._sorted_1d is not None:
             if obs.ACTIVE:
+                # finally: a query that raises must still be charged to
+                # its phase, or profiles under-report failing paths.
                 t0 = time.perf_counter()
-                result = self._range_probability_sorted_1d(
-                    low_pt[0], high_pt[0])
-                elapsed = time.perf_counter() - t0
-                obs.profiler().record("estimator.query_sorted", elapsed)
-                obs.metrics().histogram(
-                    "estimator.range_query.latency").observe(elapsed)
-                return result
+                try:
+                    return self._range_probability_sorted_1d(
+                        low_pt[0], high_pt[0])
+                finally:
+                    elapsed = time.perf_counter() - t0
+                    obs.profiler().record("estimator.query_sorted", elapsed)
+                    obs.metrics().histogram(
+                        "estimator.range_query.latency").observe(elapsed)
             return self._range_probability_sorted_1d(low_pt[0], high_pt[0])
         return float(self._range_probability_batch(low_pt[None, :], high_pt[None, :])[0])
 
@@ -277,34 +280,38 @@ class KernelDensityEstimator:
         if (highs < lows).any():
             raise ParameterError("each high must be >= the corresponding low")
         t0 = time.perf_counter() if obs.ACTIVE else 0.0
-        out = np.empty(lows.shape[0], dtype=float)
-        chunk = max(1, _MAX_CHUNK_CELLS // max(1, self._n * self._d))
-        inv_bw = 1.0 / self._bandwidths
-        for start in range(0, lows.shape[0], chunk):
-            lo = lows[start:start + chunk]
-            hi = highs[start:start + chunk]
-            if self._d == 1:
-                # 1-d fast path: skip the per-dimension axis (and its
-                # product) entirely -- the common case for sensor data.
-                centers = self._sample[None, :, 0]
-                z_hi = (hi[:, 0, None] - centers) * inv_bw[0]
-                z_lo = (lo[:, 0, None] - centers) * inv_bw[0]
-                per_point = self._kernel.cdf(z_hi) - self._kernel.cdf(z_lo)
-                out[start:start + chunk] = per_point.mean(axis=1)
-                continue
-            z_hi = (hi[:, None, :] - self._sample[None, :, :]) * inv_bw
-            z_lo = (lo[:, None, :] - self._sample[None, :, :]) * inv_bw
-            per_dim = self._kernel.cdf(z_hi) - self._kernel.cdf(z_lo)
-            out[start:start + chunk] = per_dim.prod(axis=2).mean(axis=1)
-        if _sanitize.ACTIVE:
-            _sanitize.check_probabilities(out, label="range_probability")
-        if obs.ACTIVE:
-            elapsed = time.perf_counter() - t0
-            obs.profiler().record("estimator.query_batch", elapsed)
-            obs.metrics().histogram(
-                "estimator.range_query.latency").observe(elapsed)
-        # Clamp tiny negative values from floating point cancellation.
-        return np.clip(out, 0.0, 1.0)
+        try:
+            out = np.empty(lows.shape[0], dtype=float)
+            chunk = max(1, _MAX_CHUNK_CELLS // max(1, self._n * self._d))
+            inv_bw = 1.0 / self._bandwidths
+            for start in range(0, lows.shape[0], chunk):
+                lo = lows[start:start + chunk]
+                hi = highs[start:start + chunk]
+                if self._d == 1:
+                    # 1-d fast path: skip the per-dimension axis (and its
+                    # product) entirely -- the common case for sensor data.
+                    centers = self._sample[None, :, 0]
+                    z_hi = (hi[:, 0, None] - centers) * inv_bw[0]
+                    z_lo = (lo[:, 0, None] - centers) * inv_bw[0]
+                    per_point = self._kernel.cdf(z_hi) - self._kernel.cdf(z_lo)
+                    out[start:start + chunk] = per_point.mean(axis=1)
+                    continue
+                z_hi = (hi[:, None, :] - self._sample[None, :, :]) * inv_bw
+                z_lo = (lo[:, None, :] - self._sample[None, :, :]) * inv_bw
+                per_dim = self._kernel.cdf(z_hi) - self._kernel.cdf(z_lo)
+                out[start:start + chunk] = per_dim.prod(axis=2).mean(axis=1)
+            if _sanitize.ACTIVE:
+                _sanitize.check_probabilities(out, label="range_probability")
+            # Clamp tiny negative values from floating point cancellation.
+            return np.clip(out, 0.0, 1.0)
+        finally:
+            # A failing query (e.g. a sanitizer trip) still charges its
+            # phase; without this the profile reports 0 ns for it.
+            if obs.ACTIVE:
+                elapsed = time.perf_counter() - t0
+                obs.profiler().record("estimator.query_batch", elapsed)
+                obs.metrics().histogram(
+                    "estimator.range_query.latency").observe(elapsed)
 
     def _range_probability_sorted_1d(self, low: float, high: float) -> float:
         """Theorem 2 fast path: prune kernels outside the query's reach."""

@@ -19,8 +19,11 @@ from repro.data.streams import StreamSet
 from repro.data.synthetic import (
     DEFAULT_MEANS,
     DriftingGaussianStream,
+    DriftSpec,
     MixtureSpec,
     PlateauSpec,
+    make_drift_stream,
+    make_drift_streams,
     make_mixture_stream,
     make_mixture_streams,
     make_plateau_stream,
@@ -35,6 +38,9 @@ __all__ = [
     "PlateauSpec",
     "make_plateau_stream",
     "make_plateau_streams",
+    "DriftSpec",
+    "make_drift_stream",
+    "make_drift_streams",
     "DriftingGaussianStream",
     "make_engine_stream",
     "make_engine_streams",

@@ -42,6 +42,9 @@ __all__ = [
     "PlateauSpec",
     "make_plateau_stream",
     "make_plateau_streams",
+    "DriftSpec",
+    "make_drift_stream",
+    "make_drift_streams",
     "DriftingGaussianStream",
 ]
 
@@ -195,6 +198,74 @@ def make_plateau_streams(n_sensors: int, n: int, n_dims: int = 1, *,
     root = np.random.default_rng(seed)
     return [make_plateau_stream(n, n_dims, spec=spec,
                                 rng=np.random.default_rng(root.integers(2**63)))
+            for _ in range(n_sensors)]
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """Parameters of the one-shot distribution-shift workload.
+
+    A tight Gaussian whose mean jumps from ``mean_before`` to
+    ``mean_after`` once, at ``shift_fraction`` of the stream.  Unlike
+    :class:`DriftingGaussianStream` (the Figure 6 tracking workload,
+    which cycles means indefinitely) this is the injection workload for
+    the model-health monitors: the probe-mass vectors of models built
+    before and after the shift differ by a large, deterministic margin,
+    so a seeded run provably raises the drift score.
+    """
+
+    mean_before: float = 0.35
+    mean_after: float = 0.65
+    std: float = 0.04
+    shift_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name, mean in (("mean_before", self.mean_before),
+                           ("mean_after", self.mean_after)):
+            if not 0.0 <= mean <= 1.0:
+                raise ParameterError(
+                    f"{name} must lie in [0, 1], got {mean!r}")
+        if not np.isfinite(self.std) or self.std <= 0:
+            raise ParameterError(f"std must be positive, got {self.std!r}")
+        require_fraction("shift_fraction", self.shift_fraction)
+
+    def shift_index(self, n: int) -> int:
+        """First measurement index drawn from the post-shift mean."""
+        return int(round(self.shift_fraction * n))
+
+
+def make_drift_stream(n: int, n_dims: int = 1, *,
+                      spec: DriftSpec | None = None,
+                      rng: np.random.Generator | None = None) -> np.ndarray:
+    """One sensor's drift-injection stream, shape ``(n, d)``.
+
+    Readings before :meth:`DriftSpec.shift_index` are Gaussian around
+    ``mean_before``, the rest around ``mean_after``; everything is
+    clipped into the estimator's ``[0, 1]`` domain.
+    """
+    require_positive_int("n", n)
+    require_positive_int("n_dims", n_dims)
+    spec = spec if spec is not None else DriftSpec()
+    rng = resolve_rng(rng)
+
+    shift = spec.shift_index(n)
+    centers = np.full((n, n_dims), spec.mean_after)
+    centers[:shift] = spec.mean_before
+    return np.clip(rng.normal(centers, spec.std), 0.0, 1.0)
+
+
+def make_drift_streams(n_sensors: int, n: int, n_dims: int = 1, *,
+                       spec: DriftSpec | None = None,
+                       seed: int | None = None) -> "list[np.ndarray]":
+    """Independent per-sensor drift streams from one root seed.
+
+    Every sensor shifts at the same index (a network-wide regime
+    change), but draws its own readings.
+    """
+    require_positive_int("n_sensors", n_sensors)
+    root = np.random.default_rng(seed)
+    return [make_drift_stream(n, n_dims, spec=spec,
+                              rng=np.random.default_rng(root.integers(2**63)))
             for _ in range(n_sensors)]
 
 

@@ -210,15 +210,23 @@ class StreamModelState:
         bandwidths = scott_bandwidths(std, n_basis, sample.shape[1])
         if self._bandwidth_cap is not None:
             bandwidths = np.minimum(bandwidths, self._bandwidth_cap)
-        t0 = time.perf_counter() if obs.ACTIVE else 0.0
-        self._cached = KernelDensityEstimator(
-            sample, stddev=std, bandwidths=bandwidths, kernel=self._kernel,
-            window_size=window_size)
         if obs.ACTIVE:
-            elapsed = time.perf_counter() - t0
-            obs.profiler().record("estimator.rebuild", elapsed)
-            obs.emit("estimator.rebuild", sample_size=int(sample.shape[0]),
-                     dur_s=elapsed)
+            # finally: a constructor that raises must still charge the
+            # rebuild phase, or the profile shows 0 ns for failed builds.
+            t0 = time.perf_counter()
+            try:
+                self._cached = KernelDensityEstimator(
+                    sample, stddev=std, bandwidths=bandwidths,
+                    kernel=self._kernel, window_size=window_size)
+            finally:
+                elapsed = time.perf_counter() - t0
+                obs.profiler().record("estimator.rebuild", elapsed)
+                obs.emit("estimator.rebuild",
+                         sample_size=int(sample.shape[0]), dur_s=elapsed)
+        else:
+            self._cached = KernelDensityEstimator(
+                sample, stddev=std, bandwidths=bandwidths,
+                kernel=self._kernel, window_size=window_size)
         self._built_std = std
         self._built_window_size = window_size
         self._built_mutations = self._sample.mutation_count

@@ -30,6 +30,7 @@ from repro.core.mdef import MDEFOutlierDetector, MDEFSpec
 from repro.core.outliers import DistanceOutlierSpec
 from repro.data import (
     StreamSet,
+    make_drift_streams,
     make_engine_streams,
     make_environment_streams,
     make_mixture_streams,
@@ -101,15 +102,23 @@ class ExperimentConfig:
     transport_max_retries: int = 3
     repair_leaders: bool = False             # election + bearer repair
     staleness_horizon: "int | None" = None   # child/model staleness cutoff
+    # -- model-health monitoring (repro.obs.health); off by default -----
+    health_check_every: "int | None" = None  # ticks between health sweeps
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("d3", "mgdd"):
             raise ParameterError(f"algorithm must be 'd3' or 'mgdd', "
                                  f"got {self.algorithm!r}")
-        if self.dataset not in ("synthetic", "plateau", "engine", "environment"):
+        if self.dataset not in ("synthetic", "plateau", "drift", "engine",
+                                "environment"):
             raise ParameterError(
-                f"dataset must be 'synthetic', 'plateau', 'engine' or "
-                f"'environment', got {self.dataset!r}")
+                f"dataset must be 'synthetic', 'plateau', 'drift', "
+                f"'engine' or 'environment', got {self.dataset!r}")
+        if self.health_check_every is not None \
+                and self.health_check_every < 1:
+            raise ParameterError(
+                f"health_check_every must be >= 1, "
+                f"got {self.health_check_every!r}")
         if self.dataset == "environment" and self.n_dims != 2:
             raise ParameterError("the environment dataset is 2-dimensional")
         for name in ("loss_rate", "crash_fraction", "duplication_rate"):
@@ -164,6 +173,9 @@ def make_streams(config: ExperimentConfig, seed: int) -> StreamSet:
     elif config.dataset == "plateau":
         arrays = make_plateau_streams(config.n_leaves, n, config.n_dims,
                                       seed=seed)
+    elif config.dataset == "drift":
+        arrays = make_drift_streams(config.n_leaves, n, config.n_dims,
+                                    seed=seed)
     elif config.dataset == "engine":
         arrays = make_engine_streams(config.n_leaves, n, seed=seed)
     else:
@@ -401,6 +413,13 @@ def _run_accuracy_run(config: ExperimentConfig, seed: int) -> AccuracyResult:
         else:
             hist_mgdd = _HistogramMGDD(bank, hierarchy, config)
 
+    monitor = None
+    if config.health_check_every is not None:
+        # Imported here: repro.obs.health pulls in the estimator/codec
+        # stack, which nothing else in the harness needs at import time.
+        from repro.obs.health import HealthMonitor
+        monitor = HealthMonitor(network.nodes, hierarchy, probe_seed=seed)
+
     arrivals_matrix = np.stack(streams.streams, axis=1)   # (ticks, leaves, d)
     truth_keys: "dict[int, set]" = {}
     hist_keys: "dict[int, set]" = {}
@@ -411,6 +430,10 @@ def _run_accuracy_run(config: ExperimentConfig, seed: int) -> AccuracyResult:
         if mdef_truth is not None:
             mdef_truth.record_insert(arrivals)
         bank.insert_tick(arrivals)
+        health_every = config.health_check_every
+        if monitor is not None and health_every is not None \
+                and (tick + 1) % health_every == 0:
+            monitor.check(tick)
         if tick < config.warmup or (tick - config.warmup) % config.truth_stride:
             return
         evaluated_ticks.append(tick)
@@ -480,6 +503,8 @@ def _run_accuracy_run(config: ExperimentConfig, seed: int) -> AccuracyResult:
         if faults is not None else [],
         "child_staleness": staleness,
     }
+    if monitor is not None:
+        result.network_stats["health"] = monitor.summary()
     if _obs.ACTIVE:
         registry = _obs.metrics()
         registry.absorb_message_counter(counter)

@@ -23,15 +23,19 @@ def git_sha() -> str:
     """The repository's current commit sha, or ``"unknown"``.
 
     Resolved relative to this file so it works regardless of the
-    caller's working directory; any git failure (no repo, no binary)
+    caller's working directory; any git failure (no repo, no binary,
+    an sdist/zipapp install whose anchor is not a real directory)
     degrades to ``"unknown"`` rather than poisoning a benchmark run.
     """
     try:
+        anchor = Path(__file__).resolve().parent
+        if not anchor.is_dir():
+            return "unknown"    # e.g. running from a zipped install
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],
-            cwd=Path(__file__).resolve().parent,
+            cwd=anchor,
             capture_output=True, text=True, timeout=10, check=False)
-    except (OSError, subprocess.SubprocessError):
+    except (OSError, ValueError, subprocess.SubprocessError):
         return "unknown"
     sha = out.stdout.strip()
     return sha if out.returncode == 0 and sha else "unknown"

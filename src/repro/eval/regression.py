@@ -1,0 +1,244 @@
+"""Bench-regression tracking over ``benchmarks/history/``.
+
+The one-shot CI gates (``check_regression`` against a committed
+baseline, absolute recall floors) catch a single bad commit but say
+nothing about slow decay across PRs.  This module keeps an append-only
+JSONL *history* per benchmark -- one compact summary line per
+``BENCH_*.json``, carrying the PR-4 provenance stamp (git sha, seed,
+wall clock) -- and gates on *relative* tolerances against the median of
+the prior entries:
+
+* **throughput**: the latest single-node and network speedups may not
+  drop more than ``throughput_drop`` (default 20%) below the median of
+  the preceding entries.
+* **resilience**: the latest fault-free recall floor may not fall below
+  ``recall_cliff_drop`` of the prior median, and the worst-case faulted
+  recall may not collapse (the "recall cliff" the PR-3 degradation
+  machinery exists to prevent).
+
+A history with fewer than two entries always passes (nothing to
+regress against), so fresh clones and first runs are never blocked.
+``tools/bench_history.py`` is the CLI driving :func:`append_history`
+and :func:`check_history` from CI.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro._exceptions import ParameterError
+
+__all__ = ["RegressionTolerances", "summarize_benchmark", "append_history",
+           "load_history", "check_history", "history_path"]
+
+#: Default location of the append-only per-benchmark histories.
+DEFAULT_HISTORY_DIR = Path("benchmarks") / "history"
+
+
+@dataclass(frozen=True)
+class RegressionTolerances:
+    """Relative regression tolerances for :func:`check_history`."""
+
+    #: Maximum tolerated relative drop of a throughput speedup vs the
+    #: median of prior entries (0.20 = latest may be 20% lower).
+    throughput_drop: float = 0.20
+    #: Maximum tolerated relative drop of the fault-free recall floor.
+    recall_cliff_drop: float = 0.15
+    #: Absolute floor for the worst faulted-cell recall: whatever
+    #: history says, dropping to (near) zero recall under faults is the
+    #: cliff the resilience layer exists to prevent.
+    min_faulted_recall: float = 0.10
+
+    def __post_init__(self) -> None:
+        for name, value in (("throughput_drop", self.throughput_drop),
+                            ("recall_cliff_drop", self.recall_cliff_drop)):
+            if not 0.0 < value < 1.0:
+                raise ParameterError(
+                    f"{name} must lie in (0, 1), got {value!r}")
+        if not 0.0 <= self.min_faulted_recall <= 1.0:
+            raise ParameterError(
+                f"min_faulted_recall must lie in [0, 1], "
+                f"got {self.min_faulted_recall!r}")
+
+
+def _median(values: "Sequence[float]") -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    return ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def summarize_benchmark(doc: "Mapping[str, object]") -> "dict[str, object]":
+    """One history line for a ``BENCH_*.json`` document.
+
+    The summary keeps only the gated figures plus the provenance stamp;
+    the full document stays in the artifact store, not the history.
+    """
+    kind = doc.get("benchmark")
+    meta = doc.get("meta")
+    summary: "dict[str, object]" = {
+        "benchmark": kind,
+        "meta": dict(meta) if isinstance(meta, Mapping) else {},
+    }
+    if kind == "ingest-throughput":
+        single = doc.get("single_node")
+        network = doc.get("network")
+        if not (isinstance(single, Mapping) and isinstance(network, Mapping)):
+            raise ParameterError(
+                "throughput document lacks single_node/network sections")
+        summary["single_node_speedup"] = float(single["speedup"])  # type: ignore[arg-type]
+        summary["network_speedup"] = float(network["speedup"])  # type: ignore[arg-type]
+        summary["single_node_readings_per_sec"] = \
+            float(single["batched_readings_per_sec"])  # type: ignore[arg-type]
+        summary["network_readings_per_sec"] = \
+            float(network["batched_readings_per_sec"])  # type: ignore[arg-type]
+    elif kind == "resilience":
+        cells = doc.get("cells")
+        if not isinstance(cells, list) or not cells:
+            raise ParameterError("resilience document lacks cells")
+        faultfree: "list[float]" = []
+        faulted: "list[float]" = []
+        overheads: "list[float]" = []
+        for cell in cells:
+            assert isinstance(cell, Mapping)
+            recall = float(cell["recall"])  # type: ignore[arg-type]
+            if float(cell["loss_rate"]) == 0.0 \
+                    and float(cell["crash_fraction"]) == 0.0:  # type: ignore[arg-type]
+                faultfree.append(recall)
+            else:
+                faulted.append(recall)
+            overheads.append(float(cell["message_overhead"]))  # type: ignore[arg-type]
+        if not faultfree:
+            raise ParameterError(
+                "resilience document has no fault-free cells")
+        summary["min_faultfree_recall"] = min(faultfree)
+        summary["min_faulted_recall"] = min(faulted) if faulted else None
+        summary["max_message_overhead"] = max(overheads)
+    else:
+        raise ParameterError(
+            f"cannot summarise benchmark kind {kind!r} "
+            "(expected 'ingest-throughput' or 'resilience')")
+    return summary
+
+
+def history_path(kind: str,
+                 history_dir: "str | Path | None" = None) -> Path:
+    """The history file for benchmark kind ``kind``."""
+    base = Path(history_dir) if history_dir is not None \
+        else DEFAULT_HISTORY_DIR
+    stem = {"ingest-throughput": "throughput",
+            "resilience": "resilience"}.get(kind)
+    if stem is None:
+        raise ParameterError(f"unknown benchmark kind {kind!r}")
+    return base / f"{stem}.jsonl"
+
+
+def load_history(path: "str | Path") -> "list[dict[str, object]]":
+    """All summary lines of a history file (empty when absent)."""
+    history_file = Path(path)
+    if not history_file.exists():
+        return []
+    entries: "list[dict[str, object]]" = []
+    for i, line in enumerate(
+            history_file.read_text(encoding="utf-8").splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ParameterError(
+                f"{history_file}:{i}: malformed history line: {exc}"
+            ) from None
+        if not isinstance(entry, dict):
+            raise ParameterError(
+                f"{history_file}:{i}: history line is not an object")
+        entries.append(entry)
+    return entries
+
+
+def append_history(doc: "Mapping[str, object]",
+                   history_dir: "str | Path | None" = None,
+                   ) -> "tuple[Path, dict[str, object]]":
+    """Summarise ``doc`` and append it to its history file.
+
+    Returns the history path and the appended summary.  Re-appending
+    the same git sha + seed is skipped (CI retries must not inflate the
+    history), signalled by returning the existing entry.
+    """
+    summary = summarize_benchmark(doc)
+    path = history_path(str(doc["benchmark"]), history_dir)
+    existing = load_history(path)
+    meta = summary["meta"]
+    assert isinstance(meta, dict)
+    for entry in existing:
+        prior = entry.get("meta")
+        if (isinstance(prior, Mapping)
+                and prior.get("git_sha") not in (None, "unknown")
+                and prior.get("git_sha") == meta.get("git_sha")
+                and prior.get("seed") == meta.get("seed")
+                and entry.get("benchmark") == summary["benchmark"]):
+            return path, entry
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as sink:
+        sink.write(json.dumps(summary, sort_keys=True) + "\n")
+    return path, summary
+
+
+def _check_drop(name: str, latest: float, priors: "Sequence[float]",
+                tolerance: float, problems: "list[str]") -> None:
+    baseline = _median(priors)
+    if baseline <= 0 or not math.isfinite(baseline):
+        return
+    drop = (baseline - latest) / baseline
+    if drop > tolerance:
+        problems.append(
+            f"{name} regressed {drop:.1%} vs prior median "
+            f"({latest:.4g} < {baseline:.4g}, tolerance {tolerance:.0%})")
+
+
+def check_history(entries: "Sequence[Mapping[str, object]]", *,
+                  tolerances: "RegressionTolerances | None" = None,
+                  ) -> "list[str]":
+    """Problems with the latest entry vs the prior median; [] = pass.
+
+    Fewer than two entries always pass: regression is relative by
+    definition.
+    """
+    tolerances = tolerances if tolerances is not None \
+        else RegressionTolerances()
+    if len(entries) < 2:
+        return []
+    latest = entries[-1]
+    priors = entries[:-1]
+    kind = latest.get("benchmark")
+    problems: "list[str]" = []
+    if kind == "ingest-throughput":
+        for key in ("single_node_speedup", "network_speedup"):
+            history = [float(e[key]) for e in priors  # type: ignore[arg-type]
+                       if isinstance(e.get(key), (int, float))]
+            value = latest.get(key)
+            if history and isinstance(value, (int, float)):
+                _check_drop(key, float(value), history,
+                            tolerances.throughput_drop, problems)
+    elif kind == "resilience":
+        history = [float(e["min_faultfree_recall"])  # type: ignore[arg-type]
+                   for e in priors
+                   if isinstance(e.get("min_faultfree_recall"),
+                                 (int, float))]
+        value = latest.get("min_faultfree_recall")
+        if history and isinstance(value, (int, float)):
+            _check_drop("min_faultfree_recall", float(value), history,
+                        tolerances.recall_cliff_drop, problems)
+        faulted = latest.get("min_faulted_recall")
+        if isinstance(faulted, (int, float)) \
+                and faulted < tolerances.min_faulted_recall:
+            problems.append(
+                f"min_faulted_recall {faulted:.3f} below the cliff floor "
+                f"{tolerances.min_faulted_recall:.3f}")
+    else:
+        problems.append(f"latest entry has unknown benchmark kind {kind!r}")
+    return problems

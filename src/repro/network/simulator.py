@@ -269,11 +269,15 @@ class NetworkSimulator:
     def _drain(self, queue: "deque[_Envelope]") -> None:
         """Route queued messages until the network is quiet this tick."""
         if obs.ACTIVE:
+            # finally: a drain aborted by an exception still charges its
+            # phase (the span itself already closes via its own finally).
             start = time.perf_counter()
-            with obs.span("phase", phase="drain", tick=self._tick):
-                self._drain_queue(queue)
-            obs.profiler().record("simulator.drain",
-                                  time.perf_counter() - start)
+            try:
+                with obs.span("phase", phase="drain", tick=self._tick):
+                    self._drain_queue(queue)
+            finally:
+                obs.profiler().record("simulator.drain",
+                                      time.perf_counter() - start)
         else:
             self._drain_queue(queue)
 
@@ -442,12 +446,18 @@ class NetworkSimulator:
             if self._faults is not None and self._faults.crash_overlaps(
                     leaf, start, start + n_ticks):
                 continue   # blackout inside the epoch: per-tick fallback
-            t0 = time.perf_counter() if obs.ACTIVE else 0.0
-            batched[leaf] = node.on_readings(
-                self._streams.block(i, start, start + n_ticks), start)
             if obs.ACTIVE:
-                obs.profiler().record("simulator.batch_ingest",
-                                      time.perf_counter() - t0)
+                # finally: ingestion that raises still charges its phase.
+                t0 = time.perf_counter()
+                try:
+                    batched[leaf] = node.on_readings(
+                        self._streams.block(i, start, start + n_ticks), start)
+                finally:
+                    obs.profiler().record("simulator.batch_ingest",
+                                          time.perf_counter() - t0)
+            else:
+                batched[leaf] = node.on_readings(
+                    self._streams.block(i, start, start + n_ticks), start)
 
         for offset in range(n_ticks):
             if obs.ACTIVE:

@@ -153,8 +153,24 @@ def snapshot() -> "dict[str, object]":
     }
 
 
+def _open_ambient_sink(path: str) -> None:
+    """Open the ``REPRO_TRACE_FILE`` sink; warn instead of failing import.
+
+    A bad ambient path must not make ``import repro`` raise -- the run
+    proceeds with in-memory tracing only and a clear warning naming the
+    path.
+    """
+    from repro._exceptions import ParameterError
+    try:
+        _tracer.open_sink(path)
+    except ParameterError as exc:
+        import warnings
+        warnings.warn(f"{_ENV_FILE}: {exc}; tracing continues in memory "
+                      "without a file sink", RuntimeWarning, stacklevel=2)
+
+
 # Ambient activation may also name a sink file up front.
 if ACTIVE:  # pragma: no cover - exercised via subprocess in CI smoke
     _ambient_path = os.environ.get(_ENV_FILE, "").strip()
     if _ambient_path:
-        _tracer.open_sink(_ambient_path)
+        _open_ambient_sink(_ambient_path)

@@ -1,0 +1,233 @@
+"""Metric snapshot exporters: Prometheus text format and JSON lines.
+
+Turns a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (plus the
+health gauges :mod:`repro.obs.health` publishes into the same registry)
+into artefacts other tooling can scrape:
+
+* :func:`prometheus_text` -- the Prometheus text exposition format
+  (`# HELP`/`# TYPE` comments, counters suffixed ``_total``, histograms
+  flattened to ``_count``/``_sum``/``_min``/``_max``).  Dotted repro
+  metric names are mangled to legal Prometheus names and the original
+  dotted name is preserved as a ``metric`` label.
+* :func:`json_lines` -- one self-describing JSON object per metric, the
+  JSONL twin for log shippers.
+* :func:`parse_prometheus` -- a small strict parser used by the CI lint
+  step (``tools/prom_lint.py``) and tests to prove exported text is
+  well-formed; it accepts exactly what :func:`prometheus_text` claims
+  to produce.
+* :func:`write_metrics` -- suffix-dispatched file writer backing the
+  ``repro export-metrics`` subcommand and the ``--metrics-out`` knobs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Mapping
+
+from repro._exceptions import ParameterError
+
+__all__ = ["prometheus_text", "json_lines", "parse_prometheus",
+           "write_metrics"]
+
+#: Legal Prometheus metric name (also used by :func:`parse_prometheus`).
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[^ ]+)$")
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _mangle(name: str) -> str:
+    """A dotted repro metric name as a legal Prometheus name."""
+    mangled = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not _NAME_RE.match(mangled):
+        mangled = "_" + mangled
+    return mangled
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _label_block(labels: "Mapping[str, str] | None",
+                 extra: "Mapping[str, str] | None" = None) -> str:
+    merged: "dict[str, str]" = {}
+    if labels:
+        merged.update(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    parts = []
+    for key, value in sorted(merged.items()):
+        escaped = str(value).replace("\\", r"\\").replace(
+            '"', r'\"').replace("\n", r"\n")
+        parts.append(f'{key}="{escaped}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def prometheus_text(snapshot: "Mapping[str, Mapping[str, object]]", *,
+                    prefix: str = "repro",
+                    labels: "Mapping[str, str] | None" = None) -> str:
+    """A metrics snapshot in Prometheus text exposition format.
+
+    ``snapshot`` is the dict :meth:`MetricsRegistry.snapshot` returns.
+    Every metric keeps its original dotted name as a ``metric`` label so
+    the mangling stays lossless.
+    """
+    if not _NAME_RE.match(prefix):
+        raise ParameterError(
+            f"prefix must be a legal Prometheus name, got {prefix!r}")
+    lines: "list[str]" = []
+
+    counters = snapshot.get("counters", {})
+    for name, value in sorted(counters.items()):
+        metric = f"{prefix}_{_mangle(name)}_total"
+        lines.append(f"# HELP {metric} repro counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        block = _label_block(labels, {"metric": name})
+        lines.append(f"{metric}{block} {_format_value(int(value))}")
+
+    gauges = snapshot.get("gauges", {})
+    for name, value in sorted(gauges.items()):
+        metric = f"{prefix}_{_mangle(name)}"
+        lines.append(f"# HELP {metric} repro gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        block = _label_block(labels, {"metric": name})
+        lines.append(f"{metric}{block} {_format_value(float(value))}")
+
+    histograms = snapshot.get("histograms", {})
+    for name, summary in sorted(histograms.items()):
+        base = f"{prefix}_{_mangle(name)}"
+        lines.append(f"# HELP {base} repro histogram {name}")
+        lines.append(f"# TYPE {base} summary")
+        block = _label_block(labels, {"metric": name})
+        assert isinstance(summary, Mapping)
+        lines.append(
+            f"{base}_count{block} {_format_value(int(summary['count']))}")
+        lines.append(
+            f"{base}_sum{block} {_format_value(float(summary['total']))}")
+        lines.append(
+            f"{base}_min{block} {_format_value(float(summary['min']))}")
+        lines.append(
+            f"{base}_max{block} {_format_value(float(summary['max']))}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def json_lines(snapshot: "Mapping[str, Mapping[str, object]]") -> str:
+    """The snapshot as JSONL: one ``{"type","name",...}`` object per line."""
+    lines: "list[str]" = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        lines.append(json.dumps(
+            {"type": "counter", "name": name, "value": int(value)},
+            sort_keys=True))
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        lines.append(json.dumps(
+            {"type": "gauge", "name": name, "value": float(value)},
+            sort_keys=True))
+    for name, summary in sorted(snapshot.get("histograms", {}).items()):
+        assert isinstance(summary, Mapping)
+        lines.append(json.dumps(
+            {"type": "histogram", "name": name, **dict(summary)},
+            sort_keys=True))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus(text: str) -> "list[str]":
+    """Metric names found in well-formed Prometheus exposition text.
+
+    Raises :class:`ParameterError` on the first malformed line -- this
+    is the validator behind the CI prom-lint step, deliberately strict:
+    every sample line must parse, every ``# TYPE`` must name a known
+    type, and every sample must follow a ``# TYPE`` for its metric
+    family.
+    """
+    names: "list[str]" = []
+    typed: "set[str]" = set()
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not _NAME_RE.match(parts[2]):
+                raise ParameterError(f"line {i}: malformed HELP: {line!r}")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not _NAME_RE.match(parts[2]) \
+                    or parts[3] not in _TYPES:
+                raise ParameterError(f"line {i}: malformed TYPE: {line!r}")
+            typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ParameterError(f"line {i}: malformed sample: {line!r}")
+        name = match.group("name")
+        label_block = match.group("labels")
+        if label_block is not None:
+            body = label_block[1:-1]
+            for part in body.split(","):
+                if part and not _LABEL_RE.match(part):
+                    raise ParameterError(
+                        f"line {i}: malformed label {part!r}")
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                raise ParameterError(
+                    f"line {i}: non-numeric value {value!r}") from None
+        family = name
+        for suffix in ("_count", "_sum", "_min", "_max",
+                       "_bucket", "_total"):
+            if name.endswith(suffix):
+                family = name[: -len(suffix)]
+                break
+        if family not in typed and name not in typed:
+            raise ParameterError(
+                f"line {i}: sample {name!r} precedes its # TYPE")
+        names.append(name)
+    return names
+
+
+def write_metrics(snapshot: "Mapping[str, Mapping[str, object]]",
+                  path: str, fmt: "str | None" = None, *,
+                  labels: "Mapping[str, str] | None" = None) -> str:
+    """Write the snapshot to ``path``; returns the format used.
+
+    ``fmt`` is ``"prom"`` or ``"jsonl"``; when None it is inferred from
+    the path suffix (``.prom``/``.txt`` -> Prometheus, ``.jsonl``/
+    ``.json`` -> JSON lines).
+    """
+    if fmt is None:
+        lowered = path.lower()
+        if lowered.endswith((".prom", ".txt")):
+            fmt = "prom"
+        elif lowered.endswith((".jsonl", ".json")):
+            fmt = "jsonl"
+        else:
+            raise ParameterError(
+                f"cannot infer metrics format from {path!r}; "
+                "pass fmt='prom' or fmt='jsonl'")
+    if fmt == "prom":
+        payload = prometheus_text(snapshot, labels=labels)
+    elif fmt == "jsonl":
+        payload = json_lines(snapshot)
+    else:
+        raise ParameterError(
+            f"unknown metrics format {fmt!r} (expected 'prom' or 'jsonl')")
+    with open(path, "w", encoding="utf-8") as sink:
+        sink.write(payload)
+    return fmt

@@ -131,18 +131,25 @@ class MetricsRegistry:
                        prefix: str) -> None:
         """Mirror numeric leaves of a stats dict as gauges.
 
-        Nested mappings recurse with dotted names; non-numeric leaves
-        are skipped.  Used for ``ReliableTransport.stats()`` and the
-        harness ``network_stats`` dicts.
+        Nested mappings recurse with dotted names; lists recurse with
+        their index as the name segment (``name.0``, ``name.1``, ...);
+        other non-numeric leaves are skipped.  Used for
+        ``ReliableTransport.stats()`` and the harness ``network_stats``
+        dicts.
         """
         for key, value in mapping.items():
-            name = f"{prefix}.{key}"
-            if isinstance(value, Mapping):
-                self.absorb_mapping(value, name)
-            elif isinstance(value, bool):
-                self.gauge(name).set(1.0 if value else 0.0)
-            elif isinstance(value, (int, float)):
-                self.gauge(name).set(float(value))
+            self._absorb_value(value, f"{prefix}.{key}")
+
+    def _absorb_value(self, value: object, name: str) -> None:
+        if isinstance(value, Mapping):
+            self.absorb_mapping(value, name)
+        elif isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                self._absorb_value(item, f"{name}.{i}")
+        elif isinstance(value, bool):
+            self.gauge(name).set(1.0 if value else 0.0)
+        elif isinstance(value, (int, float)):
+            self.gauge(name).set(float(value))
 
     # -- export --------------------------------------------------------
 

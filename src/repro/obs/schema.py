@@ -60,6 +60,12 @@ EVENT_FIELDS: "dict[str, dict[str, str]]" = {
     "detector.model_update": {"node": _INT, "policy": _STR,
                               "full": _BOOL},
     "detector.pause": {"node": _INT, "tick": _INT},
+    # model-health monitoring (repro.obs.health)
+    "health.check": {"tick": _INT, "n_nodes": _INT},
+    "health.node": {"node": _INT, "tick": _INT, "score": _FLOAT},
+    "health.drift": {"node": _INT, "tick": _INT, "l1": _FLOAT,
+                     "linf": _FLOAT},
+    "health.slo_violation": {"node": _INT, "tick": _INT, "rule": _STR},
 }
 
 EVENT_KINDS = frozenset(EVENT_FIELDS)

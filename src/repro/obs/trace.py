@@ -20,6 +20,7 @@ from __future__ import annotations
 import contextlib
 import json
 import time
+import warnings
 from collections import deque
 from typing import Deque, Iterator, TextIO
 
@@ -101,15 +102,28 @@ class Tracer:
     # -- sink ----------------------------------------------------------
 
     def open_sink(self, path: str) -> None:
-        """Start appending every emitted event to ``path`` as JSONL."""
+        """Start appending every emitted event to ``path`` as JSONL.
+
+        An unwritable path raises :class:`ParameterError` up front with
+        the OS error attached, so a bad ``REPRO_TRACE_FILE`` or
+        ``--trace-out`` fails at activation time with a clear message
+        instead of crashing mid-run on the first emit.
+        """
         self.close_sink()
-        self._sink = open(path, "w", encoding="utf-8")
+        try:
+            self._sink = open(path, "w", encoding="utf-8")
+        except OSError as exc:
+            raise ParameterError(
+                f"cannot open trace sink {path!r}: {exc}") from exc
         self._sink_path = str(path)
 
     def close_sink(self) -> None:
         """Flush and close the JSONL sink (no-op when none is open)."""
         if self._sink is not None:
-            self._sink.close()
+            try:
+                self._sink.close()
+            except OSError:
+                pass    # the stream is gone either way; tracing goes on
             self._sink = None
             self._sink_path = None
 
@@ -128,7 +142,18 @@ class Tracer:
         self._seq += 1
         self._ring.append(record)
         if self._sink is not None:
-            self._sink.write(json.dumps(record, default=_jsonable) + "\n")
+            try:
+                self._sink.write(json.dumps(record, default=_jsonable) + "\n")
+            except OSError as exc:
+                # A sink dying mid-run (disk full, pipe closed) must not
+                # take the traced computation down: drop the sink, keep
+                # the ring, warn once.
+                path = self._sink_path
+                self.close_sink()
+                warnings.warn(
+                    f"trace sink {path!r} failed mid-run ({exc}); "
+                    "sink closed, in-memory tracing continues",
+                    RuntimeWarning, stacklevel=2)
         return record
 
     def open_span(self, name: str, **fields: object) -> int:

@@ -155,6 +155,20 @@ class ChainSample:
         """Number of slots currently holding an active element."""
         return sum(1 for chain in self._chains if chain.items)
 
+    def newest_active_timestamp(self) -> int:
+        """Timestamp of the most recent active sample element (-1 if none).
+
+        ``timestamp - newest_active_timestamp()`` is the sample's
+        *staleness*: how many arrivals ago the sample last accepted a
+        value.  A pure read over the active slots, identical across the
+        scalar and batched maintenance paths.
+        """
+        newest = -1
+        for chain in self._chains:
+            if chain.items and chain.items[0][0] > newest:
+                newest = chain.items[0][0]
+        return newest
+
     # ------------------------------------------------------------------
 
     def _draw_successor(self, slot: int, ts: int) -> int:

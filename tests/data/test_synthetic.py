@@ -9,8 +9,11 @@ from repro._exceptions import ParameterError
 from repro.data.synthetic import (
     DEFAULT_MEANS,
     DriftingGaussianStream,
+    DriftSpec,
     MixtureSpec,
     PlateauSpec,
+    make_drift_stream,
+    make_drift_streams,
     make_mixture_stream,
     make_mixture_streams,
     make_plateau_stream,
@@ -150,3 +153,47 @@ class TestDriftingStream:
     def test_invalid(self, kwargs):
         with pytest.raises(ParameterError):
             DriftingGaussianStream(**kwargs)
+
+
+class TestDriftInjection:
+    def test_shift_index(self):
+        assert DriftSpec().shift_index(400) == 200
+        assert DriftSpec(shift_fraction=0.25).shift_index(400) == 100
+
+    def test_means_jump_at_shift(self, rng):
+        spec = DriftSpec()
+        values = make_drift_stream(4_000, rng=rng)[:, 0]
+        shift = spec.shift_index(4_000)
+        assert values[:shift].mean() == pytest.approx(spec.mean_before,
+                                                      abs=0.01)
+        assert values[shift:].mean() == pytest.approx(spec.mean_after,
+                                                      abs=0.01)
+
+    def test_domain_and_shape(self, rng):
+        values = make_drift_stream(500, 2, rng=rng)
+        assert values.shape == (500, 2)
+        assert (values >= 0).all() and (values <= 1).all()
+
+    def test_streams_share_shift_but_not_draws(self):
+        streams = make_drift_streams(3, 1_000, seed=11)
+        assert len(streams) == 3
+        shift = DriftSpec().shift_index(1_000)
+        for values in streams:
+            assert values[:shift].mean() < 0.5 < values[shift:].mean()
+        assert not np.array_equal(streams[0], streams[1])
+
+    def test_seed_reproducible(self):
+        first = make_drift_streams(2, 200, seed=3)
+        second = make_drift_streams(2, 200, seed=3)
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"mean_before": -0.1},
+        {"mean_after": 1.5},
+        {"std": 0.0},
+        {"shift_fraction": 0.0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ParameterError):
+            DriftSpec(**kwargs)

@@ -1,0 +1,49 @@
+"""Provenance stamping: git sha resolution and graceful degradation."""
+
+from __future__ import annotations
+
+import subprocess
+
+from repro.eval import provenance
+from repro.eval.provenance import git_sha, run_metadata
+
+
+class TestGitSha:
+    def test_resolves_in_this_checkout(self):
+        sha = git_sha()
+        assert sha == "unknown" or (len(sha) == 40
+                                    and all(c in "0123456789abcdef"
+                                            for c in sha))
+
+    def test_missing_git_binary_degrades(self, monkeypatch):
+        def _no_git(*args, **kwargs):
+            raise FileNotFoundError("git")
+
+        monkeypatch.setattr(provenance.subprocess, "run", _no_git)
+        assert git_sha() == "unknown"
+
+    def test_git_failure_degrades(self, monkeypatch):
+        def _failing(*args, **kwargs):
+            return subprocess.CompletedProcess(args, 128, stdout="",
+                                               stderr="not a git repo")
+
+        monkeypatch.setattr(provenance.subprocess, "run", _failing)
+        assert git_sha() == "unknown"
+
+    def test_timeout_degrades(self, monkeypatch):
+        def _hanging(*args, **kwargs):
+            raise subprocess.TimeoutExpired(cmd="git", timeout=10)
+
+        monkeypatch.setattr(provenance.subprocess, "run", _hanging)
+        assert git_sha() == "unknown"
+
+
+class TestRunMetadata:
+    def test_shape(self):
+        meta = run_metadata(seed=7)
+        assert set(meta) >= {"git_sha", "python", "numpy", "platform",
+                             "machine", "wall_clock_utc"}
+        assert meta["seed"] == 7
+
+    def test_seed_omitted_when_none(self):
+        assert "seed" not in run_metadata()

@@ -1,0 +1,185 @@
+"""Bench-regression tracking: summaries, history append, relative gates."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro._exceptions import ParameterError
+from repro.eval.regression import (RegressionTolerances, append_history,
+                                   check_history, history_path, load_history,
+                                   summarize_benchmark)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _throughput_doc(*, single=6.0, network=2.5, sha="abc123", seed=0):
+    return {
+        "benchmark": "ingest-throughput",
+        "meta": {"git_sha": sha, "seed": seed},
+        "single_node": {"speedup": single,
+                        "batched_readings_per_sec": 80_000.0},
+        "network": {"speedup": network,
+                    "batched_readings_per_sec": 50_000.0},
+    }
+
+
+def _resilience_doc(*, faultfree=1.0, faulted=0.9, sha="abc123", seed=7):
+    return {
+        "benchmark": "resilience",
+        "meta": {"git_sha": sha, "seed": seed},
+        "cells": [
+            {"loss_rate": 0.0, "crash_fraction": 0.0, "recall": faultfree,
+             "message_overhead": 1.0},
+            {"loss_rate": 0.2, "crash_fraction": 0.1, "recall": faulted,
+             "message_overhead": 1.2},
+        ],
+    }
+
+
+def _throughput_entry(single, network):
+    return {"benchmark": "ingest-throughput",
+            "single_node_speedup": single, "network_speedup": network}
+
+
+class TestSummarize:
+    def test_throughput_summary(self):
+        summary = summarize_benchmark(_throughput_doc())
+        assert summary["single_node_speedup"] == 6.0
+        assert summary["network_speedup"] == 2.5
+        assert summary["meta"]["git_sha"] == "abc123"
+
+    def test_resilience_summary(self):
+        summary = summarize_benchmark(_resilience_doc())
+        assert summary["min_faultfree_recall"] == 1.0
+        assert summary["min_faulted_recall"] == 0.9
+        assert summary["max_message_overhead"] == 1.2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ParameterError):
+            summarize_benchmark({"benchmark": "mystery"})
+
+    def test_committed_bench_documents_summarise(self):
+        # The real BENCH_*.json artifacts must stay summarisable -- the
+        # CI gate feeds them straight in.
+        for name in ("BENCH_throughput.json", "BENCH_resilience.json"):
+            doc = json.loads((REPO_ROOT / name).read_text())
+            summary = summarize_benchmark(doc)
+            assert summary["benchmark"] == doc["benchmark"]
+
+
+class TestTolerances:
+    @pytest.mark.parametrize("kwargs", [
+        {"throughput_drop": 0.0},
+        {"throughput_drop": 1.0},
+        {"recall_cliff_drop": -0.1},
+        {"min_faulted_recall": 1.5},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ParameterError):
+            RegressionTolerances(**kwargs)
+
+
+class TestHistoryFiles:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path, summary = append_history(_throughput_doc(), tmp_path)
+        assert path == history_path("ingest-throughput", tmp_path)
+        entries = load_history(path)
+        assert entries == [summary]
+
+    def test_duplicate_sha_seed_skipped(self, tmp_path):
+        append_history(_throughput_doc(), tmp_path)
+        append_history(_throughput_doc(), tmp_path)   # CI retry
+        assert len(load_history(history_path("ingest-throughput",
+                                             tmp_path))) == 1
+
+    def test_unknown_sha_never_deduped(self, tmp_path):
+        append_history(_throughput_doc(sha="unknown"), tmp_path)
+        append_history(_throughput_doc(sha="unknown"), tmp_path)
+        assert len(load_history(history_path("ingest-throughput",
+                                             tmp_path))) == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "throughput.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ParameterError):
+            load_history(path)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "nope.jsonl") == []
+
+    def test_unknown_kind_has_no_path(self):
+        with pytest.raises(ParameterError):
+            history_path("mystery")
+
+
+class TestGate:
+    def test_fewer_than_two_entries_pass(self):
+        assert check_history([]) == []
+        assert check_history([_throughput_entry(6.0, 2.5)]) == []
+
+    def test_synthetic_25pct_drop_fails(self):
+        # The acceptance criterion: a -25% throughput entry must fail the
+        # default 20% gate.
+        entries = [_throughput_entry(6.0, 2.5),
+                   _throughput_entry(6.0 * 0.75, 2.5 * 0.75)]
+        problems = check_history(entries)
+        assert len(problems) == 2
+        assert "single_node_speedup" in problems[0]
+
+    def test_small_drop_passes(self):
+        entries = [_throughput_entry(6.0, 2.5),
+                   _throughput_entry(6.0 * 0.9, 2.5 * 0.9)]
+        assert check_history(entries) == []
+
+    def test_gate_uses_median_of_priors(self):
+        # One freak slow prior must not drag the baseline down.
+        entries = [_throughput_entry(6.0, 2.5),
+                   _throughput_entry(1.0, 1.0),
+                   _throughput_entry(6.2, 2.6),
+                   _throughput_entry(5.9, 2.4)]
+        assert check_history(entries) == []
+
+    def test_recall_cliff_fails(self):
+        entries = [summarize_benchmark(_resilience_doc()),
+                   summarize_benchmark(_resilience_doc(faulted=0.05,
+                                                       sha="def456"))]
+        problems = check_history(entries)
+        assert any("cliff" in p for p in problems)
+
+    def test_faultfree_recall_drop_fails(self):
+        entries = [summarize_benchmark(_resilience_doc()),
+                   summarize_benchmark(_resilience_doc(faultfree=0.5,
+                                                       sha="def456"))]
+        problems = check_history(entries)
+        assert any("min_faultfree_recall" in p for p in problems)
+
+    def test_committed_history_passes(self):
+        # The repository's own seeded history must gate green.
+        for stem in ("throughput", "resilience"):
+            path = REPO_ROOT / "benchmarks" / "history" / f"{stem}.jsonl"
+            assert check_history(load_history(path)) == []
+
+
+class TestCliTool:
+    def test_gate_mode_end_to_end(self, tmp_path):
+        import subprocess
+        import sys
+        doc_path = tmp_path / "BENCH_throughput.json"
+        doc_path.write_text(json.dumps(_throughput_doc(sha="aaa")))
+        base = [sys.executable, str(REPO_ROOT / "tools" / "bench_history.py")]
+        history = ["--history-dir", str(tmp_path / "history")]
+        first = subprocess.run(
+            [*base, "gate", str(doc_path), *history],
+            capture_output=True, text=True, cwd=REPO_ROOT)
+        assert first.returncode == 0, first.stderr
+        # A -25% follow-up must be rejected by the default tolerance.
+        doc_path.write_text(json.dumps(
+            _throughput_doc(single=4.5, network=1.875, sha="bbb")))
+        second = subprocess.run(
+            [*base, "gate", str(doc_path), *history],
+            capture_output=True, text=True, cwd=REPO_ROOT)
+        assert second.returncode == 1
+        assert "REGRESSION" in second.stderr

@@ -1,0 +1,109 @@
+"""Metric exporters: Prometheus text format, JSONL, and the strict parser."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro._exceptions import ParameterError
+from repro.obs.export import (json_lines, parse_prometheus, prometheus_text,
+                              write_metrics)
+
+
+def _snapshot():
+    registry = obs.metrics()
+    registry.counter("messages.Ack.sent").inc(3)
+    registry.gauge("health.node.0.score").set(0.7)
+    histogram = registry.histogram("estimator.query.latency")
+    histogram.observe(0.5)
+    histogram.observe(1.5)
+    return registry.snapshot()
+
+
+class TestPrometheusText:
+    def test_round_trips_through_parser(self):
+        text = prometheus_text(_snapshot())
+        names = parse_prometheus(text)
+        assert "repro_messages_Ack_sent_total" in names
+        assert "repro_health_node_0_score" in names
+        # Histograms flatten to summary component samples.
+        assert "repro_estimator_query_latency_count" in names
+        assert "repro_estimator_query_latency_sum" in names
+
+    def test_dotted_name_preserved_as_label(self):
+        text = prometheus_text(_snapshot())
+        assert 'metric="messages.Ack.sent"' in text
+
+    def test_extra_labels_merged(self):
+        text = prometheus_text(_snapshot(), labels={"run": "bench-7"})
+        assert 'run="bench-7"' in text
+        parse_prometheus(text)   # still well-formed
+
+    def test_empty_snapshot_is_empty_text(self):
+        assert prometheus_text(obs.metrics().snapshot()) == ""
+        assert parse_prometheus("") == []
+
+    def test_rejects_bad_prefix(self):
+        with pytest.raises(ParameterError):
+            prometheus_text(_snapshot(), prefix="9bad")
+
+    def test_infinities_formatted(self):
+        # An empty histogram snapshots min=0/max=0, but raw inf values
+        # from a gauge must serialise to the Prometheus spellings.
+        obs.metrics().gauge("weird").set(float("inf"))
+        text = prometheus_text(obs.metrics().snapshot())
+        assert "+Inf" in text
+        parse_prometheus(text)
+
+
+class TestParserStrictness:
+    @pytest.mark.parametrize("text", [
+        "repro_x 1\n",                                   # sample before TYPE
+        "# TYPE repro_x wrong\nrepro_x 1\n",             # unknown type
+        "# TYPE repro_x gauge\nrepro_x one\n",           # non-numeric value
+        "# TYPE repro_x gauge\nrepro_x{bad-label=\"v\"} 1\n",
+        "# HELP repro_x\n",                              # truncated HELP
+    ])
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ParameterError):
+            parse_prometheus(text)
+
+    def test_accepts_special_values(self):
+        text = ("# TYPE repro_x gauge\n"
+                "repro_x +Inf\n"
+                "repro_x -Inf\n"
+                "repro_x NaN\n")
+        assert parse_prometheus(text) == ["repro_x", "repro_x", "repro_x"]
+
+
+class TestJsonLines:
+    def test_one_object_per_metric(self):
+        lines = json_lines(_snapshot()).splitlines()
+        docs = [json.loads(line) for line in lines]
+        assert {doc["type"] for doc in docs} == \
+            {"counter", "gauge", "histogram"}
+        by_name = {doc["name"]: doc for doc in docs}
+        assert by_name["messages.Ack.sent"]["value"] == 3
+        assert by_name["estimator.query.latency"]["count"] == 2
+
+
+class TestWriteMetrics:
+    def test_suffix_inference(self, tmp_path):
+        snapshot = _snapshot()
+        prom = tmp_path / "m.prom"
+        jsonl = tmp_path / "m.jsonl"
+        assert write_metrics(snapshot, str(prom)) == "prom"
+        assert write_metrics(snapshot, str(jsonl)) == "jsonl"
+        parse_prometheus(prom.read_text())
+        assert json.loads(jsonl.read_text().splitlines()[0])
+
+    def test_unknown_suffix_needs_fmt(self, tmp_path):
+        with pytest.raises(ParameterError):
+            write_metrics(_snapshot(), str(tmp_path / "m.dat"))
+        write_metrics(_snapshot(), str(tmp_path / "m.dat"), fmt="prom")
+
+    def test_unknown_fmt_rejected(self, tmp_path):
+        with pytest.raises(ParameterError):
+            write_metrics(_snapshot(), str(tmp_path / "m.prom"), fmt="xml")

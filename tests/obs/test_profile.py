@@ -1,9 +1,11 @@
-"""Phase profiler accumulation and summary ordering."""
+"""Phase profiler accumulation, summary ordering, and exception safety."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
+from repro import obs
 from repro.obs.profile import PhaseProfiler
 
 
@@ -35,3 +37,56 @@ class TestPhaseProfiler:
 
     def test_empty_summary(self):
         assert PhaseProfiler().summary() == {}
+
+    def test_phase_charged_on_exception(self):
+        # A phase entered but aborted by an exception must still land in
+        # the summary -- otherwise failing runs profile as 0 ns.
+        profiler = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.phase("estimator.rebuild"):
+                raise RuntimeError("boom")
+        summary = profiler.summary()["estimator.rebuild"]
+        assert summary["calls"] == 1
+        assert summary["total_s"] >= 0.0
+
+
+class TestInstrumentedSitesOnException:
+    """The manual perf_counter sites must close their phase in finally."""
+
+    def test_failed_rebuild_still_charged(self, monkeypatch):
+        from repro.detectors import _state as state_module
+        from repro.detectors._state import StreamModelState
+
+        state = StreamModelState(64, 16, 1, model_refresh=1,
+                                 rng=np.random.default_rng(0))
+        state.observe_many(np.random.default_rng(1).uniform(
+            0.2, 0.8, size=(50, 1)))
+
+        def _broken(*args, **kwargs):
+            raise RuntimeError("constructor down")
+
+        monkeypatch.setattr(state_module, "KernelDensityEstimator", _broken)
+        with obs.enabled():
+            with pytest.raises(RuntimeError):
+                state.model()
+        summary = obs.profiler().summary()
+        assert summary["estimator.rebuild"]["calls"] == 1
+        assert obs.tracer().counts_by_kind().get("estimator.rebuild") == 1
+
+    def test_failed_sorted_query_still_charged(self, monkeypatch):
+        from repro.core.estimator import KernelDensityEstimator
+
+        rng = np.random.default_rng(2)
+        model = KernelDensityEstimator(
+            rng.uniform(0.2, 0.8, size=(64, 1)), window_size=64)
+
+        def _broken(self, low, high):
+            raise RuntimeError("query down")
+
+        monkeypatch.setattr(KernelDensityEstimator,
+                            "_range_probability_sorted_1d", _broken)
+        with obs.enabled():
+            with pytest.raises(RuntimeError):
+                model.range_probability(0.2, 0.6)
+        summary = obs.profiler().summary()
+        assert summary["estimator.query_sorted"]["calls"] == 1

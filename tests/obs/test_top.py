@@ -1,0 +1,78 @@
+"""The ``repro top`` live view, driven headless through StringIO."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import obs
+from repro._exceptions import ParameterError
+from repro.obs.health import HealthMonitor
+from repro.obs.top import TopView, build_workload, run_top
+
+
+class TestBuildWorkload:
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(ParameterError):
+            build_workload(dataset="nope")
+
+    def test_returns_runnable_pieces(self):
+        simulator, nodes, hierarchy = build_workload(
+            n_leaves=2, window_size=40, n_ticks=20)
+        assert len(nodes) >= 2
+        simulator.run(5)   # a few ticks run cleanly
+
+
+class TestTopView:
+    def test_absorb_is_incremental(self):
+        simulator, nodes, hierarchy = build_workload(
+            n_leaves=2, window_size=40, n_ticks=40)
+        monitor = HealthMonitor(nodes, hierarchy)
+        view = TopView(nodes, monitor)
+        with obs.enabled():
+            simulator.run(10)
+            first = view.absorb_events()
+            assert first > 0
+            assert view.absorb_events() == 0   # nothing new
+            simulator.run(5)
+            assert view.absorb_events() > 0
+
+    def test_render_contains_node_rows(self):
+        simulator, nodes, hierarchy = build_workload(
+            n_leaves=2, window_size=40, n_ticks=60)
+        monitor = HealthMonitor(nodes, hierarchy)
+        view = TopView(nodes, monitor)
+        with obs.enabled():
+            simulator.run(60)
+            monitor.check(59)
+            frame = view.render(59)
+        assert "repro top" in frame
+        assert "score" in frame and "drift" in frame
+        # One row per monitored node after the header + rule.
+        assert len(frame.splitlines()) == 3 + len(monitor.last_reports())
+        assert view.n_frames == 1
+
+
+class TestRunTop:
+    def test_headless_run_renders_frames(self):
+        sink = io.StringIO()
+        summary = run_top(n_leaves=2, window_size=40, n_ticks=60,
+                          refresh_every=20, interval_s=0.0, out=sink)
+        assert summary["frames"] == 3
+        assert summary["final_tick"] == 59
+        assert summary["health"]["n_checks"] == 3
+        assert sink.getvalue().count("repro top") == 3
+        # The scoped run leaves the ambient obs state untouched.
+        assert not obs.ACTIVE
+        assert obs.tracer().n_emitted == 0
+
+    def test_clear_mode_emits_ansi(self):
+        sink = io.StringIO()
+        run_top(n_leaves=2, window_size=40, n_ticks=20,
+                refresh_every=20, interval_s=0.0, out=sink, clear=True)
+        assert sink.getvalue().startswith("\x1b[2J\x1b[H")
+
+    def test_rejects_bad_refresh(self):
+        with pytest.raises(ParameterError):
+            run_top(refresh_every=0)

@@ -59,6 +59,67 @@ class TestTracerRing:
         assert record["values"] == [0.25, 0.75]
 
 
+class TestRingCapacityEdges:
+    def test_exactly_at_default_capacity_drops_nothing(self):
+        from repro.obs.trace import DEFAULT_CAPACITY
+
+        tracer = Tracer()
+        for _ in range(DEFAULT_CAPACITY):
+            tracer.emit("sample.evict", count=1)
+        assert tracer.n_emitted == DEFAULT_CAPACITY
+        assert tracer.n_dropped == 0
+        assert len(tracer.events()) == DEFAULT_CAPACITY
+
+    def test_one_past_default_capacity_wraps(self):
+        from repro.obs.trace import DEFAULT_CAPACITY
+
+        tracer = Tracer()
+        for i in range(DEFAULT_CAPACITY + 1):
+            tracer.emit("sample.evict", count=i)
+        assert tracer.n_dropped == 1
+        events = tracer.events()
+        assert len(events) == DEFAULT_CAPACITY
+        # The oldest event (count=0) fell off; order is preserved.
+        assert events[0]["count"] == 1
+        assert events[-1]["count"] == DEFAULT_CAPACITY
+
+
+class TestSinkFailures:
+    def test_unwritable_path_raises_clear_error(self, tmp_path):
+        from repro._exceptions import ParameterError
+
+        bad = tmp_path / "no-such-dir" / "trace.jsonl"
+        tracer = Tracer()
+        with pytest.raises(ParameterError, match="cannot open trace sink"):
+            tracer.open_sink(str(bad))
+        assert tracer.sink_path is None
+
+    def test_sink_dying_mid_run_warns_and_continues(self):
+        class _DeadSink:
+            def write(self, text):
+                raise OSError("disk full")
+
+            def close(self):
+                pass
+
+        tracer = Tracer()
+        tracer._sink = _DeadSink()
+        tracer._sink_path = "/dev/fullish"
+        with pytest.warns(RuntimeWarning, match="failed mid-run"):
+            record = tracer.emit("sample.evict", count=1)
+        assert record["count"] == 1           # the emit itself succeeded
+        assert tracer.sink_path is None       # sink dropped...
+        tracer.emit("sample.evict", count=2)  # ...and tracing continues
+        assert tracer.n_emitted == 2
+
+    def test_bad_ambient_trace_file_warns_not_raises(self):
+        from repro.obs import _open_ambient_sink
+
+        with pytest.warns(RuntimeWarning, match="REPRO_TRACE_FILE"):
+            _open_ambient_sink("/no/such/dir/trace.jsonl")
+        assert obs.tracer().sink_path is None
+
+
 class TestSpans:
     def test_nesting_and_parent(self):
         tracer = Tracer()

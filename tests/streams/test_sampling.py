@@ -279,3 +279,29 @@ def test_chain_sample_never_leaves_window(window_size, slots, values):
         active = sample.values()[:, 0]
         window = values[max(0, i + 1 - window_size):i + 1]
         assert all(v in window for v in active)
+
+
+class TestNewestActiveTimestamp:
+    def test_empty_sample_is_minus_one(self):
+        sample = ChainSample(10, 4, rng=np.random.default_rng(0))
+        assert sample.newest_active_timestamp() == -1
+
+    def test_tracks_latest_acceptance(self):
+        sample = ChainSample(10, 4, rng=np.random.default_rng(1))
+        for i in range(50):
+            sample.offer([0.5])
+            newest = sample.newest_active_timestamp()
+            # Staleness is bounded by the window: an active element
+            # older than |W| arrivals would have expired.
+            assert 0 <= newest <= sample.timestamp
+            assert sample.timestamp - newest < sample.window_size
+
+    def test_matches_batched_path(self):
+        scalar = ChainSample(16, 8, rng=np.random.default_rng(2))
+        batched = ChainSample(16, 8, rng=np.random.default_rng(2))
+        values = np.random.default_rng(3).uniform(size=(120, 1))
+        for value in values:
+            scalar.offer(value)
+        batched.offer_many(values)
+        assert scalar.newest_active_timestamp() == \
+            batched.newest_active_timestamp()

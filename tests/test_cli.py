@@ -31,8 +31,8 @@ class TestParser:
         assert args.radius == 0.02
 
     def test_bench_subcommands_share_run_options(self):
-        # Every benchmark-style subcommand exposes the same --seed and
-        # --json-out flags, each with its own default.
+        # Every benchmark-style subcommand exposes the same --seed,
+        # --json-out and --metrics-out flags, each with its own default.
         for command, seed, json_out in (
                 (["bench-throughput"], 0, "BENCH_throughput.json"),
                 (["bench-resilience"], 7, "BENCH_resilience.json"),
@@ -41,10 +41,35 @@ class TestParser:
             args = build_parser().parse_args(command)
             assert args.seed == seed, command
             assert args.json_out == json_out, command
+            assert args.metrics_out is None, command
             args = build_parser().parse_args(
-                command + ["--seed", "99", "--json-out", "out.json"])
+                command + ["--seed", "99", "--json-out", "out.json",
+                           "--metrics-out", "metrics.prom"])
             assert args.seed == 99
             assert args.json_out == "out.json"
+            assert args.metrics_out == "metrics.prom"
+
+    def test_export_metrics_arguments(self):
+        args = build_parser().parse_args(["export-metrics"])
+        assert args.experiment == "d3"
+        assert args.out == "metrics.prom"
+        assert args.health_every == 25
+        args = build_parser().parse_args(
+            ["export-metrics", "mgdd", "--dataset", "drift",
+             "--format", "jsonl", "--out", "m.jsonl"])
+        assert args.experiment == "mgdd"
+        assert args.dataset == "drift"
+        assert args.format == "jsonl"
+
+    def test_top_arguments(self):
+        args = build_parser().parse_args(["top"])
+        assert args.refresh == 50
+        assert args.clear is True
+        args = build_parser().parse_args(
+            ["top", "--no-clear", "--interval", "0", "--ticks", "100"])
+        assert args.clear is False
+        assert args.interval == 0.0
+        assert args.ticks == 100
 
     def test_output_is_an_alias_for_json_out(self):
         args = build_parser().parse_args(
@@ -129,3 +154,35 @@ class TestCommands:
         doc = json.loads(json_out.read_text())
         assert doc["benchmark"] == "profile"
         assert "simulator.drain" in doc["phases"]
+
+    def test_export_metrics_writes_parseable_prometheus(self, tmp_path,
+                                                        capsys):
+        from repro.obs.export import parse_prometheus
+
+        out = tmp_path / "metrics.prom"
+        assert main(["export-metrics", "d3", "--dataset", "drift",
+                     "--leaves", "4", "--window", "120",
+                     "--measure", "160", "--health-every", "20",
+                     "--out", str(out)]) == 0
+        names = parse_prometheus(out.read_text())
+        assert any(name.startswith("repro_health_node_") for name in names)
+        captured = capsys.readouterr()
+        assert "health" in captured.out
+
+    def test_trace_metrics_out(self, tmp_path):
+        from repro.obs.export import parse_prometheus
+
+        metrics_out = tmp_path / "trace.prom"
+        assert main(["trace", "d3", "--leaves", "4", "--window", "60",
+                     "--measure", "40",
+                     "--trace-out", str(tmp_path / "trace.jsonl"),
+                     "--metrics-out", str(metrics_out)]) == 0
+        assert parse_prometheus(metrics_out.read_text())
+
+    def test_top_headless(self, tmp_path, capsys):
+        assert main(["top", "--leaves", "2", "--window", "40",
+                     "--ticks", "60", "--refresh", "20",
+                     "--interval", "0", "--no-clear"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("repro top") == 3
+        assert "frame(s)" in captured.err

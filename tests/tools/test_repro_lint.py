@@ -321,6 +321,84 @@ class TestRL006:
 
 
 # ---------------------------------------------------------------------------
+# RL007 -- trace event kinds must be declared in the schema
+# ---------------------------------------------------------------------------
+
+class TestRL007:
+    def test_flags_undeclared_kind(self):
+        findings = lint("""
+            from repro import obs
+
+            def f() -> None:
+                obs.emit("sample.evictt", count=1)
+        """)
+        assert rules_of(findings) == ["RL007"]
+        assert "sample.evictt" in findings[0].message
+
+    def test_declared_kind_passes(self):
+        assert lint("""
+            from repro import obs
+
+            def f() -> None:
+                obs.emit("sample.evict", count=1)
+        """) == []
+
+    def test_tracer_receiver_also_checked(self):
+        findings = lint("""
+            def f(tracer) -> None:
+                tracer.emit("not.a.kind")
+        """, path="tests/example_test.py")
+        assert rules_of(findings) == ["RL007"]
+
+    def test_tracer_accessor_call_checked(self):
+        findings = lint("""
+            from repro import obs
+
+            def f() -> None:
+                obs.tracer().emit("not.a.kind")
+        """, path="tests/example_test.py")
+        assert rules_of(findings) == ["RL007"]
+
+    def test_non_literal_kind_flagged_in_src(self):
+        findings = lint("""
+            from repro import obs
+
+            def f(kind: str) -> None:
+                obs.emit(kind, count=1)
+        """)
+        assert rules_of(findings) == ["RL007"]
+
+    def test_non_literal_kind_allowed_in_tests(self):
+        # Test helpers forwarding a variable kind are legitimate.
+        assert lint("""
+            from repro import obs
+
+            def _emit(kind, **fields):
+                return obs.tracer().emit(kind, **fields)
+        """, path="tests/example_test.py") == []
+
+    def test_forwarding_shim_is_exempt(self):
+        assert lint("""
+            def emit(event: str, **fields: object) -> None:
+                _tracer.emit(event, **fields)
+        """, path="src/repro/obs/__init__.py") == []
+
+    def test_unrelated_emit_method_not_flagged(self):
+        assert lint("""
+            def f(beacon) -> None:
+                beacon.emit("anything-goes")
+        """, path="tests/example_test.py") == []
+
+    def test_line_suppression(self):
+        assert lint("""
+            from repro import obs
+
+            def f() -> None:
+                obs.emit("experimental.kind")  # repro-lint: disable=RL007
+        """) == []
+
+
+# ---------------------------------------------------------------------------
 # Engine behaviour
 # ---------------------------------------------------------------------------
 
@@ -342,7 +420,7 @@ class TestEngine:
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005",
-                        "RL006"):
+                        "RL006", "RL007"):
             assert rule_id in out
 
     def test_cli_exit_codes(self, tmp_path, capsys):

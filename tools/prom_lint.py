@@ -1,0 +1,52 @@
+"""Validate a Prometheus text-format metrics export.
+
+Usage::
+
+    python tools/prom_lint.py metrics.prom [--min-samples N]
+
+Runs the file through :func:`repro.obs.export.parse_prometheus` -- the
+strict parser matching what ``repro export-metrics`` claims to produce
+-- and exits non-zero on the first malformed line.  ``--min-samples``
+additionally requires at least that many sample lines, so CI can assert
+an export was not silently empty.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Allow running as a plain script from the repository root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro._exceptions import ParameterError  # noqa: E402
+from repro.obs.export import parse_prometheus  # noqa: E402
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="prom_lint",
+        description="validate Prometheus text-format metrics output")
+    parser.add_argument("path", help="exported .prom/.txt file")
+    parser.add_argument("--min-samples", type=int, default=1,
+                        help="minimum number of sample lines (default 1)")
+    args = parser.parse_args(argv)
+
+    text = Path(args.path).read_text(encoding="utf-8")
+    try:
+        names = parse_prometheus(text)
+    except ParameterError as exc:
+        print(f"prom_lint: {args.path}: {exc}", file=sys.stderr)
+        return 1
+    if len(names) < args.min_samples:
+        print(f"prom_lint: {args.path}: only {len(names)} sample(s), "
+              f"expected >= {args.min_samples}", file=sys.stderr)
+        return 1
+    print(f"{args.path}: {len(names)} samples OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -144,7 +144,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="Repository-specific AST lint (rules RL001-RL005).")
+        description="Repository-specific AST lint (rules RL001-RL007).")
     parser.add_argument("paths", nargs="*", default=["src", "tests", "benchmarks"],
                         help="files or directories to lint "
                              "(default: src tests benchmarks)")

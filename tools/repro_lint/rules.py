@@ -1,4 +1,4 @@
-"""Lint rules RL001-RL006.
+"""Lint rules RL001-RL007.
 
 Each rule is a class with an ``id``, a docstring stating what it
 enforces and why, and a ``check(tree, ctx)`` generator yielding
@@ -12,6 +12,7 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Iterator
 
 __all__ = ["ALL_RULES", "Finding", "LintContext", "Rule"]
@@ -382,6 +383,116 @@ class BarePrintRule(Rule):
                     "emit through repro.obs instead")
 
 
+def _load_declared_event_kinds() -> "frozenset[str] | None":
+    """String keys of ``EVENT_FIELDS`` in ``repro.obs.schema``, via AST.
+
+    Parsed rather than imported so the linter never executes repository
+    code and works without ``src`` on ``sys.path``.  Returns None when
+    the schema module cannot be located or parsed (rule disables itself
+    rather than reporting nonsense).
+    """
+    schema_path = (Path(__file__).resolve().parents[2]
+                   / "src" / "repro" / "obs" / "schema.py")
+    try:
+        tree = ast.parse(schema_path.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return None
+    for node in ast.walk(tree):
+        targets: "list[ast.expr]" = []
+        value: "ast.expr | None" = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(isinstance(t, ast.Name) and t.id == "EVENT_FIELDS"
+                   for t in targets):
+            continue
+        if isinstance(value, ast.Dict):
+            return frozenset(
+                key.value for key in value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str))
+    return None
+
+
+class UndeclaredTraceEventRule(Rule):
+    """RL007: trace events must use kinds declared in repro.obs.schema.
+
+    The schema in ``repro.obs.schema.EVENT_FIELDS`` is the contract the
+    CI obs-smoke job and ``tools/trace_report.py --validate`` enforce at
+    runtime; an emission site using an undeclared kind produces events
+    that fail validation only when tracing happens to be on -- i.e. in
+    CI, long after the typo landed.  This rule moves that failure to
+    lint time: every ``obs.emit(...)`` / ``tracer.emit(...)`` call must
+    pass a string-literal kind present in ``EVENT_FIELDS``.  In shipped
+    ``src/repro`` code the kind must also *be* a literal so the schema
+    stays greppable; test helpers forwarding a variable kind are left
+    alone.  ``repro/obs/__init__.py`` is exempt -- its ``emit()`` shim
+    forwards its caller's kind by design.
+    """
+
+    id = "RL007"
+
+    #: The forwarding shim: ``obs.emit`` delegates a non-literal kind.
+    EXEMPT = frozenset({"src/repro/obs/__init__.py"})
+
+    #: Receiver names that mark an ``.emit(...)`` call as an obs
+    #: emission site: ``obs.emit``, ``tracer.emit``, ``self._tracer.emit``.
+    _OBS_BASES = frozenset({"obs", "tracer", "_tracer"})
+
+    def __init__(self) -> None:
+        self._kinds: "frozenset[str] | None" = None
+        self._loaded = False
+
+    def _declared_kinds(self) -> "frozenset[str] | None":
+        if not self._loaded:
+            self._kinds = _load_declared_event_kinds()
+            self._loaded = True
+        return self._kinds
+
+    def _is_obs_emit(self, node: ast.Call, ctx: LintContext) -> bool:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr != "emit":
+            return False
+        base = func.value
+        name = _dotted_name(base)
+        if name is not None and name.split(".")[-1] in self._OBS_BASES:
+            return True
+        if isinstance(base, ast.Call):
+            call_name = _dotted_name(base.func)
+            if call_name is not None and call_name.split(".")[-1] == "tracer":
+                return True          # obs.tracer().emit(...)
+        # Inside the obs package itself every .emit() is an emission site
+        # (e.g. Tracer.span's self.emit calls).
+        return ctx.path.startswith("src/repro/obs/")
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.path in self.EXEMPT:
+            return
+        kinds = self._declared_kinds()
+        if kinds is None:
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not self._is_obs_emit(node, ctx):
+                continue
+            if not node.args:
+                continue      # emit() with no kind fails at runtime anyway
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant)
+                    and isinstance(first.value, str)):
+                if ctx.is_src:
+                    yield self.finding(
+                        ctx, node,
+                        "trace event kind must be a string literal declared "
+                        "in repro.obs.schema.EVENT_FIELDS")
+                continue
+            if first.value not in kinds:
+                yield self.finding(
+                    ctx, node,
+                    f"trace event kind {first.value!r} is not declared in "
+                    "repro.obs.schema.EVENT_FIELDS; add it to the schema "
+                    "or fix the kind")
+
+
 #: Rule registry, in ID order.
 ALL_RULES: "tuple[Rule, ...]" = (
     UnseededRandomnessRule(),
@@ -390,4 +501,5 @@ ALL_RULES: "tuple[Rule, ...]" = (
     MutationHazardsRule(),
     BatchedScalarLoopRule(),
     BarePrintRule(),
+    UndeclaredTraceEventRule(),
 )
