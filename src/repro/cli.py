@@ -18,6 +18,10 @@ Commands
     Measure detection quality and message overhead under injected node
     crashes and link loss (docs/FAULT_MODEL.md) and write
     ``BENCH_resilience.json``.
+``bench-kernels``
+    Microbenchmark the Eq. 4-6 hot-path kernels against the frozen
+    pre-backend implementations (docs/PERFORMANCE.md) and write
+    ``BENCH_kernels.json``.
 ``trace``
     Run one traced experiment under :mod:`repro.obs`, stream the JSONL
     trace to a file, validate every event against the schema, and print
@@ -145,6 +149,21 @@ def build_parser() -> argparse.ArgumentParser:
                             default=[0.0, 0.25],
                             help="leaf crash fractions to sweep")
     _add_run_options(resilience, seed=7, json_out="BENCH_resilience.json")
+
+    kernels = commands.add_parser(
+        "bench-kernels",
+        help="microbenchmark the Eq. 4-6 kernels vs the pre-backend code")
+    kernels.add_argument("--queries", type=int, default=4_096,
+                         help="query boxes / points per case")
+    kernels.add_argument("--centers", type=int, default=2_048,
+                         help="kernel centres in the 1-d cases")
+    kernels.add_argument("--repeats", type=int, default=3,
+                         help="timing repetitions (best is kept)")
+    kernels.add_argument("--backend", default=None,
+                         choices=("numpy", "numba", "auto"),
+                         help="compute backend to measure (default: the "
+                              "REPRO_BACKEND resolution)")
+    _add_run_options(kernels, seed=0, json_out="BENCH_kernels.json")
 
     trace = commands.add_parser(
         "trace", help="run one traced experiment and summarize its JSONL "
@@ -343,6 +362,28 @@ def _cmd_bench_resilience(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench_kernels(args) -> int:
+    import contextlib
+
+    from repro.core.backend import use_backend
+    from repro.eval import kernels_bench
+
+    scope = use_backend(args.backend) if args.backend \
+        else contextlib.nullcontext()
+    with scope:
+        results = kernels_bench.run_kernels_benchmark(
+            n_queries=args.queries, n_centers=args.centers,
+            repeats=args.repeats, seed=args.seed)
+    print(kernels_bench.format_table(results))
+    path = kernels_bench.write_results(results, args.json_out)
+    print(f"# wrote {path}", file=sys.stderr)
+    if args.metrics_out:
+        _export_metrics_file(
+            _doc_metrics_snapshot(results, "bench.kernels"),
+            args.metrics_out)
+    return 0
+
+
 def _cmd_trace(args) -> int:
     import json
 
@@ -457,6 +498,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 "info": _cmd_info,
                 "bench-throughput": _cmd_bench_throughput,
                 "bench-resilience": _cmd_bench_resilience,
+                "bench-kernels": _cmd_bench_kernels,
                 "trace": _cmd_trace, "profile": _cmd_profile,
                 "export-metrics": _cmd_export_metrics, "top": _cmd_top}
     return handlers[args.command](args)

@@ -1,0 +1,214 @@
+"""Fused, cache-blocked numpy kernels for the Eq. 4-6 hot paths.
+
+This module is the portable compute backend behind
+:mod:`repro.core.backend`.  Each function evaluates the exact expression
+the estimator historically inlined, but blocked over the *query* axis so
+a block's scratch arrays (sized by ``REPRO_KERNEL_BLOCK``) stay resident
+in cache, and with every elementwise step running in place instead of
+allocating a fresh temporary.
+
+Bit-identity contract
+---------------------
+Every function here reproduces the historical estimator expressions bit
+for bit.  That holds because the rewrites only use transformations that
+are exact under IEEE-754 round-to-nearest:
+
+* blocking over the query axis (rows are reduced independently, so the
+  per-row pairwise summation of ``mean``/``sum`` is unchanged -- blocking
+  over the *centres* axis would change it and is never done);
+* in-place ``out=`` variants of the same ufunc calls;
+* commuting the operands of a single multiplication or addition
+  (``z * 3.0`` for ``3.0 * z``);
+* ``np.maximum(t, 0.0)`` for the Epanechnikov profile's ``np.where``
+  mask (values outside the support are negative, and the boundary value
+  is ``+0.0`` either way);
+* sweeping the dimensions of a multi-dimensional query as 2-d slabs
+  with a running product (numpy's multiply reduction over a short last
+  axis is sequential left to right, so the accumulator reproduces
+  ``prod(axis=2)`` exactly).
+
+Divisions are preserved as divisions and reciprocal-multiplications as
+reciprocal-multiplications, per call site: the two differ in the last
+ulp.  The equivalence suite in ``tests/core/test_backend_equivalence.py``
+asserts ``np.array_equal`` against frozen copies of the pre-backend
+implementations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import ndtr
+
+from repro.core.kernels import Kernel
+
+__all__ = ["range_batch", "pdf_batch", "cdf_diff_rows"]
+
+_SQRT_TWO_PI = math.sqrt(2.0 * math.pi)
+
+
+def _cdf_inplace(kernel: Kernel, name: str, z: np.ndarray,
+                 scratch: np.ndarray) -> None:
+    """``z <- kernel.cdf(z)`` without allocating (named kernels)."""
+    if name == "epanechnikov":
+        # 0.25 * (2 + 3c - c^3) with c = clip(z, -1, 1), as in
+        # EpanechnikovKernel.cdf.
+        np.clip(z, -1.0, 1.0, out=z)
+        np.multiply(z, z, out=scratch)
+        np.multiply(scratch, z, out=scratch)
+        np.multiply(z, 3.0, out=z)
+        np.add(z, 2.0, out=z)
+        np.subtract(z, scratch, out=z)
+        np.multiply(z, 0.25, out=z)
+    elif name == "gaussian":
+        ndtr(z, out=z)
+    else:
+        z[...] = kernel.cdf(z)
+
+
+def _profile_inplace(kernel: Kernel, name: str, u: np.ndarray,
+                     scratch: np.ndarray) -> np.ndarray:
+    """``kernel.profile(u)`` evaluated into ``scratch``."""
+    if name == "epanechnikov":
+        # max(0.75 * (1 - u^2), 0): outside the support the parabola is
+        # negative, so the clamp equals the where() mask bit for bit.
+        np.multiply(u, u, out=scratch)
+        np.subtract(1.0, scratch, out=scratch)
+        np.multiply(scratch, 0.75, out=scratch)
+        np.maximum(scratch, 0.0, out=scratch)
+    elif name == "gaussian":
+        np.multiply(u, -0.5, out=scratch)
+        np.multiply(scratch, u, out=scratch)
+        np.exp(scratch, out=scratch)
+        np.divide(scratch, _SQRT_TWO_PI, out=scratch)
+    else:
+        scratch[...] = kernel.profile(u)
+    return scratch
+
+
+def range_batch(kernel: Kernel, lows: np.ndarray, highs: np.ndarray,
+                centers: np.ndarray, inv_bw: np.ndarray,
+                out: np.ndarray, block_cells: int) -> None:
+    """Eq. 5 range probabilities for ``m`` query boxes into ``out``.
+
+    ``out[i] = mean_j prod_k (cdf(z_hi[i,j,k]) - cdf(z_lo[i,j,k]))`` with
+    ``z = (bound - centre) * inv_bw``.  Unclipped and unsanitised -- the
+    estimator applies both.
+    """
+    m = lows.shape[0]
+    if m == 0:
+        return
+    n, d = centers.shape
+    name = getattr(kernel, "name", "")
+    if d == 1:
+        lo, hi, c = lows[:, 0], highs[:, 0], centers[:, 0]
+        scale = inv_bw[0]
+        qb = max(1, min(m, block_cells // max(1, n)))
+        z_hi = np.empty((qb, n))
+        z_lo = np.empty((qb, n))
+        buf = np.empty((qb, n))
+        for s in range(0, m, qb):
+            e = min(s + qb, m)
+            k = e - s
+            zh, zl, t = z_hi[:k], z_lo[:k], buf[:k]
+            np.subtract(hi[s:e, None], c[None, :], out=zh)
+            np.multiply(zh, scale, out=zh)
+            np.subtract(lo[s:e, None], c[None, :], out=zl)
+            np.multiply(zl, scale, out=zl)
+            _cdf_inplace(kernel, name, zh, t)
+            _cdf_inplace(kernel, name, zl, t)
+            np.subtract(zh, zl, out=zh)
+            np.mean(zh, axis=1, out=out[s:e])
+        return
+    # d > 1: sweep the dimensions one (qb, n) slab at a time instead of
+    # materialising (qb, n, d) cubes -- every op stays contiguous, and
+    # the running product accumulates dimensions left to right exactly
+    # like ``prod(axis=2)`` over the historical 3-d array.
+    qb = max(1, min(m, block_cells // max(1, n)))
+    z_hi = np.empty((qb, n))
+    z_lo = np.empty((qb, n))
+    buf = np.empty((qb, n))
+    acc = np.empty((qb, n))
+    for s in range(0, m, qb):
+        e = min(s + qb, m)
+        k = e - s
+        zh, zl, t, p = z_hi[:k], z_lo[:k], buf[:k], acc[:k]
+        for j in range(d):
+            c = centers[:, j]
+            np.subtract(highs[s:e, j, None], c[None, :], out=zh)
+            np.multiply(zh, inv_bw[j], out=zh)
+            np.subtract(lows[s:e, j, None], c[None, :], out=zl)
+            np.multiply(zl, inv_bw[j], out=zl)
+            _cdf_inplace(kernel, name, zh, t)
+            _cdf_inplace(kernel, name, zl, t)
+            np.subtract(zh, zl, out=zh)
+            if j == 0:
+                p[...] = zh
+            else:
+                np.multiply(p, zh, out=p)
+        np.mean(p, axis=1, out=out[s:e])
+
+
+def pdf_batch(kernel: Kernel, queries: np.ndarray, centers: np.ndarray,
+              inv_bw: np.ndarray, norm: float, out: np.ndarray,
+              block_cells: int) -> None:
+    """Eq. 1 density at ``m`` query points into ``out``.
+
+    ``out[i] = norm * sum_j prod_k profile((q[i,k] - c[j,k]) * inv_bw[k])``.
+    """
+    m = queries.shape[0]
+    if m == 0:
+        return
+    n, d = centers.shape
+    name = getattr(kernel, "name", "")
+    if d == 1:
+        q, c = queries[:, 0], centers[:, 0]
+        scale = inv_bw[0]
+        qb = max(1, min(m, block_cells // max(1, n)))
+        u2 = np.empty((qb, n))
+        buf = np.empty((qb, n))
+        for s in range(0, m, qb):
+            e = min(s + qb, m)
+            k = e - s
+            u, t = u2[:k], buf[:k]
+            np.subtract(q[s:e, None], c[None, :], out=u)
+            np.multiply(u, scale, out=u)
+            t = _profile_inplace(kernel, name, u, t)
+            np.sum(t, axis=1, out=out[s:e])
+    else:
+        # Same per-dimension slab sweep as range_batch: left-to-right
+        # accumulation matches ``prod(axis=2)`` bit for bit.
+        qb = max(1, min(m, block_cells // max(1, n)))
+        u2 = np.empty((qb, n))
+        buf = np.empty((qb, n))
+        acc = np.empty((qb, n))
+        for s in range(0, m, qb):
+            e = min(s + qb, m)
+            k = e - s
+            u, t, p = u2[:k], buf[:k], acc[:k]
+            for j in range(d):
+                c = centers[:, j]
+                np.subtract(queries[s:e, j, None], c[None, :], out=u)
+                np.multiply(u, inv_bw[j], out=u)
+                t = _profile_inplace(kernel, name, u, buf[:k])
+                if j == 0:
+                    p[...] = t
+                else:
+                    np.multiply(p, t, out=p)
+            np.sum(p, axis=1, out=out[s:e])
+    np.multiply(out, norm, out=out)
+
+
+def cdf_diff_rows(kernel: Kernel, edges: np.ndarray, centers: np.ndarray,
+                  bandwidth: float) -> np.ndarray:
+    """Per-centre CDF mass between consecutive edges, shape ``(n, k)``.
+
+    Matches ``np.diff(kernel.cdf((edges[None, :] - centers[:, None])
+    / bandwidth), axis=1)`` -- note the division by the bandwidth, which
+    this call site has always used (it is not a reciprocal multiply).
+    """
+    z = np.subtract(edges[None, :], centers[:, None])
+    np.divide(z, bandwidth, out=z)
+    _cdf_inplace(kernel, getattr(kernel, "name", ""), z, np.empty_like(z))
+    return np.diff(z, axis=1)

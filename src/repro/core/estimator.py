@@ -15,14 +15,20 @@ from which the paper derives the windowed neighbourhood count of
 Equation 4, ``N(p, r) = P[p - r, p + r] * |W|``, used by both the
 distance-based (Section 7) and the MDEF-based (Section 8) outlier tests.
 
-Two evaluation strategies are implemented:
+Three evaluation strategies are implemented:
 
 * a dense vectorised path, ``O(d |R|)`` per query (Theorem 2), that also
   accepts *batches* of query boxes (the MDEF test issues ``1/(2 alpha r)``
-  of them at once);
+  of them at once) -- served by the pluggable compute backend
+  (:mod:`repro.core.backend`: fused cache-blocked numpy, or compiled
+  numba when the ``repro[fast]`` extra is installed);
 * a sorted 1-d fast path that prunes kernels whose support cannot
   intersect the query interval, achieving the ``O(log|R| + |R'|)`` bound
-  the paper quotes for one-dimensional data.
+  the paper quotes for one-dimensional data;
+* a sorted n-d fast path (:class:`repro.core.indexes.SortedSampleIndex`)
+  that generalises the same pruning to ``d > 1`` single-box queries via
+  per-dimension sorted indexes, falling back to the dense path when the
+  query's reach covers too much of the sample.
 """
 
 from __future__ import annotations
@@ -36,14 +42,12 @@ from repro._exceptions import EmptyModelError, ParameterError
 from repro._rng import resolve_rng
 from repro._validation import as_point, as_points
 from repro import _sanitize, obs
+from repro.core import backend as _backend
 from repro.core.bandwidth import scott_bandwidths
+from repro.core.indexes import SortedSampleIndex
 from repro.core.kernels import EPANECHNIKOV, Kernel
 
 __all__ = ["KernelDensityEstimator", "merge_estimators"]
-
-#: Cap on the number of (query, kernel) pairs evaluated per vectorised
-#: chunk; keeps peak memory of large batch queries bounded (~32 MB).
-_MAX_CHUNK_CELLS = 4_000_000
 
 
 class KernelDensityEstimator:
@@ -121,6 +125,10 @@ class KernelDensityEstimator:
 
         # Sorted view for the 1-d fast path (Theorem 2's O(log|R| + |R'|)).
         self._sorted_1d = np.sort(points[:, 0]) if self._d == 1 else None
+        # Per-dimension sorted index generalising the same pruning to
+        # d > 1 single-box queries; built lazily on first such query so
+        # models that only serve batch queries never pay the sort.
+        self._sorted_nd: "SortedSampleIndex | None" = None
         # Chain samples hold duplicates (with-replacement semantics); the
         # distinct count is what estimation-variance corrections need.
         # np.unique(axis=0) sorts the sample, so it is computed lazily:
@@ -231,15 +239,12 @@ class KernelDensityEstimator:
         Accepts shape ``(m, d)`` or ``(m,)`` for 1-d data; returns ``(m,)``.
         """
         queries = as_points("points", points, n_dims=self._d)
-        # (m, n, d) scaled offsets; chunk over queries to bound memory.
         out = np.empty(queries.shape[0], dtype=float)
-        chunk = max(1, _MAX_CHUNK_CELLS // max(1, self._n * self._d))
         inv_bw = 1.0 / self._bandwidths
         norm = inv_bw.prod() / self._n
-        for start in range(0, queries.shape[0], chunk):
-            q = queries[start:start + chunk]
-            u = (q[:, None, :] - self._sample[None, :, :]) * inv_bw
-            out[start:start + chunk] = self._kernel.profile(u).prod(axis=2).sum(axis=1) * norm
+        _backend.get_backend().pdf_batch(
+            self._kernel, queries, self._sample, inv_bw, norm, out,
+            _backend.block_cells())
         return out
 
     def range_probability(self, low: "np.ndarray | Sequence[float] | float",
@@ -274,7 +279,7 @@ class KernelDensityEstimator:
                     obs.metrics().histogram(
                         "estimator.range_query.latency").observe(elapsed)
             return self._range_probability_sorted_1d(low_pt[0], high_pt[0])
-        return float(self._range_probability_batch(low_pt[None, :], high_pt[None, :])[0])
+        return self._range_probability_single_nd(low_pt, high_pt)
 
     def _range_probability_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
         if (highs < lows).any():
@@ -282,24 +287,10 @@ class KernelDensityEstimator:
         t0 = time.perf_counter() if obs.ACTIVE else 0.0
         try:
             out = np.empty(lows.shape[0], dtype=float)
-            chunk = max(1, _MAX_CHUNK_CELLS // max(1, self._n * self._d))
             inv_bw = 1.0 / self._bandwidths
-            for start in range(0, lows.shape[0], chunk):
-                lo = lows[start:start + chunk]
-                hi = highs[start:start + chunk]
-                if self._d == 1:
-                    # 1-d fast path: skip the per-dimension axis (and its
-                    # product) entirely -- the common case for sensor data.
-                    centers = self._sample[None, :, 0]
-                    z_hi = (hi[:, 0, None] - centers) * inv_bw[0]
-                    z_lo = (lo[:, 0, None] - centers) * inv_bw[0]
-                    per_point = self._kernel.cdf(z_hi) - self._kernel.cdf(z_lo)
-                    out[start:start + chunk] = per_point.mean(axis=1)
-                    continue
-                z_hi = (hi[:, None, :] - self._sample[None, :, :]) * inv_bw
-                z_lo = (lo[:, None, :] - self._sample[None, :, :]) * inv_bw
-                per_dim = self._kernel.cdf(z_hi) - self._kernel.cdf(z_lo)
-                out[start:start + chunk] = per_dim.prod(axis=2).mean(axis=1)
+            _backend.get_backend().range_batch(
+                self._kernel, lows, highs, self._sample, inv_bw, out,
+                _backend.block_cells())
             if _sanitize.ACTIVE:
                 _sanitize.check_probabilities(out, label="range_probability")
             # Clamp tiny negative values from floating point cancellation.
@@ -309,7 +300,7 @@ class KernelDensityEstimator:
             # phase; without this the profile reports 0 ns for it.
             if obs.ACTIVE:
                 elapsed = time.perf_counter() - t0
-                obs.profiler().record("estimator.query_batch", elapsed)
+                obs.profiler().record("kernels.range_batch", elapsed)
                 obs.metrics().histogram(
                     "estimator.range_query.latency").observe(elapsed)
 
@@ -342,6 +333,45 @@ class KernelDensityEstimator:
                                           label="range_probability_1d")
         return float(np.clip(total / self._n, 0.0, 1.0))
 
+    def _range_probability_single_nd(self, low_pt: np.ndarray,
+                                     high_pt: np.ndarray) -> float:
+        """Theorem 2 pruning generalised to d > 1 single-box queries.
+
+        Kernel centres whose support cannot reach the box are pruned via
+        the per-dimension sorted index; when pruning retains too much of
+        the sample (or the kernel's support is unbounded), the dense
+        vectorised path is faster and is used instead.
+        """
+        if (high_pt < low_pt).any():
+            raise ParameterError("each high must be >= the corresponding low")
+        if self._sorted_nd is None:
+            self._sorted_nd = SortedSampleIndex(self._sample)
+        reach = self._bandwidths * self._kernel.support_radius
+        idx = self._sorted_nd.candidates(low_pt - reach, high_pt + reach)
+        if idx is None:
+            return float(self._range_probability_batch(
+                low_pt[None, :], high_pt[None, :])[0])
+        t0 = time.perf_counter() if obs.ACTIVE else 0.0
+        try:
+            total = 0.0
+            if idx.size:
+                centers = self._sample[idx]
+                inv_bw = 1.0 / self._bandwidths
+                z_hi = (high_pt[None, :] - centers) * inv_bw
+                z_lo = (low_pt[None, :] - centers) * inv_bw
+                per_dim = self._kernel.cdf(z_hi) - self._kernel.cdf(z_lo)
+                total = float(per_dim.prod(axis=1).sum())
+            if _sanitize.ACTIVE:
+                _sanitize.check_probabilities(total / self._n,
+                                              label="range_probability_nd")
+            return float(np.clip(total / self._n, 0.0, 1.0))
+        finally:
+            if obs.ACTIVE:
+                elapsed = time.perf_counter() - t0
+                obs.profiler().record("kernels.sorted_nd", elapsed)
+                obs.metrics().histogram(
+                    "estimator.range_query.latency").observe(elapsed)
+
     def neighborhood_count(self, p: "np.ndarray | Sequence[float] | float",
                            r: float) -> "float | np.ndarray":
         """Estimated number of window values within ``r`` of ``p`` (Eq. 4).
@@ -371,9 +401,9 @@ class KernelDensityEstimator:
             raise ParameterError("edges must be a 1-d array with at least two entries")
         if (np.diff(edge_arr) <= 0).any():
             raise ParameterError("edges must be strictly increasing")
-        z = (edge_arr[None, :] - self._sample[:, :1]) / self._bandwidths[0]
-        cdf_vals = self._kernel.cdf(z)          # (n, k+1)
-        diffs = np.diff(cdf_vals, axis=1)       # (n, k)
+        diffs = _backend.get_backend().cdf_diff_rows(
+            self._kernel, edge_arr, self._sample[:, 0],
+            self._bandwidths[0])                # (n, k)
         masses = diffs.mean(axis=0)
         if _sanitize.ACTIVE:
             _sanitize.check_mass(masses, label="interval_probabilities")
@@ -391,11 +421,11 @@ class KernelDensityEstimator:
         if not high > low:
             raise ParameterError("high must exceed low")
         edges = np.linspace(low, high, cells_per_dim + 1)
+        ops = _backend.get_backend()
         # Per-dimension CDF difference matrices, each (n, k).
-        per_dim = []
-        for j in range(self._d):
-            z = (edges[None, :] - self._sample[:, j:j + 1]) / self._bandwidths[j]
-            per_dim.append(np.diff(self._kernel.cdf(z), axis=1))
+        per_dim = [ops.cdf_diff_rows(self._kernel, edges, self._sample[:, j],
+                                     self._bandwidths[j])
+                   for j in range(self._d)]
         if self._d == 1:
             cells = per_dim[0].mean(axis=0)
         elif self._d == 2:

@@ -107,4 +107,7 @@ def format_profile_table(doc: dict) -> str:
     lines.append("wall: " + "  ".join(
         f"{key}={value:.4f}" for key, value in wall.items()))
     lines.append(f"events: {doc['n_events']}")
+    meta = doc.get("meta")
+    if isinstance(meta, dict) and "backend" in meta:
+        lines.append(f"backend: {meta['backend']}")
     return "\n".join(lines)

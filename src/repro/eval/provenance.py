@@ -16,6 +16,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.backend import backend_name
+
 __all__ = ["git_sha", "run_metadata"]
 
 
@@ -47,6 +49,7 @@ def run_metadata(*, seed: "int | None" = None) -> "dict[str, object]":
         "git_sha": git_sha(),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "backend": backend_name(),
         "platform": sys.platform,
         "machine": platform.machine(),
         "wall_clock_utc": datetime.datetime.now(

@@ -15,6 +15,14 @@ the prior entries:
   ``recall_cliff_drop`` of the prior median, and the worst-case faulted
   recall may not collapse (the "recall cliff" the PR-3 degradation
   machinery exists to prevent).
+* **kernels**: the latest Eq. 4-6 microbenchmark speedup over the frozen
+  pre-backend reference may not drop more than ``throughput_drop`` below
+  the prior median.
+
+Throughput and kernels entries record which compute backend
+(``repro.core.backend``) produced them; the gates only compare entries
+from the *same* backend, so a numpy run is never judged against numba
+history (or vice versa).
 
 A history with fewer than two entries always passes (nothing to
 regress against), so fresh clones and first runs are never blocked.
@@ -118,11 +126,31 @@ def summarize_benchmark(doc: "Mapping[str, object]") -> "dict[str, object]":
         summary["min_faultfree_recall"] = min(faultfree)
         summary["min_faulted_recall"] = min(faulted) if faulted else None
         summary["max_message_overhead"] = max(overheads)
+    elif kind == "kernels":
+        cases = doc.get("cases")
+        if not isinstance(cases, list) or not cases:
+            raise ParameterError("kernels document lacks cases")
+        summary["backend"] = str(doc.get("backend", "numpy"))
+        summary["min_speedup"] = float(doc["min_speedup"])  # type: ignore[arg-type]
+        summary["max_abs_err"] = float(doc["max_abs_err"])  # type: ignore[arg-type]
     else:
         raise ParameterError(
             f"cannot summarise benchmark kind {kind!r} "
-            "(expected 'ingest-throughput' or 'resilience')")
+            "(expected 'ingest-throughput', 'resilience' or 'kernels')")
     return summary
+
+
+def _entry_backend(entry: "Mapping[str, object]") -> str:
+    """Compute backend an entry was produced with (pre-backend = numpy)."""
+    backend = entry.get("backend")
+    if isinstance(backend, str):
+        return backend
+    meta = entry.get("meta")
+    if isinstance(meta, Mapping):
+        from_meta = meta.get("backend")
+        if isinstance(from_meta, str):
+            return from_meta
+    return "numpy"
 
 
 def history_path(kind: str,
@@ -131,7 +159,8 @@ def history_path(kind: str,
     base = Path(history_dir) if history_dir is not None \
         else DEFAULT_HISTORY_DIR
     stem = {"ingest-throughput": "throughput",
-            "resilience": "resilience"}.get(kind)
+            "resilience": "resilience",
+            "kernels": "kernels"}.get(kind)
     if stem is None:
         raise ParameterError(f"unknown benchmark kind {kind!r}")
     return base / f"{stem}.jsonl"
@@ -217,13 +246,28 @@ def check_history(entries: "Sequence[Mapping[str, object]]", *,
     kind = latest.get("benchmark")
     problems: "list[str]" = []
     if kind == "ingest-throughput":
+        # Only compare runs of the same compute backend: a numpy run
+        # regressing against numba history would gate on the wrong thing.
+        same_backend = [e for e in priors
+                        if _entry_backend(e) == _entry_backend(latest)]
         for key in ("single_node_speedup", "network_speedup"):
-            history = [float(e[key]) for e in priors  # type: ignore[arg-type]
+            history = [float(e[key])  # type: ignore[arg-type]
+                       for e in same_backend
                        if isinstance(e.get(key), (int, float))]
             value = latest.get(key)
             if history and isinstance(value, (int, float)):
                 _check_drop(key, float(value), history,
                             tolerances.throughput_drop, problems)
+    elif kind == "kernels":
+        same_backend = [e for e in priors
+                        if _entry_backend(e) == _entry_backend(latest)]
+        history = [float(e["min_speedup"])  # type: ignore[arg-type]
+                   for e in same_backend
+                   if isinstance(e.get("min_speedup"), (int, float))]
+        value = latest.get("min_speedup")
+        if history and isinstance(value, (int, float)):
+            _check_drop("min_speedup", float(value), history,
+                        tolerances.throughput_drop, problems)
     elif kind == "resilience":
         history = [float(e["min_faultfree_recall"])  # type: ignore[arg-type]
                    for e in priors

@@ -34,6 +34,7 @@ consumption order is independent of how arrivals are grouped.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Sequence, Tuple
@@ -279,6 +280,7 @@ class ChainSample:
         m = vals.shape[0]
         if m == 0:
             return []
+        t0 = time.perf_counter() if obs.ACTIVE else 0.0
         mutations_before = self._mutations
         evictions_before = self._evictions
         ts0 = self._timestamp + 1 if start_timestamp is None \
@@ -293,7 +295,11 @@ class ChainSample:
         # Same bitstream as m sequential rng.random(sample_size) calls.
         draws = self._rng.random((m, self._sample_size))
         hits = draws < inclusion[:, None]
-        changed: "list[list[int]]" = [[] for _ in range(m)]
+        # Replacements recorded as flat (arrival row, slot) event lists;
+        # per-arrival tuples are assembled at the end so the O(m) output
+        # costs one shared-empty-tuple list, not m Python list objects.
+        event_rows: "list[int]" = []
+        event_slots: "list[int]" = []
         # Event rows per slot, in slot-major then arrival order.
         hit_slots, hit_rows = np.nonzero(hits.T)
         boundaries = np.searchsorted(hit_slots, np.arange(self._sample_size + 1))
@@ -306,7 +312,7 @@ class ChainSample:
         active_slots = np.nonzero(
             (boundaries[1:] > boundaries[:-1])
             | ((successor_ts >= ts0) & (successor_ts <= ts_end)))[0]
-        for slot in active_slots:
+        for slot in active_slots.tolist():
             rows = hit_rows[boundaries[slot]:boundaries[slot + 1]]
             chain = self._chains[slot]
             items = chain.items
@@ -335,7 +341,8 @@ class ChainSample:
                     items.clear()
                     items.append((acc_ts, vals[acc_ts - ts0].copy()))
                     chain.successor_ts = self._draw_successor(slot, acc_ts)
-                    changed[acc_ts - ts0].append(slot)
+                    event_rows.append(acc_ts - ts0)
+                    event_slots.append(slot)
                     pos += 1
                     cursor = acc_ts
                     self._mutations += 1
@@ -350,9 +357,26 @@ class ChainSample:
                 self._evictions += 1
         if _sanitize.ACTIVE:
             _sanitize.check_chain_sample(self, mutations_before=mutations_before)
+        # The walk emits events slot-major; sorting the flat pairs by
+        # (arrival, slot) restores the ascending-slot-per-arrival tuples
+        # the scalar path produces.
+        out: "list[tuple[int, ...]]" = [()] * m
+        if event_rows:
+            pairs = sorted(zip(event_rows, event_slots))
+            n_events = len(pairs)
+            i = 0
+            while i < n_events:
+                row = pairs[i][0]
+                j = i + 1
+                while j < n_events and pairs[j][0] == row:
+                    j += 1
+                out[row] = tuple(pair[1] for pair in pairs[i:j])
+                i = j
         if obs.ACTIVE:
+            obs.profiler().record("chain.offer_many",
+                                  time.perf_counter() - t0)
             self._note_obs(mutations_before, evictions_before)
-        return [tuple(slots) for slots in changed]
+        return out
 
     def values(self) -> np.ndarray:
         """Active sample elements, shape ``(k, n_dims)`` with ``k <= |R|``.

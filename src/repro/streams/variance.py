@@ -36,13 +36,15 @@ reference the sketch is tested against.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from repro import _sanitize
+from repro import _sanitize, obs
 from repro._exceptions import ParameterError
+from repro.core.backend import get_backend
 from repro._validation import require_fraction, require_positive_int
 from repro.streams.window import SlidingWindow
 
@@ -212,12 +214,15 @@ class EHVarianceSketch:
         if not np.isfinite(vals).all():
             raise ParameterError("values must all be finite")
         window = self._window_size
+        # One bulk tolist() instead of m float(vals[i]) boxings; the
+        # resulting Python floats are the same doubles bit for bit.
+        vals_list = vals.tolist()
         i = 0
         while i < m:
             k = min(m - i, _COMPRESS_INTERVAL - self._since_compress)
             last_ts = ts0 + i + k - 1
             buckets = self._buckets
-            buckets.extend(_Bucket(ts0 + i + j, 1, float(vals[i + j]), 0.0)
+            buckets.extend(_Bucket(ts0 + i + j, 1, vals_list[i + j], 0.0)
                            for j in range(k))
             horizon = last_ts - window
             drop = 0
@@ -249,6 +254,27 @@ class EHVarianceSketch:
             return
         window_population = min(self._timestamp + 1, self._window_size)
         max_count = max(1.0, self._count_fraction * window_population)
+        compiled = get_backend().eh_compress
+        if compiled is not None:
+            # Compiled merge pass (numba backend): same two passes over
+            # parallel arrays, bit-identical to the Python loops below.
+            newest = np.fromiter((b.newest_ts for b in buckets),
+                                 dtype=np.int64, count=n)
+            counts_arr = np.fromiter((b.count for b in buckets),
+                                     dtype=np.float64, count=n)
+            means_arr = np.fromiter((b.mean for b in buckets),
+                                    dtype=np.float64, count=n)
+            m2s_arr = np.fromiter((b.m2 for b in buckets),
+                                  dtype=np.float64, count=n)
+            out_ts, out_counts, out_means, out_m2s = compiled(
+                newest, counts_arr, means_arr, m2s_arr,
+                max_count, self._variance_budget)
+            self._buckets = [
+                _Bucket(ts, int(cnt), mean, m2)
+                for ts, cnt, mean, m2 in zip(
+                    out_ts.tolist(), out_counts.tolist(),
+                    out_means.tolist(), out_m2s.tolist())]
+            return
         counts = [b.count for b in buckets]
         means = [b.mean for b in buckets]
         m2s = [b.m2 for b in buckets]
@@ -383,8 +409,12 @@ class MultiDimVarianceSketch:
             raise ParameterError(
                 f"values must have shape (m, {self._n_dims}), "
                 f"got {points.shape}")
+        t0 = time.perf_counter() if obs.ACTIVE else 0.0
         for dim, sketch in enumerate(self._sketches):
             sketch.insert_many(points[:, dim], start_timestamp)
+        if obs.ACTIVE:
+            obs.profiler().record("sketch.update_many",
+                                  time.perf_counter() - t0)
 
     def std(self) -> np.ndarray:
         """Estimated per-dimension standard deviations."""

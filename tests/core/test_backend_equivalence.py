@@ -1,0 +1,285 @@
+"""Backend kernels vs the frozen pre-backend implementations.
+
+The numpy backend claims *bit identity* with the historical estimator
+expressions (``repro.core._kernels_numpy`` docstring lists the exact
+IEEE-754-preserving rewrites); the numba backend claims 1e-9 relative
+agreement.  This suite pins both claims against the frozen references
+in :mod:`repro.eval.kernels_bench`, exercises the sorted-index fast
+paths against brute force, and covers the backend selection machinery
+itself (env resolution, strict failures, context restoration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._exceptions import ParameterError
+from repro.core import backend as backend_mod
+from repro.core.backend import (
+    available_backends,
+    backend_name,
+    block_cells,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.core.estimator import KernelDensityEstimator
+from repro.core.indexes import SortedSampleIndex
+from repro.core.kernels import EPANECHNIKOV, GAUSSIAN
+from repro.eval.kernels_bench import reference_pdf, reference_range_batch
+
+HAVE_NUMBA = "numba" in available_backends()
+
+ALL_KERNELS = [EPANECHNIKOV, GAUSSIAN]
+
+
+def make_case(seed: int, n: int, m: int, d: int, bw: float):
+    rng = np.random.default_rng(seed)
+    centers = rng.random((n, d))
+    queries = rng.random((m, d))
+    bandwidths = np.full(d, bw)
+    est = KernelDensityEstimator(centers, bandwidths=bandwidths)
+    return rng, centers, queries, bandwidths, est
+
+
+# ---------------------------------------------------------------------------
+# numpy backend: bit identity with the frozen references
+# ---------------------------------------------------------------------------
+
+class TestNumpyBitIdentity:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+    def test_range_probability_identical(self, kernel, d):
+        rng = np.random.default_rng(10 + d)
+        centers = rng.random((57, d))
+        queries = rng.random((33, d))
+        bandwidths = np.full(d, 0.07)
+        est = KernelDensityEstimator(centers, bandwidths=bandwidths,
+                                     kernel=kernel)
+        got = np.asarray(est.range_probability(queries - 0.03, queries + 0.03))
+        want = reference_range_batch(kernel, queries - 0.03, queries + 0.03,
+                                     centers, bandwidths)
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+    def test_pdf_identical(self, kernel, d):
+        rng = np.random.default_rng(20 + d)
+        centers = rng.random((41, d))
+        queries = rng.random((29, d))
+        bandwidths = np.full(d, 0.11)
+        est = KernelDensityEstimator(centers, bandwidths=bandwidths,
+                                     kernel=kernel)
+        assert np.array_equal(est.pdf(queries),
+                              reference_pdf(kernel, queries, centers,
+                                            bandwidths))
+
+    @pytest.mark.parametrize("bw", [1e-12, 1e12])
+    def test_degenerate_bandwidths_identical(self, bw):
+        # Near-delta and near-flat models must follow the references
+        # through the same under/overflow, not around it.
+        rng, centers, queries, bandwidths, est = make_case(3, 40, 16, 2, bw)
+        got = np.asarray(est.range_probability(queries - 0.1, queries + 0.1))
+        want = reference_range_batch(est.kernel, queries - 0.1, queries + 0.1,
+                                     centers, bandwidths)
+        assert np.array_equal(got, want)
+        assert np.array_equal(est.pdf(queries),
+                              reference_pdf(est.kernel, queries, centers,
+                                            bandwidths))
+
+    def test_interval_probabilities_identical(self):
+        rng, centers, _, bandwidths, est = make_case(4, 64, 0, 1, 0.05)
+        edges = np.linspace(0.0, 1.0, 21)
+        got = est.interval_probabilities(edges)
+        z = (edges[None, :] - centers[:, None, 0]) / bandwidths[0]
+        want = np.diff(est.kernel.cdf(z), axis=1).mean(axis=0)
+        assert np.array_equal(got, np.clip(want, 0.0, 1.0))
+
+    def test_empty_query_batch(self):
+        _, _, _, _, est = make_case(5, 30, 0, 2, 0.05)
+        empty = np.empty((0, 2))
+        assert est.range_probability(empty, empty).shape == (0,)
+        assert est.pdf(empty).shape == (0,)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=60),
+           st.integers(min_value=1, max_value=25),
+           st.integers(min_value=1, max_value=3),
+           st.floats(min_value=1e-6, max_value=10.0,
+                     allow_nan=False, allow_infinity=False),
+           st.integers(min_value=0, max_value=2 ** 16),
+           st.booleans())
+    def test_property_identical(self, n, m, d, bw, seed, gaussian):
+        kernel = GAUSSIAN if gaussian else EPANECHNIKOV
+        rng = np.random.default_rng(seed)
+        centers = rng.random((n, d))
+        queries = rng.random((m, d))
+        bandwidths = np.full(d, bw)
+        est = KernelDensityEstimator(centers, bandwidths=bandwidths,
+                                     kernel=kernel)
+        widths = rng.uniform(0.0, 0.2, size=(m, d))
+        got = np.asarray(est.range_probability(queries - widths,
+                                               queries + widths))
+        want = reference_range_batch(kernel, queries - widths,
+                                     queries + widths, centers, bandwidths)
+        assert np.array_equal(got, want)
+        assert np.array_equal(est.pdf(queries),
+                              reference_pdf(kernel, queries, centers,
+                                            bandwidths))
+
+
+# ---------------------------------------------------------------------------
+# sorted-index fast paths vs brute force
+# ---------------------------------------------------------------------------
+
+class TestSortedIndexFastPath:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=80),
+           st.integers(min_value=2, max_value=3),
+           st.integers(min_value=0, max_value=2 ** 16))
+    def test_candidates_match_brute_force(self, n, d, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.random((n, d))
+        index = SortedSampleIndex(points)
+        low = rng.uniform(-0.2, 0.8, d)
+        high = low + rng.uniform(0.0, 0.5, d)
+        candidates = index.candidates(low, high)
+        brute = np.nonzero(
+            np.all((points >= low) & (points <= high), axis=1))[0]
+        if candidates is None:
+            # Dense fallback is only allowed when the best per-axis
+            # slice really is unselective.
+            counts = [np.count_nonzero((points[:, j] >= low[j])
+                                       & (points[:, j] <= high[j]))
+                      for j in range(d)]
+            assert min(counts) > index._dense_limit
+        else:
+            assert np.array_equal(candidates, brute)
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+    def test_single_nd_query_matches_dense(self, kernel):
+        rng = np.random.default_rng(77)
+        centers = rng.random((120, 2))
+        est = KernelDensityEstimator(centers, bandwidths=np.full(2, 0.02),
+                                     kernel=kernel)
+        dense = KernelDensityEstimator(centers, bandwidths=np.full(2, 0.02),
+                                       kernel=kernel)
+        for low, high in [((0.3, 0.3), (0.35, 0.4)),
+                          ((0.0, 0.0), (0.05, 0.05)),
+                          ((0.9, 0.1), (0.95, 0.2))]:
+            lo, hi = np.asarray(low), np.asarray(high)
+            got = est.range_probability(lo, hi)
+            want = float(dense.range_probability(lo[None, :], hi[None, :])[0])
+            assert got == pytest.approx(want, rel=1e-9, abs=1e-15)
+
+
+# ---------------------------------------------------------------------------
+# numba backend (skipped when the extra is not installed)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+class TestNumbaEquivalence:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+    def test_range_probability_close(self, kernel, d):
+        rng = np.random.default_rng(30 + d)
+        centers = rng.random((64, d))
+        queries = rng.random((32, d))
+        bandwidths = np.full(d, 0.06)
+        est = KernelDensityEstimator(centers, bandwidths=bandwidths,
+                                     kernel=kernel)
+        want = reference_range_batch(kernel, queries - 0.03, queries + 0.03,
+                                     centers, bandwidths)
+        with use_backend("numba"):
+            got = np.asarray(est.range_probability(queries - 0.03,
+                                                   queries + 0.03))
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+    def test_pdf_close(self, kernel):
+        rng = np.random.default_rng(40)
+        centers = rng.random((64, 1))
+        queries = rng.random((32, 1))
+        bandwidths = np.full(1, 0.06)
+        est = KernelDensityEstimator(centers, bandwidths=bandwidths,
+                                     kernel=kernel)
+        want = reference_pdf(kernel, queries, centers, bandwidths)
+        with use_backend("numba"):
+            got = est.pdf(queries)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-12)
+
+    def test_eh_sketch_identical(self):
+        # The compiled compressor is a literal transcription of the
+        # Python one, so the resulting bucket lists must match exactly.
+        from repro.streams.variance import EHVarianceSketch
+
+        values = np.random.default_rng(50).uniform(size=400)
+        with use_backend("numpy"):
+            plain = EHVarianceSketch(128)
+            plain.insert_many(values)
+        with use_backend("numba"):
+            compiled = EHVarianceSketch(128)
+            compiled.insert_many(values)
+        assert plain.variance() == compiled.variance()
+        assert plain._buckets == compiled._buckets
+
+
+# ---------------------------------------------------------------------------
+# backend selection machinery
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def restore_backend():
+    yield
+    set_backend("numpy")
+
+
+class TestBackendSelection:
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ParameterError, match="backend"):
+            resolve_backend("cuda")
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba is installed")
+    def test_strict_numba_raises_when_missing(self):
+        with pytest.raises(ParameterError, match="numba"):
+            set_backend("numba", strict=True)
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba is installed")
+    def test_env_numba_falls_back_silently(self, monkeypatch,
+                                           restore_backend):
+        monkeypatch.setenv("REPRO_BACKEND", "numba")
+        set_backend(None)
+        assert backend_name() == "numpy"
+
+    def test_env_unknown_value_rejected(self, monkeypatch, restore_backend):
+        monkeypatch.setenv("REPRO_BACKEND", "fortran")
+        with pytest.raises(ParameterError, match="REPRO_BACKEND"):
+            set_backend(None)
+
+    def test_use_backend_restores_active(self, restore_backend):
+        set_backend("numpy")
+        before = get_backend()
+        with use_backend("numpy"):
+            assert backend_name() == "numpy"
+        assert get_backend() is before
+
+    def test_block_cells_default_and_env(self, monkeypatch):
+        assert block_cells() == 262_144
+        monkeypatch.setenv("REPRO_KERNEL_BLOCK", "4096")
+        assert block_cells() == 4096
+
+    @pytest.mark.parametrize("bad", ["zero", "0", "-5", "1.5"])
+    def test_block_cells_rejects_bad_values(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_KERNEL_BLOCK", bad)
+        with pytest.raises(ParameterError, match="REPRO_KERNEL_BLOCK"):
+            block_cells()
+
+    def test_backend_module_consistency(self):
+        assert get_backend().name == backend_name()
+        assert backend_mod.resolve_backend().name in available_backends()

@@ -90,3 +90,45 @@ class TestInstrumentedSitesOnException:
                 model.range_probability(0.2, 0.6)
         summary = obs.profiler().summary()
         assert summary["estimator.query_sorted"]["calls"] == 1
+
+
+class TestKernelPhaseCoverage:
+    """The backend-era hot paths each charge their own named phase."""
+
+    def test_range_batch_phase(self):
+        from repro.core.estimator import KernelDensityEstimator
+
+        rng = np.random.default_rng(3)
+        model = KernelDensityEstimator(rng.uniform(0.2, 0.8, size=(64, 1)))
+        lows = rng.uniform(0.2, 0.5, size=(8, 1))
+        with obs.enabled():
+            model.range_probability(lows, lows + 0.1)
+        assert obs.profiler().summary()["kernels.range_batch"]["calls"] == 1
+
+    def test_sorted_nd_phase(self):
+        from repro.core.estimator import KernelDensityEstimator
+
+        rng = np.random.default_rng(4)
+        model = KernelDensityEstimator(rng.uniform(0.2, 0.8, size=(64, 2)),
+                                       bandwidths=np.full(2, 0.01))
+        with obs.enabled():
+            model.range_probability(np.array([0.3, 0.3]),
+                                    np.array([0.32, 0.32]))
+        assert obs.profiler().summary()["kernels.sorted_nd"]["calls"] == 1
+
+    def test_offer_many_phase(self):
+        from repro.streams.sampling import ChainSample
+
+        chain = ChainSample(64, 16, rng=np.random.default_rng(5))
+        with obs.enabled():
+            chain.offer_many(np.random.default_rng(6).uniform(size=40))
+        assert obs.profiler().summary()["chain.offer_many"]["calls"] == 1
+
+    def test_update_many_phase(self):
+        from repro.streams.variance import MultiDimVarianceSketch
+
+        sketch = MultiDimVarianceSketch(64, 2)
+        with obs.enabled():
+            sketch.insert_many(
+                np.random.default_rng(7).uniform(size=(40, 2)))
+        assert obs.profiler().summary()["sketch.update_many"]["calls"] == 1

@@ -399,6 +399,83 @@ class TestRL007:
 
 
 # ---------------------------------------------------------------------------
+# RL008 -- per-element loops over sample/centre arrays in hot paths
+# ---------------------------------------------------------------------------
+
+class TestRL008:
+    def test_flags_direct_loop_over_sample(self):
+        findings = lint("""
+            def total(sample: "np.ndarray") -> float:
+                acc = 0.0
+                for value in sample:
+                    acc += value
+                return acc
+        """, path="src/repro/core/example.py")
+        assert rules_of(findings) == ["RL008"]
+
+    def test_flags_range_len_loop(self):
+        findings = lint("""
+            def scan(centers: "np.ndarray") -> None:
+                for i in range(len(centers)):
+                    pass
+        """, path="src/repro/streams/example.py")
+        assert rules_of(findings) == ["RL008"]
+
+    def test_flags_enumerate_and_shape_zero(self):
+        findings = lint("""
+            def walk(queries: "np.ndarray", values: "np.ndarray") -> None:
+                for i, q in enumerate(queries):
+                    pass
+                for i in range(values.shape[0]):
+                    pass
+        """, path="src/repro/core/example.py")
+        assert rules_of(findings) == ["RL008", "RL008"]
+
+    def test_flags_comprehension_over_points(self):
+        findings = lint("""
+            def squares(points: "np.ndarray") -> "list[float]":
+                return [p * p for p in points]
+        """, path="src/repro/core/example.py")
+        assert rules_of(findings) == ["RL008"]
+
+    def test_dimension_loop_passes(self):
+        # Iterating the (few) columns of an (n, d) array is not a
+        # per-element loop: shape[1] walks dimensions, not readings.
+        assert lint("""
+            def per_dim(points: "np.ndarray") -> None:
+                for j in range(points.shape[1]):
+                    pass
+        """, path="src/repro/streams/example.py") == []
+
+    def test_unrelated_names_pass(self):
+        assert lint("""
+            class Sample:
+                def drain(self) -> None:
+                    for chain in self._chains:
+                        for i in range(0, 10, 2):
+                            pass
+        """, path="src/repro/streams/example.py") == []
+
+    def test_outside_hot_dirs_passes(self):
+        assert lint("""
+            def total(sample: "np.ndarray") -> float:
+                acc = 0.0
+                for value in sample:
+                    acc += value
+                return acc
+        """, path="src/repro/eval/example.py") == []
+
+    def test_line_suppression(self):
+        assert lint("""
+            def total(sample: "np.ndarray") -> float:
+                acc = 0.0
+                for value in sample:  # repro-lint: disable=RL008
+                    acc += value
+                return acc
+        """, path="src/repro/core/example.py") == []
+
+
+# ---------------------------------------------------------------------------
 # Engine behaviour
 # ---------------------------------------------------------------------------
 
@@ -420,7 +497,7 @@ class TestEngine:
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005",
-                        "RL006", "RL007"):
+                        "RL006", "RL007", "RL008"):
             assert rule_id in out
 
     def test_cli_exit_codes(self, tmp_path, capsys):

@@ -493,6 +493,86 @@ class UndeclaredTraceEventRule(Rule):
                     "or fix the kind")
 
 
+class PerElementHotLoopRule(Rule):
+    """RL008: no per-element Python loops over sample/centre arrays in
+    hot-path modules.
+
+    The compute-backend layer (``repro.core.backend``) exists so that
+    the Eq. 4-6 inner loops run as fused array kernels.  A Python
+    ``for`` (or comprehension) iterating element-wise over a sample,
+    centre, or query array inside ``repro.core`` / ``repro.streams``
+    reintroduces interpreter overhead per reading -- the exact cost the
+    backend removed -- while every correctness test stays green.  Loops
+    over such arrays (directly, or via ``enumerate(x)`` /
+    ``range(len(x))`` / ``range(x.shape[0])``) are therefore errors in
+    those packages; a genuinely scalar walk must carry a suppression
+    comment naming the reason.
+    """
+
+    id = "RL008"
+
+    #: Packages whose per-reading paths the backend kernels own.
+    HOT_DIRS = ("src/repro/core/", "src/repro/streams/")
+
+    #: Identifier terminals that denote sample/centre/query arrays.
+    ARRAY_NAMES = frozenset({
+        "sample", "samples", "_sample", "centers", "centres", "_centers",
+        "points", "_points", "queries", "_queries", "readings",
+        "values", "vals", "lows", "highs",
+    })
+
+    _LOOPS = (ast.For, ast.AsyncFor,
+              ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+    def _array_name(self, node: ast.AST) -> "str | None":
+        """The matched array identifier iterated per element, if any."""
+        name = _terminal_name(node)
+        if name in self.ARRAY_NAMES:
+            return name
+        if isinstance(node, ast.Call):
+            func = _terminal_name(node.func)
+            if func == "enumerate" and node.args:
+                inner = _terminal_name(node.args[0])
+                if inner in self.ARRAY_NAMES:
+                    return inner
+            if func == "range" and len(node.args) == 1:
+                arg = node.args[0]
+                # range(len(x)) / range(x.shape[0])
+                if (isinstance(arg, ast.Call)
+                        and _terminal_name(arg.func) == "len" and arg.args):
+                    inner = _terminal_name(arg.args[0])
+                    if inner in self.ARRAY_NAMES:
+                        return inner
+                # range(x.shape[0]) is per row; range(x.shape[1]) walks
+                # the (few) dimensions and is fine.
+                if (isinstance(arg, ast.Subscript)
+                        and isinstance(arg.value, ast.Attribute)
+                        and arg.value.attr == "shape"
+                        and isinstance(arg.slice, ast.Constant)
+                        and arg.slice.value == 0):
+                    inner = _terminal_name(arg.value.value)
+                    if inner in self.ARRAY_NAMES:
+                        return inner
+        return None
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.path.startswith(self.HOT_DIRS):
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, self._LOOPS):
+                continue
+            iters = [node.iter] if isinstance(node, (ast.For, ast.AsyncFor)) \
+                else [gen.iter for gen in node.generators]
+            for it in iters:
+                name = self._array_name(it)
+                if name is not None:
+                    yield self.finding(
+                        ctx, it,
+                        f"per-element Python loop over array '{name}' in a "
+                        "hot-path module; use the vectorised backend "
+                        "kernels (repro.core.backend) instead")
+
+
 #: Rule registry, in ID order.
 ALL_RULES: "tuple[Rule, ...]" = (
     UnseededRandomnessRule(),
@@ -502,4 +582,5 @@ ALL_RULES: "tuple[Rule, ...]" = (
     BatchedScalarLoopRule(),
     BarePrintRule(),
     UndeclaredTraceEventRule(),
+    PerElementHotLoopRule(),
 )
