@@ -50,6 +50,7 @@ from repro.core.kernels import EPANECHNIKOV, Kernel
 __all__ = ["KernelDensityEstimator", "merge_estimators"]
 
 
+# repro-lint: shard-state
 class KernelDensityEstimator:
     """Non-parametric density model of a sliding window of sensor readings.
 

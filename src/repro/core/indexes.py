@@ -34,6 +34,7 @@ __all__ = ["SortedSampleIndex", "SortedWindowIndex1D", "GridCountIndex",
            "WindowedNeighborIndex"]
 
 
+# repro-lint: shard-state
 class SortedSampleIndex:
     """Per-dimension sorted views of a fixed d-dimensional sample.
 

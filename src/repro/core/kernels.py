@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import abc
 import math
+from types import MappingProxyType
 
 import numpy as np
 from scipy.special import ndtr
@@ -119,7 +120,9 @@ class GaussianKernel(Kernel):
 EPANECHNIKOV = EpanechnikovKernel()
 GAUSSIAN = GaussianKernel()
 
-_KERNELS = {k.name: k for k in (EPANECHNIKOV, GAUSSIAN)}
+#: Read-only name -> shared instance view; immutable so shard workers
+#: can never diverge through it (RL009).
+_KERNELS = MappingProxyType({k.name: k for k in (EPANECHNIKOV, GAUSSIAN)})
 
 
 def kernel_by_name(name: str) -> Kernel:

@@ -37,6 +37,7 @@ DEFAULT_MODEL_REFRESH = 16
 DEFAULT_BANDWIDTH_TOL = 0.05
 
 
+# repro-lint: shard-state
 class StreamModelState:
     """Chain sample + variance sketches + cached kernel model for one node.
 
@@ -237,6 +238,7 @@ class StreamModelState:
         return self._sample.memory_words() + self._sketch.memory_words()
 
 
+# repro-lint: shard-state
 class ChildStalenessTracker:
     """Last-heard bookkeeping for a parent's direct children.
 

@@ -50,6 +50,7 @@ from repro.detectors._state import StreamModelState
 __all__ = ["OnlineOutlierDetector"]
 
 
+# repro-lint: shard-state
 class OnlineOutlierDetector:
     """Online outlier detection for one sensor stream.
 

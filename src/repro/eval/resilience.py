@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import platform
+from types import MappingProxyType
 from pathlib import Path
 
 import numpy as np
@@ -51,7 +52,7 @@ DEFAULT_OUTPUT = "BENCH_resilience.json"
 
 #: Dataset per algorithm: the one whose ground truth exercises each
 #: detector at benchmark scale (matching the accuracy-test suites).
-_DATASETS = {"d3": "synthetic", "mgdd": "plateau"}
+_DATASETS = MappingProxyType({"d3": "synthetic", "mgdd": "plateau"})
 
 
 def run_resilience_cell(*, algorithm: str, loss_rate: float,

@@ -50,6 +50,7 @@ horizon, or force a model broadcast when a node goes unhealthy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Callable, Mapping
 
 import numpy as np
@@ -66,7 +67,7 @@ __all__ = ["HealthThresholds", "ModelHealth", "HealthMonitor"]
 #: Score deduction per violated SLO; the score is ``1 - sum(penalties)``
 #: clamped to ``[0, 1]``.  Bandwidth collapse dominates because the
 #: model is not merely stale but structurally degenerate.
-PENALTIES: "dict[str, float]" = {
+PENALTIES: "Mapping[str, float]" = MappingProxyType({
     "bandwidth-collapse": 0.40,
     "drift": 0.30,
     "sample-stale": 0.20,
@@ -75,9 +76,10 @@ PENALTIES: "dict[str, float]" = {
     "sample-underfull": 0.10,
     "eviction-rate": 0.10,
     "codec-error": 0.10,
-}
+})
 
 
+# repro-lint: shard-state
 @dataclass(frozen=True)
 class HealthThresholds:
     """SLO knobs: when does a signal count as a violation.
@@ -126,6 +128,7 @@ class HealthThresholds:
                 f"got {self.max_staleness_ratio!r}")
 
 
+# repro-lint: shard-state
 @dataclass(frozen=True)
 class ModelHealth:
     """One node's health report at one check."""

@@ -13,6 +13,7 @@ emitted event through :func:`validate_event`.
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import Mapping
 
 __all__ = ["EVENT_FIELDS", "EVENT_KINDS", "SPAN_NAMES",
@@ -30,7 +31,7 @@ _BOOL = "bool"
 
 #: event kind -> {required field: type tag}.  Common fields are checked
 #: separately and omitted here.
-EVENT_FIELDS: "dict[str, dict[str, str]]" = {
+EVENT_FIELDS: "Mapping[str, Mapping[str, str]]" = MappingProxyType({
     # span structure
     "span_open": {"id": _INT, "name": _STR, "parent": _OPT_INT},
     "span_close": {"id": _INT},
@@ -66,7 +67,7 @@ EVENT_FIELDS: "dict[str, dict[str, str]]" = {
     "health.drift": {"node": _INT, "tick": _INT, "l1": _FLOAT,
                      "linf": _FLOAT},
     "health.slo_violation": {"node": _INT, "tick": _INT, "rule": _STR},
-}
+})
 
 EVENT_KINDS = frozenset(EVENT_FIELDS)
 

@@ -56,6 +56,7 @@ def _merge(a: _Bucket, b: _Bucket) -> _Bucket:
     return _Bucket(max(a.newest_ts, b.newest_ts), n, mean, m2, m3)
 
 
+# repro-lint: shard-state
 class EHMomentsSketch:
     """Approximate windowed mean / variance / skewness of a scalar stream.
 

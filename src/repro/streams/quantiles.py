@@ -36,6 +36,7 @@ class _Tuple:
     delta: int    # uncertainty of the rank
 
 
+# repro-lint: shard-state
 class GKQuantileSummary:
     """An epsilon-approximate quantile summary of an unbounded stream."""
 

@@ -59,6 +59,7 @@ class _Chain:
     successor_ts: int = -1
 
 
+# repro-lint: shard-state
 class ChainSample:
     """A uniform sample of a sliding window, maintained by chain sampling.
 
@@ -416,6 +417,7 @@ class ChainSample:
         return stored * (words_per_value + 1) + self._sample_size
 
 
+# repro-lint: shard-state
 class ReservoirSample:
     """Classic reservoir sampling over the whole stream (no expiry).
 

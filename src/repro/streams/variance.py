@@ -100,6 +100,7 @@ def _merge(a: _Bucket, b: _Bucket) -> _Bucket:
     return _Bucket(max(a.newest_ts, b.newest_ts), n, mean, m2)
 
 
+# repro-lint: shard-state
 class EHVarianceSketch:
     """Approximate variance of the last ``window_size`` scalar values.
 
@@ -360,6 +361,7 @@ class EHVarianceSketch:
         return math.sqrt(max(self.variance(), 0.0))
 
 
+# repro-lint: shard-state
 class MultiDimVarianceSketch:
     """Per-dimension variance sketches for d-dimensional streams.
 
@@ -433,6 +435,7 @@ class MultiDimVarianceSketch:
         return sum(s.max_memory_words() for s in self._sketches)
 
 
+# repro-lint: shard-state
 class ExactWindowedVariance:
     """Exact windowed variance by retaining the window (reference only)."""
 

@@ -18,6 +18,7 @@ from repro._validation import require_positive_int
 __all__ = ["SlidingWindow"]
 
 
+# repro-lint: shard-state
 class SlidingWindow:
     """A fixed-capacity window of d-dimensional values with O(1) append.
 

@@ -1,0 +1,4 @@
+"""Deliberately unparsable: the engine must abort, not skip this file."""
+
+def broken(:
+    return 1

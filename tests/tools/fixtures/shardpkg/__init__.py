@@ -1,0 +1,8 @@
+"""Known-bad / known-clean fixture package for the shard-safety passes.
+
+Each module seeds exactly the violations its name says (asserted by
+line number in ``tests/tools/test_shard_analysis.py``); ``clean.py``
+must stay finding-free.  The ``fixtures`` directory is skipped when a
+parent tree is scanned, so these deliberate violations never trip the
+repository clean-tree gate.
+"""

@@ -1,0 +1,15 @@
+"""Known-bad for RL009: mutable module-level global state."""
+
+from __future__ import annotations
+
+REGISTRY = {"d3": 1}
+
+_SEEN = set()
+
+_next_id = 0
+
+
+def take() -> int:
+    global _next_id
+    _next_id += 1
+    return _next_id

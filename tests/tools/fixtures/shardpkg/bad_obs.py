@@ -1,0 +1,18 @@
+"""Known-bad for RL012: obs mutation on the instrumentation-off path."""
+
+from __future__ import annotations
+
+from shardpkg import obs
+
+
+def process(value: float) -> float:
+    obs.emit("sample.evict", value=value)
+    return value * 2.0
+
+
+def _helper(value: float) -> None:
+    obs.metrics().counter("shard_values").inc(value)
+
+
+def run(value: float) -> None:
+    _helper(value)

@@ -1,0 +1,26 @@
+"""Known-bad for RL011: an unseeded Generator threaded through a helper.
+
+``np.random.Generator(np.random.PCG64())`` draws its seed from OS
+entropy but is invisible to the per-call-site RL001; only the
+interprocedural taint pass can connect it to the shard-state
+constructor two hops away.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+# repro-lint: shard-state
+class RngState:
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+
+def _build(rng: np.random.Generator) -> RngState:
+    return RngState(rng)
+
+
+def entry() -> RngState:
+    rng = np.random.Generator(np.random.PCG64())
+    return _build(rng)

@@ -1,0 +1,24 @@
+"""Known-bad for RL010: non-portable fields inside shard-state."""
+
+from __future__ import annotations
+
+import threading
+
+from shardpkg import obs
+
+
+class _Inner:
+    """Not itself marked -- the unsafety must be found transitively."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+
+# repro-lint: shard-state
+class BadState:
+    def __init__(self, path: str) -> None:
+        self._lock = threading.Lock()
+        self._sink = open(path, "w")
+        self._hook = lambda x: x
+        self._tracer = obs.tracer()
+        self._inner = _Inner()

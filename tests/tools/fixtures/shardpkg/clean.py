@@ -1,0 +1,32 @@
+"""Known-clean: every shard-safety pass must stay silent here."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from shardpkg import obs
+
+WINDOW_SIZES = (8, 16, 32)
+
+
+# repro-lint: shard-state
+class CleanState:
+    """Picklable per-shard state with a properly threaded rng."""
+
+    def __init__(self, size: int, rng: np.random.Generator) -> None:
+        self._size = size
+        self._rng = rng
+        self._values: "list[float]" = []
+
+    def offer(self, value: float) -> None:
+        self._values.append(value)
+        if obs.ACTIVE:
+            self._note(value)
+
+    def _note(self, value: float) -> None:
+        obs.emit("sample.evict", value=value)
+
+
+def build_clean(seed: int) -> CleanState:
+    rng = np.random.default_rng(seed)
+    return CleanState(8, rng)

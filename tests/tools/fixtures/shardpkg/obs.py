@@ -1,0 +1,28 @@
+"""Stand-in instrumentation module (mirrors the repro.obs surface).
+
+Only the names the analyzer keys on matter; bodies are inert.  Modules
+named ``obs`` are exempt from RL012 (they ARE the instrumentation), so
+nothing here is ever flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+ACTIVE = False
+
+
+def emit(kind: str, **fields: Any) -> None:
+    del kind, fields
+
+
+def tracer() -> Any:
+    return None
+
+
+def metrics() -> Any:
+    return None
+
+
+def enabled() -> bool:
+    return ACTIVE

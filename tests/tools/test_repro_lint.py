@@ -3,12 +3,26 @@ stay quiet when the pattern is suppressed or legitimately absent."""
 
 from __future__ import annotations
 
+import json
 import textwrap
 from pathlib import Path
 
-from tools.repro_lint import lint_paths, lint_source, main
+import pytest
+
+from tools.repro_lint import (
+    LintFatalError,
+    analyze_paths,
+    apply_baseline,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    main,
+)
+from tools.sarif_validate import validate_json_report, validate_sarif
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "tools" / "repro_lint" / "baseline.json"
+BROKEN_FIXTURE = Path(__file__).parent / "fixtures" / "broken"
 
 
 def rules_of(findings):
@@ -497,8 +511,10 @@ class TestEngine:
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005",
-                        "RL006", "RL007", "RL008"):
+                        "RL006", "RL007", "RL008", "RL009", "RL010",
+                        "RL011", "RL012"):
             assert rule_id in out
+        assert "project" in out
 
     def test_cli_exit_codes(self, tmp_path, capsys):
         clean = tmp_path / "clean.py"
@@ -509,10 +525,181 @@ class TestEngine:
         assert main([str(dirty), "--root", str(tmp_path)]) == 1
         assert "RL001" in capsys.readouterr().out
 
+    def test_unparsable_file_is_fatal_not_skipped(self):
+        """Satellite regression: a syntax error aborts the whole run
+        (exit 2, file and line named) instead of silently dropping the
+        file from analysis."""
+        with pytest.raises(LintFatalError, match=r"bad_syntax\.py:3"):
+            lint_paths([BROKEN_FIXTURE], REPO_ROOT)
+        assert main([str(BROKEN_FIXTURE), "--root", str(REPO_ROOT)]) == 2
+
+    def test_unreadable_path_does_not_crash_discovery(self, tmp_path):
+        missing = tmp_path / "not_there"
+        assert lint_paths([missing], tmp_path) == []
+
+
+class TestSuppressionAccounting:
+    def test_unused_line_suppression_reported(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1  # repro-lint: disable=RL001\n")
+        result = analyze_paths([target], tmp_path)
+        assert result.unused_suppressions == [("mod.py", 1, "RL001")]
+
+    def test_used_suppression_not_reported(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # repro-lint: disable=RL001\n")
+        result = analyze_paths([target], tmp_path)
+        assert result.findings == []
+        assert result.unused_suppressions == []
+        assert [f.rule for f in result.suppressed] == ["RL001"]
+
+    def test_unused_file_level_suppression_reported(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("# repro-lint: disable-file=RL006\nx = 1\n")
+        result = analyze_paths([target], tmp_path)
+        assert result.unused_suppressions == [("mod.py", 1, "RL006")]
+
+    def test_warn_flag_fails_the_run(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1  # repro-lint: disable=RL001\n")
+        assert main([str(target), "--root", str(tmp_path)]) == 0
+        assert main([str(target), "--root", str(tmp_path),
+                     "--warn-unused-suppressions"]) == 1
+        assert "unused suppression" in capsys.readouterr().err
+
+
+class TestBaselineRatchet:
+    DIRTY = "import numpy as np\nrng = np.random.default_rng()\n"
+
+    def _baseline(self, tmp_path, entries):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1, "entries": entries}))
+        return path
+
+    def test_baselined_finding_does_not_fail(self, tmp_path):
+        (tmp_path / "mod.py").write_text(self.DIRTY)
+        baseline = self._baseline(tmp_path, [{
+            "rule": "RL001", "path": "mod.py", "symbol": None,
+            "justification": "known pre-existing finding"}])
+        assert main([str(tmp_path / "mod.py"), "--root", str(tmp_path),
+                     "--baseline", str(baseline)]) == 0
+
+    def test_new_finding_still_fails(self, tmp_path):
+        (tmp_path / "mod.py").write_text(self.DIRTY)
+        baseline = self._baseline(tmp_path, [])
+        assert main([str(tmp_path / "mod.py"), "--root", str(tmp_path),
+                     "--baseline", str(baseline)]) == 1
+
+    def test_stale_entry_fails_the_ratchet(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        baseline = self._baseline(tmp_path, [{
+            "rule": "RL001", "path": "mod.py", "symbol": None,
+            "justification": "the finding this excused is gone"}])
+        assert main([str(tmp_path / "mod.py"), "--root", str(tmp_path),
+                     "--baseline", str(baseline)]) == 1
+        assert "stale" in capsys.readouterr().out
+
+    def test_unjustified_entry_is_fatal(self, tmp_path):
+        (tmp_path / "mod.py").write_text(self.DIRTY)
+        baseline = self._baseline(tmp_path, [{
+            "rule": "RL001", "path": "mod.py", "symbol": None,
+            "justification": ""}])
+        assert main([str(tmp_path / "mod.py"), "--root", str(tmp_path),
+                     "--baseline", str(baseline)]) == 2
+
+    def test_update_baseline_stamps_todo(self, tmp_path):
+        (tmp_path / "mod.py").write_text(self.DIRTY)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(tmp_path / "mod.py"), "--root", str(tmp_path),
+                     "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        written = json.loads(baseline.read_text())
+        assert written["entries"][0]["rule"] == "RL001"
+        assert written["entries"][0]["justification"].startswith("TODO")
+        # The TODO placeholder is rejected until a human justifies it.
+        assert main([str(tmp_path / "mod.py"), "--root", str(tmp_path),
+                     "--baseline", str(baseline)]) == 2
+
+    def test_update_preserves_existing_justifications(self, tmp_path):
+        (tmp_path / "mod.py").write_text(self.DIRTY)
+        baseline = self._baseline(tmp_path, [{
+            "rule": "RL001", "path": "mod.py", "symbol": None,
+            "justification": "a human wrote this sentence"}])
+        assert main([str(tmp_path / "mod.py"), "--root", str(tmp_path),
+                     "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        written = json.loads(baseline.read_text())
+        assert written["entries"][0]["justification"] == \
+            "a human wrote this sentence"
+
+
+class TestMachineFormats:
+    DIRTY = "import numpy as np\nrng = np.random.default_rng()\n"
+
+    def test_json_report_validates(self, tmp_path):
+        (tmp_path / "mod.py").write_text(self.DIRTY)
+        out = tmp_path / "report.json"
+        assert main([str(tmp_path / "mod.py"), "--root", str(tmp_path),
+                     "--format", "json", "--output", str(out)]) == 1
+        doc = json.loads(out.read_text())
+        assert validate_json_report(doc) == []
+        assert doc["summary"]["new"] == 1
+        assert doc["findings"][0]["rule"] == "RL001"
+
+    def test_sarif_report_validates(self, tmp_path):
+        (tmp_path / "mod.py").write_text(self.DIRTY)
+        out = tmp_path / "report.sarif"
+        assert main([str(tmp_path / "mod.py"), "--root", str(tmp_path),
+                     "--format", "sarif", "--output", str(out)]) == 1
+        doc = json.loads(out.read_text())
+        assert validate_sarif(doc) == []
+        run = doc["runs"][0]
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]} >= {
+            "RL001", "RL009", "RL010", "RL011", "RL012"}
+        assert run["results"][0]["ruleId"] == "RL001"
+        assert run["results"][0]["baselineState"] == "new"
+
+    def test_sarif_baselined_findings_are_notes(self, tmp_path):
+        (tmp_path / "mod.py").write_text(self.DIRTY)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"version": 1, "entries": [{
+            "rule": "RL001", "path": "mod.py", "symbol": None,
+            "justification": "accepted"}]}))
+        out = tmp_path / "report.sarif"
+        assert main([str(tmp_path / "mod.py"), "--root", str(tmp_path),
+                     "--format", "sarif", "--output", str(out),
+                     "--baseline", str(baseline)]) == 0
+        result = json.loads(out.read_text())["runs"][0]["results"][0]
+        assert result["level"] == "note"
+        assert result["baselineState"] == "unchanged"
+
+    def test_validator_rejects_malformed_sarif(self):
+        assert validate_sarif({"version": "9.9", "runs": []})
+        assert validate_sarif([]) == ["$: document must be a JSON object"]
+
 
 class TestLiveTree:
-    def test_repository_is_lint_clean(self):
-        """The enforced acceptance gate: src, tests and benchmarks are
-        free of findings at all times."""
-        findings = lint_paths(["src", "tests", "benchmarks"], REPO_ROOT)
-        assert findings == [], "\n".join(f.render() for f in findings)
+    def test_repository_is_lint_clean_modulo_baseline(self):
+        """The enforced acceptance gate: src, tests and benchmarks carry
+        no findings beyond the committed, justified baseline -- and the
+        baseline itself carries no stale entries (the ratchet)."""
+        result = analyze_paths(["src", "tests", "benchmarks"], REPO_ROOT)
+        entries = load_baseline(BASELINE)
+        match = apply_baseline(result.findings, entries)
+        assert match.new == [], "\n".join(f.render() for f in match.new)
+        assert match.stale == [], [e.key() for e in match.stale]
+
+    def test_baseline_is_rl009_only_and_justified(self):
+        """RL010-RL012 must be *fixed* in the tree, not baselined; only
+        the by-design process-local RL009 singletons are accepted."""
+        entries = load_baseline(BASELINE)
+        assert entries, "baseline unexpectedly empty"
+        assert {e.rule for e in entries} == {"RL009"}
+        for entry in entries:
+            assert len(entry.justification) > 40, entry.key()
+
+    def test_no_stale_suppressions_in_tree(self):
+        result = analyze_paths(["src", "tests", "benchmarks"], REPO_ROOT)
+        assert result.unused_suppressions == []

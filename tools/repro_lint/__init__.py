@@ -1,39 +1,75 @@
-"""``repro-lint`` -- repository-specific static analysis.
+"""``repro-lint`` -- repository-specific two-phase static analysis.
 
-A small AST-based linter encoding invariants that generic tools cannot
-know about this codebase:
+Phase 1 parses every scanned file once and builds a whole-program index
+of the package roots (module/import graph, class attribute tables, an
+approximate call graph).  Phase 2 runs two kinds of passes:
 
-* determinism (every random stream must be injected or seeded),
-* numeric hygiene (no float equality on probability-like quantities),
-* typing discipline (public ``src/repro`` functions fully annotated),
-* immutability (no mutable defaults, no frozen-instance mutation),
-* batched-API integrity (``*_many`` must not degrade to scalar loops).
+* file rules (RL001-RL008) -- per-module AST conventions: determinism
+  (every random stream injected or seeded), numeric hygiene, typing
+  discipline, immutability, batched-API integrity, obs schema
+  conformance, hot-loop vectorisation;
+* project passes (RL009-RL012) -- interprocedural shard-safety checks
+  that certify the codebase for the multiprocess scale-out engine:
+  no mutable module globals, picklable shard-state classes, seeded RNG
+  flows into shard-state constructors, and a pure instrumentation-off
+  fast path.
 
 Run it over the tree with::
 
-    python -m tools.repro_lint src tests benchmarks
+    python -m tools.repro_lint src tests benchmarks \
+        --baseline tools/repro_lint/baseline.json
 
-Every rule has an ID (``RL001`` .. ``RL005``) and a docstring; a finding
-on a given line can be suppressed with a trailing
-``# repro-lint: disable=RL001`` comment (comma-separate several IDs).
-See ``docs/STATIC_ANALYSIS.md`` for the full rationale of each rule.
+Findings can be suppressed per line with ``# repro-lint: disable=RL001``
+(comma-separate several IDs) or accepted with justification in the
+committed baseline.  See ``docs/STATIC_ANALYSIS.md`` for the full rule
+catalogue and the baseline/ratchet workflow.
 """
 
+from tools.repro_lint.baseline import (
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from tools.repro_lint.engine import (
+    AnalysisResult,
     Finding,
+    LintFatalError,
+    analyze_paths,
     lint_file,
     lint_paths,
     lint_source,
     main,
 )
-from tools.repro_lint.rules import ALL_RULES, Rule
+from tools.repro_lint.index import ProjectIndex, build_index
+from tools.repro_lint.rules import (
+    ALL_RULES,
+    FileRule,
+    ProjectRule,
+    Rule,
+    registered_rules,
+)
 
 __all__ = [
     "ALL_RULES",
+    "AnalysisResult",
+    "BaselineEntry",
+    "BaselineError",
+    "FileRule",
     "Finding",
+    "LintFatalError",
+    "ProjectIndex",
+    "ProjectRule",
     "Rule",
+    "analyze_paths",
+    "apply_baseline",
+    "build_index",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "main",
+    "registered_rules",
+    "write_baseline",
 ]

@@ -1,0 +1,157 @@
+"""Findings baseline: accept the justified past, block the new.
+
+The baseline file (``tools/repro_lint/baseline.json``) records findings
+that predate a pass and are individually justified -- e.g. the obs
+singletons RL009 flags, which are process-local *by design* and
+re-initialised inside each worker.  Matching is a ratchet:
+
+* a finding matching a baseline entry is **baselined** -- reported as
+  informational, never fatal;
+* a finding matching nothing is **new** -- fails the run;
+* a baseline entry matching no finding is **stale** -- also fails the
+  run, so the file can only shrink as the code improves (or be
+  consciously regenerated with ``--update-baseline``).
+
+Entries match on ``(rule, path, symbol)`` -- never on line numbers --
+so unrelated edits to a file do not churn the baseline.  Every entry
+must carry a non-empty ``justification``; ``--update-baseline`` stamps
+new entries with a TODO that the engine itself rejects, forcing a human
+sentence per accepted finding.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from tools.repro_lint.rules import Finding
+
+__all__ = [
+    "BaselineEntry",
+    "BaselineError",
+    "BaselineMatch",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+_VERSION = 1
+
+#: The placeholder ``--update-baseline`` stamps on new entries; the
+#: engine refuses to run with it still present.
+TODO_JUSTIFICATION = "TODO: justify this entry or fix the finding"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or carries unjustified entries."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding."""
+
+    rule: str
+    path: str
+    symbol: "str | None"
+    justification: str
+
+    def key(self) -> "tuple[str, str, str | None]":
+        return (self.rule, self.path, self.symbol)
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of matching findings against a baseline."""
+
+    new: "list[Finding]"
+    baselined: "list[Finding]"
+    stale: "list[BaselineEntry]"
+
+
+def load_baseline(path: "Path | str") -> "list[BaselineEntry]":
+    """Load and validate a baseline file."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("version") != _VERSION:
+        raise BaselineError(
+            f"{path}: expected a JSON object with version == {_VERSION}")
+    entries_raw = raw.get("entries")
+    if not isinstance(entries_raw, list):
+        raise BaselineError(f"{path}: 'entries' must be a list")
+    entries: "list[BaselineEntry]" = []
+    seen: "set[tuple[str, str, str | None]]" = set()
+    for i, item in enumerate(entries_raw):
+        if not isinstance(item, dict):
+            raise BaselineError(f"{path}: entries[{i}] is not an object")
+        try:
+            entry = BaselineEntry(
+                rule=item["rule"], path=item["path"],
+                symbol=item.get("symbol"),
+                justification=item.get("justification", ""))
+        except KeyError as exc:
+            raise BaselineError(
+                f"{path}: entries[{i}] is missing {exc}") from None
+        if not entry.justification.strip():
+            raise BaselineError(
+                f"{path}: entries[{i}] ({entry.rule} {entry.path}) has an "
+                "empty justification; every accepted finding needs a reason")
+        if entry.justification.strip() == TODO_JUSTIFICATION:
+            raise BaselineError(
+                f"{path}: entries[{i}] ({entry.rule} {entry.path}) still "
+                "carries the TODO placeholder; write the justification")
+        if entry.key() in seen:
+            raise BaselineError(
+                f"{path}: duplicate entry {entry.key()}")
+        seen.add(entry.key())
+        entries.append(entry)
+    return entries
+
+
+def apply_baseline(findings: "Sequence[Finding]",
+                   entries: "Sequence[BaselineEntry]") -> BaselineMatch:
+    """Split findings into new/baselined and entries into used/stale."""
+    by_key: "dict[tuple[str, str, str | None], BaselineEntry]" = {
+        e.key(): e for e in entries}
+    used: "set[tuple[str, str, str | None]]" = set()
+    new: "list[Finding]" = []
+    baselined: "list[Finding]" = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.symbol)
+        if key in by_key:
+            used.add(key)
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = [e for e in entries if e.key() not in used]
+    return BaselineMatch(new=new, baselined=baselined, stale=stale)
+
+
+def write_baseline(path: "Path | str", findings: "Iterable[Finding]",
+                   previous: "Sequence[BaselineEntry]" = ()) -> int:
+    """Regenerate the baseline from current findings.
+
+    Justifications of surviving entries are preserved; genuinely new
+    entries get the TODO placeholder (which the loader rejects, so the
+    author must replace it before the next run passes).  Returns the
+    number of entries written.
+    """
+    prior = {e.key(): e.justification for e in previous}
+    entries: "list[dict[str, object]]" = []
+    seen: "set[tuple[str, str, str | None]]" = set()
+    for finding in sorted(set(findings),
+                          key=lambda f: (f.rule, f.path, f.symbol or "")):
+        key = (finding.rule, finding.path, finding.symbol)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append({
+            "rule": finding.rule,
+            "path": finding.path,
+            "symbol": finding.symbol,
+            "justification": prior.get(key, TODO_JUSTIFICATION),
+        })
+    payload = {"version": _VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+    return len(entries)

@@ -1,4 +1,20 @@
-"""Lint driver: file discovery, suppression handling, reporting.
+"""Lint driver: discovery, the two analysis phases, suppressions,
+baselines, and reporting.
+
+Running the analyzer over a set of paths proceeds in phases:
+
+1. **Index** -- every discovered file is parsed exactly once; files
+   under a package root (default ``src/``) additionally feed the
+   whole-program :class:`~tools.repro_lint.index.ProjectIndex`.
+   A file that fails to parse aborts the run with
+   :class:`LintFatalError` (exit code 2) naming the file and line --
+   a broken file must never be silently skipped out of the analysis.
+2. **File passes** -- each :class:`FileRule` checks each parsed module.
+3. **Project passes** -- each :class:`ProjectRule` (RL009-RL012) runs
+   over the index.
+
+Findings from both phases then pass through suppression filtering and,
+in the CLI, baseline matching (see ``baseline.py``).
 
 Suppressions
 ------------
@@ -14,6 +30,13 @@ the file (conventionally at the top)::
 
 Suppressions are per-rule only -- there is deliberately no blanket
 ``disable=all`` -- so every escape hatch names the invariant it waives.
+The engine accounts for every suppression it honours;
+``--warn-unused-suppressions`` turns the stale ones into failures so
+escape hatches cannot outlive the code they excused.
+
+Exit codes: 0 clean (all findings baselined), 1 findings / stale
+baseline entries / unused suppressions, 2 fatal (unparsable input or a
+malformed baseline).
 """
 
 from __future__ import annotations
@@ -24,12 +47,37 @@ import io
 import re
 import sys
 import tokenize
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from tools.repro_lint.rules import ALL_RULES, Finding, LintContext, Rule
+from tools.repro_lint import project_rules as _project_rules  # noqa: F401
+from tools.repro_lint.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from tools.repro_lint.index import ProjectIndex, build_index
+from tools.repro_lint.output import render_json, render_sarif, render_text
+from tools.repro_lint.rules import (
+    FileRule,
+    Finding,
+    LintContext,
+    ProjectRule,
+    Rule,
+    registered_rules,
+)
 
-__all__ = ["lint_file", "lint_paths", "lint_source", "main"]
+__all__ = [
+    "AnalysisResult",
+    "LintFatalError",
+    "analyze_paths",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
 
 _LINE_DISABLE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
 _FILE_DISABLE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Z0-9,\s]+)")
@@ -38,15 +86,50 @@ _FILE_DISABLE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Z0-9,\s]+)")
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "venv",
                         "node_modules", ".mypy_cache", ".ruff_cache"})
 
+#: Deliberately-bad lint fixtures are skipped when a *parent* tree is
+#: scanned (the clean-tree gate must not trip on them) but are linted
+#: normally when named explicitly (the fixture tests do exactly that).
+_FIXTURE_DIR = "fixtures"
+
+
+class LintFatalError(Exception):
+    """The run cannot produce a trustworthy report (unparsable input)."""
+
+
+@dataclass
+class _FileRecord:
+    """One parsed file shared between the analysis phases."""
+
+    rel: str
+    source: str
+    tree: ast.Module
+    #: line -> rule IDs disabled on that line.
+    per_line: "dict[int, frozenset[str]]" = field(default_factory=dict)
+    #: rule ID -> line of the disable-file comment.
+    file_level: "dict[str, int]" = field(default_factory=dict)
+
+
+@dataclass
+class AnalysisResult:
+    """Everything a full run produced, before baseline matching."""
+
+    findings: "list[Finding]"
+    suppressed: "list[Finding]"
+    #: ``(path, line, rule)`` of suppression comments that matched no
+    #: finding -- stale escape hatches.
+    unused_suppressions: "list[tuple[str, int, str]]"
+    index: "ProjectIndex | None" = None
+
 
 def _parse_ids(blob: str) -> "frozenset[str]":
     return frozenset(part.strip() for part in blob.split(",") if part.strip())
 
 
-def _collect_suppressions(source: str) -> "tuple[dict[int, frozenset[str]], frozenset[str]]":
-    """Map line number -> suppressed rule IDs, plus file-level IDs."""
+def _collect_suppressions(
+        source: str) -> "tuple[dict[int, frozenset[str]], dict[str, int]]":
+    """Per-line and file-level suppressions, with their comment lines."""
     per_line: "dict[int, frozenset[str]]" = {}
-    file_level: "frozenset[str]" = frozenset()
+    file_level: "dict[str, int]" = {}
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for tok in tokens:
@@ -59,16 +142,33 @@ def _collect_suppressions(source: str) -> "tuple[dict[int, frozenset[str]], froz
                     match.group(1))
             match = _FILE_DISABLE.search(tok.string)
             if match:
-                file_level = file_level | _parse_ids(match.group(1))
+                for rule_id in _parse_ids(match.group(1)):
+                    file_level.setdefault(rule_id, tok.start[0])
     except tokenize.TokenError:
-        pass   # syntax problems surface as parse errors below
+        pass   # syntax problems surface as parse errors elsewhere
     return per_line, file_level
+
+
+def _file_rules(rules: "Sequence[Rule]") -> "tuple[FileRule, ...]":
+    return tuple(r for r in rules if isinstance(r, FileRule))
+
+
+def _project_rule_set(rules: "Sequence[Rule]") -> "tuple[ProjectRule, ...]":
+    return tuple(r for r in rules if isinstance(r, ProjectRule))
 
 
 def lint_source(source: str, path: str = "<memory>", *,
                 rules: "Sequence[Rule] | None" = None) -> "list[Finding]":
-    """Lint a source string as if it lived at ``path`` (repo-relative)."""
-    active_rules = ALL_RULES if rules is None else tuple(rules)
+    """Run the file passes over a source string as if at ``path``.
+
+    This is the in-memory single-file API (used heavily by the rule
+    tests): project passes do not run, and a syntax error is returned
+    as an RL000 finding rather than raised, so callers can lint
+    arbitrary snippets without try/except.  The path-based entry points
+    (:func:`analyze_paths` and the CLI) treat syntax errors as fatal.
+    """
+    active_rules = _file_rules(registered_rules() if rules is None
+                               else tuple(rules))
     ctx = LintContext(path=Path(path).as_posix())
     try:
         tree = ast.parse(source, filename=path)
@@ -95,7 +195,7 @@ def lint_source(source: str, path: str = "<memory>", *,
 
 def lint_file(path: "Path | str", root: "Path | str | None" = None,
               *, rules: "Sequence[Rule] | None" = None) -> "list[Finding]":
-    """Lint one file; paths in findings are relative to ``root``."""
+    """Run the file passes over one file; paths relative to ``root``."""
     file_path = Path(path)
     base = Path(root) if root is not None else Path.cwd()
     try:
@@ -113,30 +213,135 @@ def _discover(paths: "Iterable[Path | str]", root: Path) -> "list[Path]":
         if not path.is_absolute():
             path = root / path
         if path.is_dir():
+            inside_fixtures = _FIXTURE_DIR in path.parts
             for candidate in sorted(path.rglob("*.py")):
-                if not _SKIP_DIRS.intersection(candidate.parts):
-                    files.append(candidate)
+                if _SKIP_DIRS.intersection(candidate.parts):
+                    continue
+                rel_parts = candidate.relative_to(path).parts
+                if not inside_fixtures and _FIXTURE_DIR in rel_parts:
+                    continue
+                files.append(candidate)
         elif path.suffix == ".py":
             files.append(path)
     return files
 
 
+def _load_records(paths: "Iterable[Path | str]",
+                  root: Path) -> "list[_FileRecord]":
+    records: "list[_FileRecord]" = []
+    seen: "set[str]" = set()
+    for file_path in _discover(paths, root):
+        try:
+            rel = file_path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = file_path.as_posix()
+        if rel in seen:
+            continue
+        seen.add(rel)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintFatalError(f"{rel}: unreadable: {exc}") from exc
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            raise LintFatalError(
+                f"{rel}:{exc.lineno or 1}: syntax error: {exc.msg}") from exc
+        per_line, file_level = _collect_suppressions(source)
+        records.append(_FileRecord(rel=rel, source=source, tree=tree,
+                                   per_line=per_line, file_level=file_level))
+    return records
+
+
+def analyze_paths(paths: "Iterable[Path | str]",
+                  root: "Path | str | None" = None, *,
+                  rules: "Sequence[Rule] | None" = None,
+                  project: bool = True,
+                  package_roots: "Sequence[str]" = ("src",),
+                  ) -> AnalysisResult:
+    """Run both analysis phases over every ``.py`` file under ``paths``.
+
+    Files under any of ``package_roots`` feed the whole-program index
+    the project passes (RL009-RL012) run over; everything discovered
+    gets the file passes.  ``project=False`` skips phase 1 and the
+    project passes entirely (the fast changed-files CI leg).  Raises
+    :class:`LintFatalError` on unparsable input.
+    """
+    base = Path(root) if root is not None else Path.cwd()
+    active_rules = registered_rules() if rules is None else tuple(rules)
+    records = _load_records(paths, base)
+
+    raw: "list[Finding]" = []
+    for record in records:
+        ctx = LintContext(path=record.rel)
+        for rule in _file_rules(active_rules):
+            raw.extend(rule.check(record.tree, ctx))
+
+    index: "ProjectIndex | None" = None
+    if project:
+        def _in_package(rel: str) -> bool:
+            return any(not r or rel == r or rel.startswith(f"{r.rstrip('/')}/")
+                       for r in package_roots)
+
+        indexed = [(r.rel, r.source, r.tree) for r in records
+                   if _in_package(r.rel)]
+        index = build_index(indexed, package_roots=tuple(package_roots))
+        for project_rule in _project_rule_set(active_rules):
+            raw.extend(project_rule.check_project(index))
+
+    by_rel = {record.rel: record for record in records}
+    findings: "list[Finding]" = []
+    suppressed: "list[Finding]" = []
+    used_line: "set[tuple[str, int, str]]" = set()
+    used_file: "set[tuple[str, str]]" = set()
+    seen: "set[tuple[str, int, int, str, str]]" = set()
+    for finding in raw:
+        key = (finding.path, finding.line, finding.col, finding.rule,
+               finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        record = by_rel.get(finding.path)
+        if record is not None:
+            if finding.rule in record.file_level:
+                used_file.add((finding.path, finding.rule))
+                suppressed.append(finding)
+                continue
+            if finding.rule in record.per_line.get(finding.line, frozenset()):
+                used_line.add((finding.path, finding.line, finding.rule))
+                suppressed.append(finding)
+                continue
+        findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    unused: "list[tuple[str, int, str]]" = []
+    for record in records:
+        for line, rule_ids in sorted(record.per_line.items()):
+            for rule_id in sorted(rule_ids):
+                if (record.rel, line, rule_id) not in used_line:
+                    unused.append((record.rel, line, rule_id))
+        for rule_id, line in sorted(record.file_level.items()):
+            if (record.rel, rule_id) not in used_file:
+                unused.append((record.rel, line, rule_id))
+    return AnalysisResult(findings=findings, suppressed=suppressed,
+                          unused_suppressions=unused, index=index)
+
+
 def lint_paths(paths: "Iterable[Path | str]",
                root: "Path | str | None" = None,
                *, rules: "Sequence[Rule] | None" = None) -> "list[Finding]":
-    """Lint every ``.py`` file under the given files/directories."""
-    base = Path(root) if root is not None else Path.cwd()
-    findings: "list[Finding]" = []
-    for file_path in _discover(paths, base):
-        findings.extend(lint_file(file_path, base, rules=rules))
-    return findings
+    """Both analysis phases over ``paths``; returns unsuppressed findings.
+
+    Raises :class:`LintFatalError` on unparsable input (the silent-skip
+    behaviour this API once had let broken files escape analysis).
+    """
+    return analyze_paths(paths, root, rules=rules).findings
 
 
 def _list_rules() -> str:
     lines = []
-    for rule in ALL_RULES:
-        doc = (rule.__doc__ or "").strip().splitlines()[0]
-        lines.append(f"{rule.id}  {doc}")
+    for rule in registered_rules():
+        lines.append(f"{rule.id}  [{rule.phase:>7}]  {rule.summary()}")
     return "\n".join(lines)
 
 
@@ -144,22 +349,103 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="Repository-specific AST lint (rules RL001-RL007).")
-    parser.add_argument("paths", nargs="*", default=["src", "tests", "benchmarks"],
+        description="Repository-specific two-phase static analysis "
+                    "(file rules RL001-RL008, project passes RL009-RL012).")
+    parser.add_argument("paths", nargs="*",
+                        default=["src", "tests", "benchmarks"],
                         help="files or directories to lint "
                              "(default: src tests benchmarks)")
     parser.add_argument("--root", default=".",
                         help="repository root for relative paths")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="write the report to FILE instead of stdout")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="accepted-findings file; matching findings "
+                             "report but do not fail, stale entries do")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="regenerate --baseline from current findings "
+                             "(keeps existing justifications)")
+    parser.add_argument("--warn-unused-suppressions", action="store_true",
+                        help="fail when a repro-lint: disable comment no "
+                             "longer suppresses anything")
+    parser.add_argument("--no-project", action="store_true",
+                        help="skip phase 1 and the project passes "
+                             "(fast single-file mode for changed-files CI)")
+    parser.add_argument("--package-root", action="append", default=None,
+                        metavar="DIR",
+                        help="package root(s) fed to the project index "
+                             "(default: src)")
     args = parser.parse_args(argv)
     if args.list_rules:
         print(_list_rules())
         return 0
-    findings = lint_paths(args.paths, args.root)
-    for finding in findings:
-        print(finding.render())
-    if findings:
-        print(f"repro-lint: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    return 0
+
+    package_roots = tuple(args.package_root) if args.package_root else ("src",)
+    try:
+        result = analyze_paths(args.paths, args.root,
+                               project=not args.no_project,
+                               package_roots=package_roots)
+    except LintFatalError as exc:
+        print(f"repro-lint: fatal: {exc}", file=sys.stderr)
+        return 2
+
+    entries = []
+    if args.baseline and not args.update_baseline:
+        try:
+            entries = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"repro-lint: fatal: {exc}", file=sys.stderr)
+            return 2
+    if args.update_baseline:
+        if not args.baseline:
+            print("repro-lint: --update-baseline requires --baseline",
+                  file=sys.stderr)
+            return 2
+        previous = []
+        try:
+            previous = load_baseline(args.baseline)
+        except (OSError, ValueError):
+            pass       # regenerating a missing/broken baseline is the point
+        count = write_baseline(args.baseline, result.findings, previous)
+        print(f"repro-lint: wrote {count} baseline entr"
+              f"{'y' if count == 1 else 'ies'} to {args.baseline}",
+              file=sys.stderr)
+        return 0
+
+    match = apply_baseline(result.findings, entries)
+    if args.format == "json":
+        report = render_json(match.new, match.baselined, match.stale)
+    elif args.format == "sarif":
+        report = render_sarif(match.new, match.baselined, registered_rules())
+    else:
+        report = render_text(match.new, match.baselined, match.stale)
+    if args.output:
+        Path(args.output).write_text(report + ("\n" if report else ""),
+                                     encoding="utf-8")
+    elif report:
+        print(report)
+
+    failed = bool(match.new or match.stale)
+    if args.warn_unused_suppressions:
+        for path, line, rule_id in result.unused_suppressions:
+            print(f"{path}:{line}: unused suppression for {rule_id}; "
+                  "remove the stale comment", file=sys.stderr)
+        failed = failed or bool(result.unused_suppressions)
+
+    parts = [f"{len(match.new)} new finding(s)"]
+    if match.baselined:
+        parts.append(f"{len(match.baselined)} baselined")
+    if match.stale:
+        parts.append(f"{len(match.stale)} stale baseline entr"
+                     f"{'y' if len(match.stale) == 1 else 'ies'}")
+    if args.warn_unused_suppressions and result.unused_suppressions:
+        parts.append(f"{len(result.unused_suppressions)} unused "
+                     "suppression(s)")
+    if failed or match.baselined:
+        print(f"repro-lint: {', '.join(parts)}", file=sys.stderr)
+    return 1 if failed else 0

@@ -1,0 +1,611 @@
+"""Phase 1 of the two-phase analyzer: the whole-program index.
+
+``repro-lint`` historically ran independent single-file AST rules.  The
+shard-safety passes (RL009-RL012, see ``project_rules.py``) need facts
+that no single file contains: which class a constructor call resolves
+to, which functions call which, which ``__init__`` assigns what to
+``self``.  This module builds that project-wide picture once, before
+any interprocedural pass runs:
+
+* a **module table** (dotted module name -> parsed tree, import map,
+  module-level globals),
+* **class tables** (attribute assignments collected from every method,
+  dataclass fields, frozen-ness, the ``# repro-lint: shard-state``
+  marker),
+* an approximate **call graph** (call sites resolved through the import
+  map and ``self`` receivers, indexed by caller, by callee, and by the
+  terminal attribute name for unresolved receivers).
+
+Everything is best-effort static resolution -- no repository code is
+ever imported or executed.  Unresolvable names stay unresolved rather
+than guessed, and the passes treat "unknown" conservatively in the
+direction that avoids false findings (documented per pass).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "GlobalBinding",
+    "ModuleInfo",
+    "ProjectIndex",
+    "build_index",
+    "module_name_for",
+]
+
+#: Marks a class whose instances cross worker-process boundaries under
+#: the scale-out engine (ROADMAP: sharded multiprocess detectors); the
+#: RL010/RL011 contracts apply to it and everything it transitively
+#: stores.  Put the comment on the ``class`` line, the line above it,
+#: or the line above its first decorator.
+SHARD_STATE_MARKER = re.compile(r"#\s*repro-lint:\s*shard-state\b")
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression, resolved as far as static analysis allows."""
+
+    #: Qualified name of the enclosing function, or ``<module>``-suffixed
+    #: module name for module-level calls.
+    caller: str
+    #: Module the call appears in (dotted name).
+    module: str
+    #: The call expression itself.
+    node: ast.Call
+    #: Fully-resolved dotted target (``repro.streams.sampling.ChainSample``)
+    #: or None when the receiver cannot be resolved statically.
+    callee: "str | None"
+    #: Last path component of the call target (``offer`` for
+    #: ``self._sample.offer``); always available when the target is a
+    #: name or attribute chain.
+    terminal: "str | None"
+    #: Whether the call site is lexically guarded by an
+    #: ``if <obs/sanitize>.ACTIVE`` test (used by RL012).
+    guarded: bool = False
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    module: str
+    name: str
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    #: Qualified name of the owning class, or None for module functions.
+    cls: "str | None" = None
+
+    @property
+    def params(self) -> "list[ast.arg]":
+        """Positional parameters, ``self``/``cls`` excluded for methods."""
+        args = self.node.args
+        params = [*args.posonlyargs, *args.args]
+        if self.cls is not None and params and not any(
+                isinstance(dec, ast.Name) and dec.id == "staticmethod"
+                for dec in self.node.decorator_list):
+            params = params[1:]
+        return params
+
+
+@dataclass
+class AttributeSource:
+    """One ``self.<attr> = <expr>`` assignment (or dataclass field)."""
+
+    attr: str
+    value: "ast.expr | None"
+    #: Annotation expression when present (dataclass fields, AnnAssign).
+    annotation: "ast.expr | None"
+    lineno: int
+    #: Method the assignment occurs in (None for class-level fields).
+    method: "str | None"
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus the facts the passes need."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: "list[str]" = field(default_factory=list)
+    methods: "dict[str, FunctionInfo]" = field(default_factory=dict)
+    attributes: "list[AttributeSource]" = field(default_factory=list)
+    shard_state: bool = False
+    is_dataclass: bool = False
+    is_frozen: bool = False
+
+    @property
+    def init(self) -> "FunctionInfo | None":
+        """The ``__init__`` method, when defined in this class."""
+        return self.methods.get("__init__")
+
+
+@dataclass
+class GlobalBinding:
+    """One module-level name binding."""
+
+    name: str
+    node: ast.stmt
+    value: "ast.expr | None"
+
+
+@dataclass
+class ModuleInfo:
+    """One indexed module."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    source: str
+    #: local name -> fully qualified target ("np" -> "numpy",
+    #: "obs" -> "repro.obs", "ChainSample" -> "repro...ChainSample").
+    imports: "dict[str, str]" = field(default_factory=dict)
+    globals: "list[GlobalBinding]" = field(default_factory=list)
+    #: names rebound via ``global X`` inside functions: name -> stmt nodes.
+    global_rebinds: "dict[str, list[ast.Global]]" = field(default_factory=dict)
+    classes: "dict[str, ClassInfo]" = field(default_factory=dict)
+    functions: "dict[str, FunctionInfo]" = field(default_factory=dict)
+
+
+class ProjectIndex:
+    """The whole-program facts phase 2 runs over."""
+
+    def __init__(self) -> None:
+        self.modules: "dict[str, ModuleInfo]" = {}
+        #: repo-relative path -> module info (for per-path lookups).
+        self.by_path: "dict[str, ModuleInfo]" = {}
+        self.classes: "dict[str, ClassInfo]" = {}
+        self.functions: "dict[str, FunctionInfo]" = {}
+        self.calls_by_caller: "dict[str, list[CallSite]]" = {}
+        self.callers_of: "dict[str, list[CallSite]]" = {}
+        self.calls_by_terminal: "dict[str, list[CallSite]]" = {}
+
+    # -- name resolution ------------------------------------------------
+
+    def resolve(self, module: ModuleInfo, dotted: str) -> str:
+        """Resolve a dotted name as seen from ``module`` to a global one."""
+        head, _, rest = dotted.partition(".")
+        if head in module.imports:
+            target = module.imports[head]
+            return f"{target}.{rest}" if rest else target
+        if head in module.classes or head in module.functions:
+            return f"{module.name}.{dotted}"
+        return dotted
+
+    def class_named(self, qualname: str) -> "ClassInfo | None":
+        """Look up a class by fully qualified name."""
+        return self.classes.get(qualname)
+
+    def shard_state_classes(self) -> "list[ClassInfo]":
+        """All classes carrying the shard-state marker, sorted by name."""
+        return sorted((c for c in self.classes.values() if c.shard_state),
+                      key=lambda c: c.qualname)
+
+    def call_sites_of(self, func: FunctionInfo) -> "list[CallSite]":
+        """Call sites targeting ``func``, by resolution or terminal name.
+
+        Resolved callees are exact; terminal-name matches cover calls
+        through unresolvable receivers (``self.helper()`` from a
+        subclass, ``obj.method()``).  A terminal-name match that
+        resolved to a *different* callee is excluded.
+        """
+        sites = list(self.callers_of.get(func.qualname, ()))
+        seen = {id(s.node) for s in sites}
+        for site in self.calls_by_terminal.get(func.name, ()):
+            if site.callee is not None and site.callee != func.qualname:
+                continue
+            if id(site.node) not in seen:
+                sites.append(site)
+                seen.add(id(site.node))
+        return sites
+
+
+def module_name_for(path: str, package_roots: Sequence[str] = ("src",)) -> str:
+    """Dotted module name for a repo-relative POSIX path.
+
+    ``src/repro/streams/sampling.py`` -> ``repro.streams.sampling``;
+    package ``__init__.py`` maps to the package name.  ``package_roots``
+    are directory prefixes stripped before dotting (the fixture tests
+    pass their own root).
+    """
+    parts = list(Path(path).parts)
+    for root in package_roots:
+        root_parts = list(Path(root).parts)
+        if parts[:len(root_parts)] == root_parts:
+            parts = parts[len(root_parts):]
+            break
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _marker_lines(source: str) -> "frozenset[int]":
+    """Line numbers carrying the ``shard-state`` marker comment."""
+    lines: "set[int]" = set()
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT and SHARD_STATE_MARKER.search(
+                    tok.string):
+                lines.add(tok.start[0])
+    except tokenize.TokenError:
+        pass
+    return frozenset(lines)
+
+
+def _dotted(node: ast.AST) -> "str | None":
+    parts: "list[str]" = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _terminal(node: ast.AST) -> "str | None":
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _collect_imports(tree: ast.Module) -> "dict[str, str]":
+    imports: "dict[str, str]" = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                imports[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def _dataclass_facts(node: ast.ClassDef) -> "tuple[bool, bool]":
+    """(is_dataclass, is_frozen) from the decorator list."""
+    is_dc = frozen = False
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = _terminal(target)
+        if name == "dataclass":
+            is_dc = True
+            if isinstance(dec, ast.Call):
+                for kw in dec.keywords:
+                    if (kw.arg == "frozen"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is True):
+                        frozen = True
+    return is_dc, frozen
+
+
+def _class_marker(node: ast.ClassDef, markers: "frozenset[int]") -> bool:
+    """Whether a shard-state marker is attached to this class def."""
+    anchor = min([node.lineno]
+                 + [dec.lineno for dec in node.decorator_list])
+    return bool(markers.intersection({node.lineno, anchor, anchor - 1}))
+
+
+# -- ACTIVE-guard detection (shared with RL012) -------------------------
+
+def _is_active_test(test: ast.expr) -> bool:
+    """Whether an expression's truth implies instrumentation is active.
+
+    Recognised forms: ``ACTIVE``, ``<mod>.ACTIVE``, ``<mod>.enabled()``
+    (and any of those as the first operand of an ``and`` chain).
+    """
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_is_active_test(v) for v in test.values)
+    if isinstance(test, ast.Name):
+        return test.id == "ACTIVE"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "ACTIVE"
+    if isinstance(test, ast.Call):
+        return _terminal(test.func) == "enabled"
+    return False
+
+
+def _is_not_active_test(test: ast.expr) -> bool:
+    return (isinstance(test, ast.UnaryOp)
+            and isinstance(test.op, ast.Not)
+            and _is_active_test(test.operand))
+
+
+def _terminates(stmts: "Sequence[ast.stmt]") -> bool:
+    return bool(stmts) and isinstance(
+        stmts[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+
+class _Walker:
+    """One pass over a module: definitions, call sites, guard state."""
+
+    def __init__(self, index: ProjectIndex, mod: ModuleInfo,
+                 markers: "frozenset[int]") -> None:
+        self.index = index
+        self.mod = mod
+        self.markers = markers
+
+    def run(self) -> None:
+        self._visit_body(self.mod.tree.body, owner=f"{self.mod.name}.<module>",
+                         cls=None, guarded=False)
+        self._collect_globals()
+
+    # -- module-level globals -------------------------------------------
+
+    def _collect_globals(self) -> None:
+        for node in self.mod.tree.body:
+            targets: "list[ast.expr]" = []
+            value: "ast.expr | None" = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets, value = [node.target], node.value
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    self.mod.globals.append(
+                        GlobalBinding(target.id, node, value))
+        for node in ast.walk(self.mod.tree):
+            if isinstance(node, ast.Global):
+                # Every ``global X`` rebind is recorded, whether or not X
+                # is also bound at module level (a rebind alone creates
+                # per-process module state).
+                for name in node.names:
+                    self.mod.global_rebinds.setdefault(name, []).append(node)
+
+    # -- definitions and call sites -------------------------------------
+
+    def _visit_body(self, body: "Sequence[ast.stmt]", *, owner: str,
+                    cls: "ClassInfo | None", guarded: bool) -> None:
+        i = 0
+        while i < len(body):
+            stmt = body[i]
+            if isinstance(stmt, ast.ClassDef):
+                self._visit_class(stmt, owner=owner)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._visit_function(stmt, cls=cls)
+            elif (isinstance(stmt, ast.If)
+                    and _is_not_active_test(stmt.test)
+                    and _terminates(stmt.body)):
+                # ``if not ACTIVE: return`` -- the rest of this block
+                # only runs with instrumentation on.
+                self._visit_stmt(stmt, owner=owner, cls=cls, guarded=guarded)
+                self._visit_body(body[i + 1:], owner=owner, cls=cls,
+                                 guarded=True)
+                return
+            else:
+                self._visit_stmt(stmt, owner=owner, cls=cls, guarded=guarded)
+            i += 1
+
+    def _visit_class(self, node: ast.ClassDef, *, owner: str) -> None:
+        qualname = f"{self.mod.name}.{node.name}"
+        is_dc, frozen = _dataclass_facts(node)
+        info = ClassInfo(
+            qualname=qualname, module=self.mod.name, name=node.name,
+            node=node,
+            bases=[b for b in (_dotted(base) for base in node.bases)
+                   if b is not None],
+            shard_state=_class_marker(node, self.markers),
+            is_dataclass=is_dc, is_frozen=frozen)
+        self.mod.classes[node.name] = info
+        self.index.classes[qualname] = info
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._visit_function(stmt, cls=info)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name):
+                # Dataclass-style field declaration.
+                info.attributes.append(AttributeSource(
+                    attr=stmt.target.id, value=stmt.value,
+                    annotation=stmt.annotation, lineno=stmt.lineno,
+                    method=None))
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        info.attributes.append(AttributeSource(
+                            attr=target.id, value=stmt.value,
+                            annotation=None, lineno=stmt.lineno,
+                            method=None))
+            else:
+                self._visit_stmt(stmt, owner=qualname, cls=info,
+                                 guarded=False)
+
+    def _visit_function(self, node: "ast.FunctionDef | ast.AsyncFunctionDef",
+                        *, cls: "ClassInfo | None") -> None:
+        if cls is not None:
+            qualname = f"{cls.qualname}.{node.name}"
+        else:
+            qualname = f"{self.mod.name}.{node.name}"
+        info = FunctionInfo(qualname=qualname, module=self.mod.name,
+                            name=node.name, node=node,
+                            cls=cls.qualname if cls is not None else None)
+        if cls is not None:
+            cls.methods[node.name] = info
+            self_name = None
+            args = node.args
+            positional = [*args.posonlyargs, *args.args]
+            if positional and not any(
+                    isinstance(dec, ast.Name) and dec.id == "staticmethod"
+                    for dec in node.decorator_list):
+                self_name = positional[0].arg
+            self._collect_attr_assigns(node, cls, info, self_name)
+        else:
+            self.mod.functions.setdefault(node.name, info)
+        self.index.functions[qualname] = info
+        self._visit_body(node.body, owner=qualname, cls=cls, guarded=False)
+
+    def _collect_attr_assigns(self, node: ast.AST, cls: ClassInfo,
+                              method: FunctionInfo,
+                              self_name: "str | None") -> None:
+        if self_name is None:
+            return
+        for sub in ast.walk(node):
+            targets: "list[ast.expr]" = []
+            value: "ast.expr | None" = None
+            annotation: "ast.expr | None" = None
+            if isinstance(sub, ast.Assign):
+                targets, value = sub.targets, sub.value
+            elif isinstance(sub, ast.AnnAssign):
+                targets, value, annotation = [sub.target], sub.value, \
+                    sub.annotation
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == self_name):
+                    cls.attributes.append(AttributeSource(
+                        attr=target.attr, value=value,
+                        annotation=annotation, lineno=sub.lineno,
+                        method=method.name))
+
+    # -- statements / expressions with guard tracking --------------------
+
+    def _visit_stmt(self, stmt: ast.stmt, *, owner: str,
+                    cls: "ClassInfo | None", guarded: bool) -> None:
+        if isinstance(stmt, ast.If):
+            body_guarded = guarded or _is_active_test(stmt.test)
+            self._visit_expr(stmt.test, owner=owner, guarded=guarded)
+            self._visit_body(stmt.body, owner=owner, cls=cls,
+                             guarded=body_guarded)
+            self._visit_body(stmt.orelse, owner=owner, cls=cls,
+                             guarded=guarded)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            body_guarded = guarded
+            for item in stmt.items:
+                self._visit_expr(item.context_expr, owner=owner,
+                                 guarded=guarded)
+                if (isinstance(item.context_expr, ast.Call)
+                        and _terminal(item.context_expr.func) == "enabled"):
+                    body_guarded = True
+            self._visit_body(stmt.body, owner=owner, cls=cls,
+                             guarded=body_guarded)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    self._visit_stmt(child, owner=owner, cls=cls,
+                                     guarded=guarded)
+                elif isinstance(child, ast.expr):
+                    self._visit_expr(child, owner=owner, guarded=guarded)
+        elif isinstance(stmt, (ast.Try, *(
+                (ast.TryStar,) if hasattr(ast, "TryStar") else ()))):
+            self._visit_body(stmt.body, owner=owner, cls=cls, guarded=guarded)
+            for handler in stmt.handlers:
+                self._visit_body(handler.body, owner=owner, cls=cls,
+                                 guarded=guarded)
+            self._visit_body(stmt.orelse, owner=owner, cls=cls,
+                             guarded=guarded)
+            self._visit_body(stmt.finalbody, owner=owner, cls=cls,
+                             guarded=guarded)
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._visit_expr(child, owner=owner, guarded=guarded)
+                elif isinstance(child, ast.stmt):
+                    self._visit_stmt(child, owner=owner, cls=cls,
+                                     guarded=guarded)
+
+    def _visit_expr(self, expr: ast.expr, *, owner: str,
+                    guarded: bool) -> None:
+        if isinstance(expr, ast.IfExp):
+            self._visit_expr(expr.test, owner=owner, guarded=guarded)
+            self._visit_expr(expr.body, owner=owner,
+                             guarded=guarded or _is_active_test(expr.test))
+            self._visit_expr(expr.orelse, owner=owner, guarded=guarded)
+            return
+        if isinstance(expr, ast.BoolOp) and isinstance(expr.op, ast.And):
+            sub_guarded = guarded
+            for value in expr.values:
+                self._visit_expr(value, owner=owner, guarded=sub_guarded)
+                if _is_active_test(value):
+                    sub_guarded = True
+            return
+        if isinstance(expr, ast.Call):
+            self._record_call(expr, owner=owner, guarded=guarded)
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._visit_expr(child, owner=owner, guarded=guarded)
+            elif isinstance(child, (ast.comprehension,)):
+                self._visit_expr(child.iter, owner=owner, guarded=guarded)
+                for cond in child.ifs:
+                    self._visit_expr(cond, owner=owner, guarded=guarded)
+
+    def _record_call(self, call: ast.Call, *, owner: str,
+                     guarded: bool) -> None:
+        dotted = _dotted(call.func)
+        callee: "str | None" = None
+        if dotted is not None:
+            head = dotted.split(".", 1)[0]
+            owner_cls = self.index.functions.get(owner)
+            if (owner_cls is not None and owner_cls.cls is not None
+                    and "." in dotted):
+                # self.method() resolves within the owning class.
+                params = self.index.functions[owner].node.args
+                positional = [*params.posonlyargs, *params.args]
+                if positional and head == positional[0].arg:
+                    rest = dotted.split(".", 1)[1]
+                    if "." not in rest:
+                        cls_info = self.index.classes.get(owner_cls.cls)
+                        if cls_info is not None and rest in cls_info.methods:
+                            callee = f"{owner_cls.cls}.{rest}"
+            if callee is None:
+                resolved = self.index.resolve(self.mod, dotted)
+                if (resolved in self.index.classes
+                        or resolved in self.index.functions
+                        or resolved.rsplit(".", 1)[0] in self.index.modules
+                        or head in self.mod.imports):
+                    callee = resolved
+        site = CallSite(caller=owner, module=self.mod.name, node=call,
+                        callee=callee, terminal=_terminal(call.func),
+                        guarded=guarded)
+        self.index.calls_by_caller.setdefault(owner, []).append(site)
+        if callee is not None:
+            self.index.callers_of.setdefault(callee, []).append(site)
+        if site.terminal is not None:
+            self.index.calls_by_terminal.setdefault(
+                site.terminal, []).append(site)
+
+
+def build_index(files: "Iterable[tuple[str, str, ast.Module]]",
+                package_roots: Sequence[str] = ("src",)) -> ProjectIndex:
+    """Build the project index from ``(path, source, tree)`` triples.
+
+    ``path`` is repo-relative POSIX; trees are parsed by the caller (the
+    engine parses each file exactly once and shares the tree between the
+    file rules and this index).
+    """
+    index = ProjectIndex()
+    prepared: "list[tuple[ModuleInfo, frozenset[int]]]" = []
+    for path, source, tree in files:
+        name = module_name_for(path, package_roots)
+        if not name:
+            continue
+        mod = ModuleInfo(name=name, path=path, tree=tree, source=source,
+                         imports=_collect_imports(tree))
+        index.modules[name] = mod
+        index.by_path[path] = mod
+        prepared.append((mod, _marker_lines(source)))
+    for mod, markers in prepared:
+        _Walker(index, mod, markers).run()
+    return index
+
+
+def iter_attribute_sources(cls: ClassInfo) -> "Iterator[AttributeSource]":
+    """All attribute sources of a class, stable order."""
+    return iter(cls.attributes)

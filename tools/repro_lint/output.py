@@ -1,0 +1,128 @@
+"""Report renderers: text (default), machine-readable JSON, and SARIF.
+
+The JSON format is this tool's own stable schema (version 1); SARIF is
+the 2.1.0 subset GitHub code scanning consumes, so CI can upload the
+report and findings surface as inline PR annotations.  Both formats
+carry the baseline verdict per result: baselined findings are emitted
+at ``note`` level with ``baselineState: "unchanged"`` so they annotate
+without failing, while new findings are ``error`` / ``"new"``.
+``tools/sarif_validate.py`` checks either document against the schema
+before CI uploads it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from tools.repro_lint.baseline import BaselineEntry
+from tools.repro_lint.rules import Finding, Rule
+
+__all__ = ["render_json", "render_sarif", "render_text"]
+
+JSON_SCHEMA_VERSION = 1
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+_TOOL_NAME = "repro-lint"
+_TOOL_URI = "https://github.com/paper-repro/repro"
+
+
+def render_text(new: "Sequence[Finding]", baselined: "Sequence[Finding]",
+                stale: "Sequence[BaselineEntry]") -> str:
+    """The conventional ``path:line:col: RULE message`` report."""
+    lines = [f.render() for f in new]
+    lines.extend(f"{f.render()} [baselined]" for f in baselined)
+    lines.extend(
+        f"baseline: stale entry {e.rule} {e.path}"
+        + (f" ({e.symbol})" if e.symbol else "")
+        + " matches no finding; remove it or run --update-baseline"
+        for e in stale)
+    return "\n".join(lines)
+
+
+def _finding_dict(finding: Finding, baselined: bool) -> "dict[str, object]":
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule,
+        "message": finding.message,
+        "symbol": finding.symbol,
+        "baselined": baselined,
+    }
+
+
+def render_json(new: "Sequence[Finding]", baselined: "Sequence[Finding]",
+                stale: "Sequence[BaselineEntry]") -> str:
+    """The tool's own machine-readable schema (validated in CI)."""
+    payload = {
+        "schema": _TOOL_NAME,
+        "version": JSON_SCHEMA_VERSION,
+        "findings": ([_finding_dict(f, False) for f in new]
+                     + [_finding_dict(f, True) for f in baselined]),
+        "stale_baseline_entries": [
+            {"rule": e.rule, "path": e.path, "symbol": e.symbol}
+            for e in stale],
+        "summary": {
+            "new": len(new),
+            "baselined": len(baselined),
+            "stale_baseline_entries": len(stale),
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _sarif_result(finding: Finding, baselined: bool) -> "dict[str, object]":
+    result: "dict[str, object]" = {
+        "ruleId": finding.rule,
+        "level": "note" if baselined else "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path,
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": finding.col,
+                },
+            },
+        }],
+        "baselineState": "unchanged" if baselined else "new",
+    }
+    if finding.symbol is not None:
+        result["properties"] = {"symbol": finding.symbol}
+    return result
+
+
+def render_sarif(new: "Sequence[Finding]", baselined: "Sequence[Finding]",
+                 rules: "Sequence[Rule]") -> str:
+    """SARIF 2.1.0 for GitHub code-scanning upload."""
+    rule_meta = [{
+        "id": rule.id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.summary()},
+        "fullDescription": {"text": (rule.__doc__ or "").strip()},
+        "defaultConfiguration": {"level": "error"},
+    } for rule in rules]
+    payload = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": _TOOL_NAME,
+                    "informationUri": _TOOL_URI,
+                    "rules": rule_meta,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file:///"},
+            },
+            "results": ([_sarif_result(f, False) for f in new]
+                        + [_sarif_result(f, True) for f in baselined]),
+        }],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,10 +1,21 @@
-"""Lint rules RL001-RL007.
+"""Lint rules: the two-phase rule API plus the file-local passes
+RL001-RL008.
 
-Each rule is a class with an ``id``, a docstring stating what it
-enforces and why, and a ``check(tree, ctx)`` generator yielding
-:class:`Finding` objects.  Rules are purely syntactic (AST-level): they
-encode repository conventions, not general Python style -- generic
-style is ruff's job (see ``pyproject.toml``).
+Rules come in two phases (see ``docs/STATIC_ANALYSIS.md``):
+
+* :class:`FileRule` -- purely syntactic, sees one parsed module at a
+  time via ``check(tree, ctx)``.  These encode repository conventions,
+  not general Python style -- generic style is ruff's job (see
+  ``pyproject.toml``).
+* :class:`ProjectRule` -- interprocedural, runs after phase 1 has built
+  the whole-program :class:`~tools.repro_lint.index.ProjectIndex` and
+  sees every indexed module at once via ``check_project(index)``.  The
+  shard-safety passes RL009-RL012 live in
+  ``tools.repro_lint.project_rules``.
+
+Every rule registers itself with the :func:`register` decorator; the
+engine consumes :data:`ALL_RULES` (ID order) and dispatches each rule
+by its ``phase``.
 """
 
 from __future__ import annotations
@@ -13,9 +24,15 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator, Type, TypeVar
 
-__all__ = ["ALL_RULES", "Finding", "LintContext", "Rule"]
+if TYPE_CHECKING:
+    from tools.repro_lint.index import ProjectIndex
+
+__all__ = [
+    "ALL_RULES", "FileRule", "Finding", "LintContext", "ProjectRule",
+    "Rule", "register", "registered_rules",
+]
 
 
 @dataclass(frozen=True)
@@ -27,6 +44,10 @@ class Finding:
     col: int
     rule: str
     message: str
+    #: Stable symbol the finding is about (``repro.obs.ACTIVE``), used
+    #: for baseline matching so entries survive line drift.  None for
+    #: purely positional findings.
+    symbol: "str | None" = None
 
     def render(self) -> str:
         """Conventional ``path:line:col: RULE message`` form."""
@@ -47,9 +68,20 @@ class LintContext:
 
 
 class Rule:
-    """Base class for lint rules; subclasses set ``id`` and ``check``."""
+    """Base class for lint rules; subclasses set ``id`` and a phase."""
 
     id: str = "RL000"
+    #: ``"file"`` (phase-2a, per parsed module) or ``"project"``
+    #: (phase-2b, over the whole-program index).
+    phase: str = "file"
+
+    def summary(self) -> str:
+        """First docstring line -- used in ``--list-rules`` and SARIF."""
+        return (self.__doc__ or "").strip().splitlines()[0]
+
+
+class FileRule(Rule):
+    """A rule that inspects one module AST at a time."""
 
     def check(self, tree: ast.Module, ctx: LintContext) -> Iterator[Finding]:
         """Yield findings for ``tree``; default: none."""
@@ -59,6 +91,35 @@ class Rule:
         """Build a :class:`Finding` anchored at ``node``."""
         return Finding(ctx.path, getattr(node, "lineno", 1),
                        getattr(node, "col_offset", 0) + 1, self.id, message)
+
+
+class ProjectRule(Rule):
+    """A rule that runs over the phase-1 whole-program index."""
+
+    phase = "project"
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        """Yield findings across every indexed module; default: none."""
+        raise NotImplementedError
+
+
+_REGISTRY: "dict[str, Rule]" = {}
+
+_R = TypeVar("_R", bound=Rule)
+
+
+def register(cls: "Type[_R]") -> "Type[_R]":
+    """Class decorator: instantiate the rule and add it to the registry."""
+    instance = cls()
+    if instance.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.id}")
+    _REGISTRY[instance.id] = instance
+    return cls
+
+
+def registered_rules() -> "tuple[Rule, ...]":
+    """Every registered rule instance, in ID order."""
+    return tuple(_REGISTRY[k] for k in sorted(_REGISTRY))
 
 
 def _dotted_name(node: ast.AST) -> str | None:
@@ -82,7 +143,8 @@ def _terminal_name(node: ast.AST) -> str | None:
     return None
 
 
-class UnseededRandomnessRule(Rule):
+@register
+class UnseededRandomnessRule(FileRule):
     """RL001: every random stream must be injected or explicitly seeded.
 
     Tier-1 tests, figure benchmarks, and the cached-estimator
@@ -139,7 +201,8 @@ class UnseededRandomnessRule(Rule):
                     "use an injected numpy.random.Generator")
 
 
-class FloatEqualityRule(Rule):
+@register
+class FloatEqualityRule(FileRule):
     """RL002: no ``==``/``!=`` on probability- or density-like floats.
 
     Range probabilities, densities, and CDF values are the outputs of
@@ -201,7 +264,8 @@ class FloatEqualityRule(Rule):
                     break
 
 
-class IncompleteAnnotationsRule(Rule):
+@register
+class IncompleteAnnotationsRule(FileRule):
     """RL003: public ``src/repro`` functions need complete annotations.
 
     The package ships ``py.typed``, so its public surface claims to be
@@ -257,7 +321,8 @@ class IncompleteAnnotationsRule(Rule):
                 f"public function '{node.name}' is missing a return annotation")
 
 
-class MutationHazardsRule(Rule):
+@register
+class MutationHazardsRule(FileRule):
     """RL004: no mutable default arguments, no frozen-instance mutation.
 
     A mutable default (``def f(x=[])``) is shared across every call --
@@ -314,7 +379,8 @@ class MutationHazardsRule(Rule):
                     "default to None and construct inside the function")
 
 
-class BatchedScalarLoopRule(Rule):
+@register
+class BatchedScalarLoopRule(FileRule):
     """RL005: ``*_many`` APIs must not loop over their scalar counterpart.
 
     The PR-1 speedups hinge on batched entry points (``offer_many``,
@@ -353,7 +419,8 @@ class BatchedScalarLoopRule(Rule):
                             "keep the batched path vectorised")
 
 
-class BarePrintRule(Rule):
+@register
+class BarePrintRule(FileRule):
     """RL006: no bare ``print()`` in ``src/repro`` library code.
 
     Library modules must report through return values, raised
@@ -407,6 +474,11 @@ def _load_declared_event_kinds() -> "frozenset[str] | None":
         if not any(isinstance(t, ast.Name) and t.id == "EVENT_FIELDS"
                    for t in targets):
             continue
+        # The schema wraps the literal in ``MappingProxyType({...})`` so
+        # RL009 classifies it immutable; unwrap to reach the dict.
+        if (isinstance(value, ast.Call) and len(value.args) == 1
+                and _terminal_name(value.func) == "MappingProxyType"):
+            value = value.args[0]
         if isinstance(value, ast.Dict):
             return frozenset(
                 key.value for key in value.keys
@@ -414,7 +486,8 @@ def _load_declared_event_kinds() -> "frozenset[str] | None":
     return None
 
 
-class UndeclaredTraceEventRule(Rule):
+@register
+class UndeclaredTraceEventRule(FileRule):
     """RL007: trace events must use kinds declared in repro.obs.schema.
 
     The schema in ``repro.obs.schema.EVENT_FIELDS`` is the contract the
@@ -493,7 +566,8 @@ class UndeclaredTraceEventRule(Rule):
                     "or fix the kind")
 
 
-class PerElementHotLoopRule(Rule):
+@register
+class PerElementHotLoopRule(FileRule):
     """RL008: no per-element Python loops over sample/centre arrays in
     hot-path modules.
 
@@ -573,14 +647,11 @@ class PerElementHotLoopRule(Rule):
                         "kernels (repro.core.backend) instead")
 
 
-#: Rule registry, in ID order.
-ALL_RULES: "tuple[Rule, ...]" = (
-    UnseededRandomnessRule(),
-    FloatEqualityRule(),
-    IncompleteAnnotationsRule(),
-    MutationHazardsRule(),
-    BatchedScalarLoopRule(),
-    BarePrintRule(),
-    UndeclaredTraceEventRule(),
-    PerElementHotLoopRule(),
-)
+def __getattr__(name: str) -> "tuple[Rule, ...]":
+    # ``ALL_RULES`` is resolved lazily so that it reflects every
+    # registered rule, including the project passes in
+    # ``tools.repro_lint.project_rules`` (imported by the engine).
+    if name == "ALL_RULES":
+        from tools.repro_lint import project_rules  # noqa: F401
+        return registered_rules()
+    raise AttributeError(name)

@@ -1,0 +1,260 @@
+"""Strict structural validator for repro-lint machine-readable reports.
+
+CI uploads the SARIF report for inline PR annotations; a malformed
+document fails the upload silently (GitHub just drops it), so this
+validator gates the artifact *before* upload.  It checks the exact
+subset of SARIF 2.1.0 that ``tools/repro_lint/output.py`` emits --
+every required key, type, and enum value -- plus the tool's own JSON
+format (``--format json``), detected by content.
+
+No third-party JSON-Schema library is used (the repo's lint toolchain
+is stdlib-only by design); the checks are hand-rolled and deliberately
+strict: unknown ``version`` values, missing locations, or non-integer
+line numbers are errors, not warnings.
+
+Usage::
+
+    python tools/sarif_validate.py repro_lint.sarif
+    python tools/sarif_validate.py report.json
+
+Exit code 0 when valid, 1 with one error per line on stderr otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["validate_json_report", "validate_report", "validate_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_RESULT_LEVELS = frozenset({"none", "note", "warning", "error"})
+_BASELINE_STATES = frozenset({"new", "unchanged", "updated", "absent"})
+_RULE_ID_PREFIX = "RL"
+
+
+def _err(errors: "list[str]", where: str, message: str) -> None:
+    errors.append(f"{where}: {message}")
+
+
+def _require(obj: "dict[str, Any]", key: str, types: "type | tuple",
+             where: str, errors: "list[str]") -> Any:
+    if key not in obj:
+        _err(errors, where, f"missing required key {key!r}")
+        return None
+    value = obj[key]
+    if not isinstance(value, types):
+        _err(errors, where, f"{key!r} must be "
+             f"{getattr(types, '__name__', types)}, got "
+             f"{type(value).__name__}")
+        return None
+    return value
+
+
+def validate_sarif(doc: Any) -> "list[str]":
+    """Errors in a SARIF 2.1.0 document; empty list means valid."""
+    errors: "list[str]" = []
+    if not isinstance(doc, dict):
+        return ["$: document must be a JSON object"]
+    version = _require(doc, "version", str, "$", errors)
+    if version is not None and version != _SARIF_VERSION:
+        _err(errors, "$", f"version must be {_SARIF_VERSION!r}, "
+             f"got {version!r}")
+    runs = _require(doc, "runs", list, "$", errors)
+    if runs is None:
+        return errors
+    if not runs:
+        _err(errors, "$.runs", "must contain at least one run")
+    for i, run in enumerate(runs):
+        _validate_run(run, f"$.runs[{i}]", errors)
+    return errors
+
+
+def _validate_run(run: Any, where: str, errors: "list[str]") -> None:
+    if not isinstance(run, dict):
+        _err(errors, where, "run must be an object")
+        return
+    tool = _require(run, "tool", dict, where, errors)
+    declared_rules: "set[str]" = set()
+    if tool is not None:
+        driver = _require(tool, "driver", dict, f"{where}.tool", errors)
+        if driver is not None:
+            name = _require(driver, "name", str, f"{where}.tool.driver",
+                            errors)
+            if name is not None and not name:
+                _err(errors, f"{where}.tool.driver", "name must be non-empty")
+            rules = driver.get("rules", [])
+            if not isinstance(rules, list):
+                _err(errors, f"{where}.tool.driver", "rules must be a list")
+            else:
+                for j, rule in enumerate(rules):
+                    rwhere = f"{where}.tool.driver.rules[{j}]"
+                    if not isinstance(rule, dict):
+                        _err(errors, rwhere, "rule must be an object")
+                        continue
+                    rule_id = _require(rule, "id", str, rwhere, errors)
+                    if rule_id is not None:
+                        if not rule_id.startswith(_RULE_ID_PREFIX):
+                            _err(errors, rwhere,
+                                 f"rule id {rule_id!r} does not match "
+                                 f"{_RULE_ID_PREFIX}xxx")
+                        declared_rules.add(rule_id)
+                    short = _require(rule, "shortDescription", dict, rwhere,
+                                     errors)
+                    if short is not None:
+                        _require(short, "text", str,
+                                 f"{rwhere}.shortDescription", errors)
+    results = _require(run, "results", list, where, errors)
+    if results is None:
+        return
+    for k, result in enumerate(results):
+        _validate_result(result, f"{where}.results[{k}]", declared_rules,
+                         errors)
+
+
+def _validate_result(result: Any, where: str, declared: "set[str]",
+                     errors: "list[str]") -> None:
+    if not isinstance(result, dict):
+        _err(errors, where, "result must be an object")
+        return
+    rule_id = _require(result, "ruleId", str, where, errors)
+    if rule_id is not None and declared and rule_id not in declared:
+        _err(errors, where, f"ruleId {rule_id!r} is not declared in "
+             "tool.driver.rules")
+    level = result.get("level")
+    if level is not None and level not in _RESULT_LEVELS:
+        _err(errors, where, f"level {level!r} not in "
+             f"{sorted(_RESULT_LEVELS)}")
+    message = _require(result, "message", dict, where, errors)
+    if message is not None:
+        text = _require(message, "text", str, f"{where}.message", errors)
+        if text is not None and not text.strip():
+            _err(errors, f"{where}.message", "text must be non-empty")
+    state = result.get("baselineState")
+    if state is not None and state not in _BASELINE_STATES:
+        _err(errors, where, f"baselineState {state!r} not in "
+             f"{sorted(_BASELINE_STATES)}")
+    locations = _require(result, "locations", list, where, errors)
+    if locations is None:
+        return
+    if not locations:
+        _err(errors, where, "locations must contain at least one location")
+    for i, loc in enumerate(locations):
+        _validate_location(loc, f"{where}.locations[{i}]", errors)
+
+
+def _validate_location(loc: Any, where: str, errors: "list[str]") -> None:
+    if not isinstance(loc, dict):
+        _err(errors, where, "location must be an object")
+        return
+    phys = _require(loc, "physicalLocation", dict, where, errors)
+    if phys is None:
+        return
+    artifact = _require(phys, "artifactLocation", dict,
+                        f"{where}.physicalLocation", errors)
+    if artifact is not None:
+        uri = _require(artifact, "uri", str,
+                       f"{where}.physicalLocation.artifactLocation", errors)
+        if uri is not None and (not uri or uri.startswith("/")):
+            _err(errors, f"{where}.physicalLocation.artifactLocation",
+                 f"uri must be a non-empty relative path, got {uri!r}")
+    region = _require(phys, "region", dict, f"{where}.physicalLocation",
+                      errors)
+    if region is not None:
+        for key in ("startLine", "startColumn"):
+            value = region.get(key)
+            if key == "startLine" and value is None:
+                _err(errors, f"{where}.physicalLocation.region",
+                     "missing required key 'startLine'")
+                continue
+            if value is not None and (not isinstance(value, int)
+                                      or isinstance(value, bool)
+                                      or value < 1):
+                _err(errors, f"{where}.physicalLocation.region",
+                     f"{key} must be a positive integer, got {value!r}")
+
+
+def validate_json_report(doc: Any) -> "list[str]":
+    """Errors in a ``--format json`` report; empty list means valid."""
+    errors: "list[str]" = []
+    if not isinstance(doc, dict):
+        return ["$: document must be a JSON object"]
+    schema = _require(doc, "schema", str, "$", errors)
+    if schema is not None and schema != "repro-lint":
+        _err(errors, "$", f"schema must be 'repro-lint', got {schema!r}")
+    version = _require(doc, "version", int, "$", errors)
+    if version is not None and version != 1:
+        _err(errors, "$", f"version must be 1, got {version!r}")
+    findings = _require(doc, "findings", list, "$", errors)
+    if findings is not None:
+        for i, finding in enumerate(findings):
+            fwhere = f"$.findings[{i}]"
+            if not isinstance(finding, dict):
+                _err(errors, fwhere, "finding must be an object")
+                continue
+            _require(finding, "path", str, fwhere, errors)
+            _require(finding, "rule", str, fwhere, errors)
+            _require(finding, "message", str, fwhere, errors)
+            _require(finding, "baselined", bool, fwhere, errors)
+            for key in ("line", "col"):
+                value = finding.get(key)
+                if (not isinstance(value, int) or isinstance(value, bool)
+                        or value < 1):
+                    _err(errors, fwhere,
+                         f"{key} must be a positive integer, got {value!r}")
+    summary = _require(doc, "summary", dict, "$", errors)
+    if summary is not None:
+        for key in ("new", "baselined", "stale_baseline_entries"):
+            value = summary.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                _err(errors, "$.summary",
+                     f"{key} must be an integer, got {value!r}")
+        if findings is not None and isinstance(summary.get("new"), int) \
+                and isinstance(summary.get("baselined"), int):
+            declared = summary["new"] + summary["baselined"]
+            if declared != len(findings):
+                _err(errors, "$.summary",
+                     f"new + baselined = {declared} but the report has "
+                     f"{len(findings)} findings")
+    return errors
+
+
+def validate_report(doc: Any) -> "list[str]":
+    """Validate either supported format, detected by content."""
+    if isinstance(doc, dict) and "runs" in doc:
+        return validate_sarif(doc)
+    return validate_json_report(doc)
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if len(args) != 1:
+        print("usage: python tools/sarif_validate.py <report.sarif|json>",
+              file=sys.stderr)
+        return 2
+    path = Path(args[0])
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{path}: unreadable or not JSON: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_report(doc)
+    for error in errors:
+        print(f"{path}: {error}", file=sys.stderr)
+    if errors:
+        print(f"{path}: INVALID ({len(errors)} error(s))", file=sys.stderr)
+        return 1
+    kind = "SARIF" if isinstance(doc, dict) and "runs" in doc else "JSON"
+    results = 0
+    if kind == "SARIF":
+        results = sum(len(run.get("results", [])) for run in doc["runs"])
+    else:
+        results = len(doc.get("findings", []))
+    print(f"{path}: valid {kind} report ({results} result(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
