@@ -34,3 +34,21 @@ class TopologyError(ReproError, ValueError):
 
 class SimulationError(ReproError, RuntimeError):
     """The network simulator reached an inconsistent state."""
+
+
+class SnapshotError(ReproError, ValueError):
+    """A state snapshot could not be encoded, decoded or verified.
+
+    Raised by the :mod:`repro.engine.snapshot` codec on schema-version
+    mismatches, checksum failures, truncated payloads and attempts to
+    snapshot or restore an unregistered class.
+    """
+
+
+class RecoveryError(ReproError, RuntimeError):
+    """Crash recovery failed after exhausting its retry budget.
+
+    Raised by :class:`repro.engine.supervisor.SupervisedEngine` when no
+    checkpoint (including the empty-state fallback) yields a live engine
+    within the configured ``max_restarts``.
+    """

@@ -23,7 +23,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["DEFAULT_ROOT_SEED", "fresh_rng", "reseed_default_streams", "resolve_rng"]
+__all__ = [
+    "DEFAULT_ROOT_SEED",
+    "fresh_rng",
+    "reseed_default_streams",
+    "resolve_rng",
+    "rng_from_state",
+    "rng_state",
+]
 
 #: Root seed of the process-global fallback stream family (the paper's
 #: publication date, 2006-09-12 -- any fixed constant would do).
@@ -54,6 +61,30 @@ def resolve_rng(rng: "np.random.Generator | None",
     if seed is not None:
         return np.random.default_rng(seed)
     return fresh_rng()
+
+
+def rng_state(rng: np.random.Generator) -> "dict[str, object]":
+    """Portable snapshot of a generator's exact bitstream position.
+
+    The returned dict is the bit generator's own ``state`` mapping (which
+    names the bit-generator class under the ``"bit_generator"`` key), so a
+    :func:`rng_from_state` round trip yields a generator whose future
+    draws are bit-identical to the original's.  numpy returns a fresh
+    dict on every access, so the snapshot does not alias live state.
+
+    Note the *spawn* lineage (the underlying ``SeedSequence``) is not
+    part of bit-generator state: a restored generator replays draws
+    exactly but would spawn different children.  All shard-state classes
+    spawn only at construction time, so replay is unaffected.
+    """
+    return dict(rng.bit_generator.state)
+
+
+def rng_from_state(state: "dict[str, object]") -> np.random.Generator:
+    """Rebuild a generator from a :func:`rng_state` snapshot."""
+    bit_generator = getattr(np.random, str(state["bit_generator"]))()
+    bit_generator.state = dict(state)
+    return np.random.Generator(bit_generator)
 
 
 def reseed_default_streams(root_seed: int = DEFAULT_ROOT_SEED) -> None:

@@ -22,6 +22,11 @@ Commands
     Microbenchmark the Eq. 4-6 hot-path kernels against the frozen
     pre-backend implementations (docs/PERFORMANCE.md) and write
     ``BENCH_kernels.json``.
+``bench-recovery``
+    Sweep the supervised engine over a crash-rate x checkpoint-cadence
+    grid (docs/FAULT_MODEL.md, "Crash recovery"), gate on zero
+    detection divergence vs the uninterrupted run, and write
+    ``BENCH_recovery.json``.
 ``trace``
     Run one traced experiment under :mod:`repro.obs`, stream the JSONL
     trace to a file, validate every event against the schema, and print
@@ -164,6 +169,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="compute backend to measure (default: the "
                               "REPRO_BACKEND resolution)")
     _add_run_options(kernels, seed=0, json_out="BENCH_kernels.json")
+
+    recovery = commands.add_parser(
+        "bench-recovery",
+        help="sweep crash-rate x checkpoint-cadence over the supervised "
+             "engine and gate on zero detection divergence")
+    recovery.add_argument("--streams", type=int, default=4,
+                          help="independent sensor streams per engine")
+    recovery.add_argument("--ticks", type=int, default=400,
+                          help="ticks per cell")
+    recovery.add_argument("--window", type=int, default=120,
+                          help="sliding-window size |W|")
+    recovery.add_argument("--sample", type=int, default=50,
+                          help="kernel sample slots |R|")
+    recovery.add_argument("--crash-rates", type=float, nargs="+",
+                          default=[0.01, 0.05],
+                          help="crashes per tick to sweep")
+    recovery.add_argument("--checkpoint-cadences", type=int, nargs="+",
+                          default=[32, 128],
+                          help="checkpoint cadences (ticks) to sweep")
+    _add_run_options(recovery, seed=7, json_out="BENCH_recovery.json")
 
     trace = commands.add_parser(
         "trace", help="run one traced experiment and summarize its JSONL "
@@ -384,6 +409,27 @@ def _cmd_bench_kernels(args) -> int:
     return 0
 
 
+def _cmd_bench_recovery(args) -> int:
+    from repro.eval import recovery
+
+    results = recovery.run_recovery_benchmark(
+        crash_rates=tuple(args.crash_rates),
+        checkpoint_cadences=tuple(args.checkpoint_cadences),
+        n_streams=args.streams, n_ticks=args.ticks,
+        window_size=args.window, sample_size=args.sample, seed=args.seed)
+    print(recovery.format_table(results))
+    path = recovery.write_results(results, args.json_out)
+    print(f"# wrote {path}", file=sys.stderr)
+    if args.metrics_out:
+        _export_metrics_file(
+            _doc_metrics_snapshot(results, "bench.recovery"),
+            args.metrics_out)
+    failures = recovery.check_recovery(results)
+    for failure in failures:
+        print(f"# RECOVERY FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_trace(args) -> int:
     import json
 
@@ -499,6 +545,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 "bench-throughput": _cmd_bench_throughput,
                 "bench-resilience": _cmd_bench_resilience,
                 "bench-kernels": _cmd_bench_kernels,
+                "bench-recovery": _cmd_bench_recovery,
                 "trace": _cmd_trace, "profile": _cmd_profile,
                 "export-metrics": _cmd_export_metrics, "top": _cmd_top}
     return handlers[args.command](args)

@@ -34,7 +34,7 @@ Three evaluation strategies are implemented:
 from __future__ import annotations
 
 import time
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
@@ -45,7 +45,7 @@ from repro import _sanitize, obs
 from repro.core import backend as _backend
 from repro.core.bandwidth import scott_bandwidths
 from repro.core.indexes import SortedSampleIndex
-from repro.core.kernels import EPANECHNIKOV, Kernel
+from repro.core.kernels import EPANECHNIKOV, Kernel, kernel_by_name
 
 __all__ = ["KernelDensityEstimator", "merge_estimators"]
 
@@ -451,6 +451,44 @@ class KernelDensityEstimator:
     def mean(self) -> np.ndarray:
         """Mean of the estimated distribution (= sample mean for symmetric kernels)."""
         return self._sample.mean(axis=0)
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.engine.snapshot)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> "dict[str, Any]":
+        """Plain-data snapshot for the :mod:`repro.engine.snapshot` codec.
+
+        Only the model inputs travel: kernel centres, bandwidths, window
+        deviation and the kernel's registry name.  The lazy query caches
+        (``_sorted_nd``, ``_distinct``) are rebuilt deterministically
+        from the sample on demand, so dropping them cannot change any
+        restored query result.
+        """
+        return {
+            "sample": self._sample.copy(),
+            "bandwidths": self._bandwidths.copy(),
+            "stddev": None if self._stddev is None else self._stddev.copy(),
+            "kernel": self._kernel.name,
+            "window_size": self._window_size,
+        }
+
+    @classmethod
+    def restore_state(cls, state: "dict[str, Any]") -> "KernelDensityEstimator":
+        """Rebuild an estimator from a :meth:`snapshot_state` dict.
+
+        Reconstructs through ``__init__`` with explicit bandwidths (so no
+        bandwidth rule is re-run), then reinstates the recorded window
+        deviation, which explicit-bandwidth construction does not thread.
+        """
+        stddev = state["stddev"]
+        model = cls(np.asarray(state["sample"], dtype=float),
+                    bandwidths=np.asarray(state["bandwidths"], dtype=float),
+                    kernel=kernel_by_name(str(state["kernel"])),
+                    window_size=int(state["window_size"]))
+        model._stddev = None if stddev is None \
+            else np.asarray(stddev, dtype=float).copy()
+        return model
 
 
 def merge_estimators(estimators: Iterable[KernelDensityEstimator], *,

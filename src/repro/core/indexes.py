@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import bisect
 from collections import deque
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -112,6 +112,30 @@ class SortedSampleIndex:
             column = pts[:, j]
             mask &= (column >= lo[j]) & (column <= hi[j])
         return np.sort(idx[mask])
+
+    def snapshot_state(self) -> "dict[str, Any]":
+        """Plain-data snapshot for the :mod:`repro.engine.snapshot` codec.
+
+        Only the points and the dense limit travel; the per-axis sorted
+        views are a deterministic (stable-sort) function of the points
+        and are rebuilt on restore.
+        """
+        return {
+            "points": self._points.copy(),
+            "dense_limit": self._dense_limit,
+        }
+
+    @classmethod
+    def restore_state(cls, state: "dict[str, Any]") -> "SortedSampleIndex":
+        """Rebuild an index from a :meth:`snapshot_state` dict."""
+        index = cls.__new__(cls)
+        pts = np.asarray(state["points"], dtype=float).copy()
+        index._points = pts
+        index._n, index._d = pts.shape
+        index._order = np.argsort(pts, axis=0, kind="stable")
+        index._sorted = np.take_along_axis(pts, index._order, axis=0)
+        index._dense_limit = float(state["dense_limit"])
+        return index
 
 
 class SortedWindowIndex1D:

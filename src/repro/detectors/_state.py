@@ -10,7 +10,7 @@ This module factors that trio out of the algorithm classes.
 from __future__ import annotations
 
 import time
-from typing import Mapping
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -18,7 +18,7 @@ from repro import obs
 from repro._exceptions import ParameterError
 from repro.core.bandwidth import scott_bandwidths
 from repro.core.estimator import KernelDensityEstimator
-from repro.core.kernels import EPANECHNIKOV, Kernel
+from repro.core.kernels import EPANECHNIKOV, Kernel, kernel_by_name
 from repro.streams.sampling import ChainSample
 from repro.streams.variance import MultiDimVarianceSketch
 
@@ -237,6 +237,65 @@ class StreamModelState:
         """Logical footprint of the sample and sketches, in words."""
         return self._sample.memory_words() + self._sketch.memory_words()
 
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.engine.snapshot)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> "dict[str, Any]":
+        """Plain-data snapshot for the :mod:`repro.engine.snapshot` codec.
+
+        The cached estimator and the ``_built_*`` staleness fingerprints
+        travel too: a restore must neither force a rebuild the original
+        would not have run nor skip one it would, or the estimator cache
+        schedule (and hence the detections) could diverge.
+        """
+        return {
+            "bandwidth_basis": self._bandwidth_basis,
+            "sample": self._sample.snapshot_state(),
+            "sketch": self._sketch.snapshot_state(),
+            "kernel": self._kernel.name,
+            "bandwidth_cap": self._bandwidth_cap,
+            "model_refresh": self._model_refresh,
+            "bandwidth_tol": self._bandwidth_tol,
+            "min_arrivals": self._min_arrivals,
+            "arrivals": self._arrivals,
+            "last_check": self._last_check,
+            "cached": None if self._cached is None
+            else self._cached.snapshot_state(),
+            "built_std": None if self._built_std is None
+            else self._built_std.copy(),
+            "built_window_size": self._built_window_size,
+            "built_mutations": self._built_mutations,
+            "count_window_size": self.count_window_size,
+        }
+
+    @classmethod
+    def restore_state(cls, state: "dict[str, Any]") -> "StreamModelState":
+        """Rebuild the state trio from a :meth:`snapshot_state` dict."""
+        model_state = cls.__new__(cls)
+        model_state._bandwidth_basis = str(state["bandwidth_basis"])
+        model_state._sample = ChainSample.restore_state(state["sample"])
+        model_state._sketch = \
+            MultiDimVarianceSketch.restore_state(state["sketch"])
+        model_state._kernel = kernel_by_name(str(state["kernel"]))
+        cap = state["bandwidth_cap"]
+        model_state._bandwidth_cap = None if cap is None else float(cap)
+        model_state._model_refresh = int(state["model_refresh"])
+        model_state._bandwidth_tol = float(state["bandwidth_tol"])
+        model_state._min_arrivals = int(state["min_arrivals"])
+        model_state._arrivals = int(state["arrivals"])
+        model_state._last_check = int(state["last_check"])
+        cached = state["cached"]
+        model_state._cached = None if cached is None \
+            else KernelDensityEstimator.restore_state(cached)
+        built_std = state["built_std"]
+        model_state._built_std = None if built_std is None \
+            else np.asarray(built_std, dtype=float).copy()
+        model_state._built_window_size = int(state["built_window_size"])
+        model_state._built_mutations = int(state["built_mutations"])
+        model_state.count_window_size = int(state["count_window_size"])
+        return model_state
+
 
 # repro-lint: shard-state
 class ChildStalenessTracker:
@@ -283,3 +342,18 @@ class ChildStalenessTracker:
             if stale <= horizon:
                 total += leaves
         return total
+
+    def snapshot_state(self) -> "dict[str, Any]":
+        """Plain-data snapshot for the :mod:`repro.engine.snapshot` codec."""
+        return {
+            "leaf_counts": dict(self._leaf_counts),
+            "last_heard": dict(self._last_heard),
+        }
+
+    @classmethod
+    def restore_state(cls, state: "dict[str, Any]") -> "ChildStalenessTracker":
+        """Rebuild a tracker from a :meth:`snapshot_state` dict."""
+        tracker = cls(leaf_counts=state["leaf_counts"])
+        tracker._last_heard = {int(child): int(tick)
+                               for child, tick in state["last_heard"].items()}
+        return tracker

@@ -31,11 +31,12 @@ counter (see :meth:`repro.detectors._state.StreamModelState.model`).
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import asdict
+from typing import Any, Sequence
 
 import numpy as np
 
-from repro._exceptions import ParameterError
+from repro._exceptions import ParameterError, SnapshotError
 from repro._validation import require_positive_int
 from repro.core.estimator import KernelDensityEstimator
 from repro.core.kernels import EPANECHNIKOV, Kernel
@@ -231,3 +232,45 @@ class OnlineOutlierDetector:
                 decisions[offset + j] = decision
                 if decision.is_outlier:
                     self._flagged += 1
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.engine.snapshot)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> "dict[str, Any]":
+        """Plain-data snapshot for the :mod:`repro.engine.snapshot` codec.
+
+        The spec travels as a tagged field dict so the codec payload
+        stays plain data (no pickled spec classes).
+        """
+        kind = "distance" if isinstance(self._spec, DistanceOutlierSpec) \
+            else "mdef"
+        return {
+            "spec": {"kind": kind, **asdict(self._spec)},
+            "warmup": self._warmup,
+            "window_size": self._window_size,
+            "state": self._state.snapshot_state(),
+            "seen": self._seen,
+            "flagged": self._flagged,
+        }
+
+    @classmethod
+    def restore_state(cls, state: "dict[str, Any]") -> "OnlineOutlierDetector":
+        """Rebuild a detector from a :meth:`snapshot_state` dict."""
+        spec_state = dict(state["spec"])
+        kind = spec_state.pop("kind")
+        if kind == "distance":
+            spec: "DistanceOutlierSpec | MDEFSpec" = \
+                DistanceOutlierSpec(**spec_state)
+        elif kind == "mdef":
+            spec = MDEFSpec(**spec_state)
+        else:
+            raise SnapshotError(f"unknown outlier-spec kind {kind!r}")
+        detector = cls.__new__(cls)
+        detector._spec = spec
+        detector._warmup = int(state["warmup"])
+        detector._window_size = int(state["window_size"])
+        detector._state = StreamModelState.restore_state(state["state"])
+        detector._seen = int(state["seen"])
+        detector._flagged = int(state["flagged"])
+        return detector

@@ -1,0 +1,112 @@
+"""The checkpoint store: durable, generational engine snapshots.
+
+A checkpoint is one :func:`repro.engine.snapshot.encode_snapshot` blob
+of a :class:`~repro.engine.core.DetectorEngine`, written atomically
+(tmp + ``os.replace`` via :mod:`repro._artifacts`) as
+``chk_<tick>.snap`` -- a crash mid-checkpoint leaves the previous
+generation intact, never a torn file.
+
+The store retains the last ``retain`` generations rather than only the
+newest: a fault plan may demand restoring from an *older* checkpoint N
+(see :class:`repro.network.faults.EngineCrash`), and a corrupt newest
+checkpoint must not strand recovery.  The supervisor prunes the input
+journal only up to :meth:`oldest_tick`, so every retained generation
+keeps a full replay suffix.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro._artifacts import atomic_write_bytes
+from repro._exceptions import ParameterError, SnapshotError
+from repro.engine.core import DetectorEngine
+from repro.engine.snapshot import decode_snapshot, encode_snapshot
+
+__all__ = ["CheckpointStore"]
+
+_PREFIX = "chk_"
+_SUFFIX = ".snap"
+
+
+class CheckpointStore:
+    """Atomic on-disk snapshots of an engine, newest ``retain`` kept."""
+
+    def __init__(self, directory: "str | Path", *, retain: int = 4) -> None:
+        if retain < 1:
+            raise ParameterError(f"retain must be >= 1, got {retain}")
+        self._directory = Path(directory)
+        self._retain = retain
+
+    @property
+    def directory(self) -> Path:
+        """Directory holding the ``chk_<tick>.snap`` files."""
+        return self._directory
+
+    @property
+    def retain(self) -> int:
+        """Number of checkpoint generations kept."""
+        return self._retain
+
+    def _path_for(self, tick: int) -> Path:
+        return self._directory / f"{_PREFIX}{tick:012d}{_SUFFIX}"
+
+    def ticks(self) -> "list[int]":
+        """Ticks of all stored checkpoints, oldest first."""
+        if not self._directory.exists():
+            return []
+        out = []
+        for path in self._directory.iterdir():
+            name = path.name
+            if name.startswith(_PREFIX) and name.endswith(_SUFFIX):
+                try:
+                    out.append(int(name[len(_PREFIX):-len(_SUFFIX)]))
+                except ValueError:
+                    continue
+        return sorted(out)
+
+    def latest_tick(self) -> "int | None":
+        """Tick of the newest checkpoint, or None when the store is empty."""
+        ticks = self.ticks()
+        return ticks[-1] if ticks else None
+
+    def oldest_tick(self) -> "int | None":
+        """Tick of the oldest retained checkpoint (journal prune bound)."""
+        ticks = self.ticks()
+        return ticks[0] if ticks else None
+
+    def save(self, engine: DetectorEngine) -> "tuple[Path, int]":
+        """Checkpoint ``engine`` at its current tick; return (path, bytes).
+
+        The write is atomic and older generations beyond ``retain`` are
+        pruned afterwards (prune failures cannot damage the new file).
+        """
+        blob = encode_snapshot(engine)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        path = atomic_write_bytes(self._path_for(engine.tick), blob)
+        for tick in self.ticks()[:-self._retain]:
+            try:
+                self._path_for(tick).unlink()
+            except OSError:
+                pass
+        return path, len(blob)
+
+    def load(self, tick: "int | None" = None) -> DetectorEngine:
+        """Restore the checkpoint at ``tick`` (newest when None)."""
+        if tick is None:
+            tick = self.latest_tick()
+            if tick is None:
+                raise SnapshotError(
+                    f"checkpoint store {self._directory} is empty")
+        path = self._path_for(tick)
+        if not path.exists():
+            available = ", ".join(map(str, self.ticks())) or "none"
+            raise SnapshotError(
+                f"no checkpoint at tick {tick} in {self._directory} "
+                f"(available: {available})")
+        engine = decode_snapshot(path.read_bytes())
+        if not isinstance(engine, DetectorEngine):
+            raise SnapshotError(
+                f"checkpoint {path} holds a "
+                f"{type(engine).__name__}, not a DetectorEngine")
+        return engine

@@ -1,0 +1,161 @@
+"""The input journal: a per-engine write-ahead log of readings.
+
+Recovery = snapshot + replay.  Checkpoints are expensive (a full state
+encode), so they run on a cadence; everything ingested *since* the last
+checkpoint must be reconstructable, and that is this journal's job: the
+supervisor appends each batch **before** feeding it to the engine
+(write-ahead discipline), so any reading the engine might have observed
+is on disk first.
+
+Record framing, per appended batch::
+
+    length (u32) | crc32 (u32) | payload
+
+where the payload pickles ``(start_tick, readings ndarray)``.  Appends
+flush and fsync, so a record is either fully durable or it is the torn
+tail: :meth:`records` verifies length and CRC record by record and stops
+cleanly at the first incomplete/corrupt record (counted in
+``n_torn``) -- exactly what a crash mid-append leaves behind, and safe
+because the engine can never have processed a reading whose journal
+record did not complete.
+
+The journal is not truncated at each checkpoint: the checkpoint store
+retains several generations so a restore can target an *older*
+checkpoint N, which needs the longer journal suffix.
+:meth:`truncate_before` prunes records older than the oldest retained
+checkpoint via an atomic rewrite.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from pathlib import Path
+from typing import IO, Iterator
+
+import numpy as np
+
+from repro._artifacts import atomic_write_bytes
+from repro._exceptions import SnapshotError
+
+__all__ = ["Journal", "JournalRecord"]
+
+_FRAME = struct.Struct(">II")
+
+#: One durable batch: the tick of its first reading plus the readings.
+JournalRecord = "tuple[int, np.ndarray]"
+
+
+class Journal:
+    """Append-only, CRC-framed batch log with torn-tail recovery."""
+
+    def __init__(self, path: "str | Path") -> None:
+        self._path = Path(path)
+        self._sink: "IO[bytes] | None" = None
+        #: Incomplete/corrupt tail records skipped by the last read.
+        self.n_torn = 0
+
+    @property
+    def path(self) -> Path:
+        """Location of the journal file."""
+        return self._path
+
+    def append(self, start_tick: int, batch: np.ndarray) -> None:
+        """Durably append one batch starting at ``start_tick``."""
+        payload = pickle.dumps(
+            (int(start_tick), np.asarray(batch, dtype=float)),
+            protocol=pickle.HIGHEST_PROTOCOL)
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload))
+        if self._sink is None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._sink = open(self._path, "ab")
+        self._sink.write(frame + payload)
+        self._sink.flush()
+        os.fsync(self._sink.fileno())
+
+    def close(self) -> None:
+        """Close the append handle (reads reopen independently)."""
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+    # ------------------------------------------------------------------
+
+    def _iter_payloads(self, data: bytes) -> "Iterator[bytes]":
+        offset = 0
+        self.n_torn = 0
+        total = len(data)
+        while offset < total:
+            if total - offset < _FRAME.size:
+                self.n_torn = 1
+                return
+            length, crc = _FRAME.unpack_from(data, offset)
+            start = offset + _FRAME.size
+            end = start + length
+            if end > total:
+                self.n_torn = 1
+                return
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                # A CRC mismatch anywhere but the tail means the file was
+                # damaged after the fact, not torn by a crash mid-append.
+                if end != total:
+                    raise SnapshotError(
+                        f"journal {self._path} corrupt at byte {offset}: "
+                        f"CRC mismatch on an interior record")
+                self.n_torn = 1
+                return
+            yield payload
+            offset = end
+
+    def records(self) -> "list[tuple[int, np.ndarray]]":
+        """All durable ``(start_tick, batch)`` records, oldest first."""
+        if not self._path.exists():
+            return []
+        data = self._path.read_bytes()
+        out: "list[tuple[int, np.ndarray]]" = []
+        for payload in self._iter_payloads(data):
+            start_tick, batch = pickle.loads(payload)
+            out.append((int(start_tick), np.asarray(batch, dtype=float)))
+        return out
+
+    def replay_from(self, tick: int) -> "list[tuple[int, np.ndarray]]":
+        """Records covering ticks ``>= tick``, clipped to start there.
+
+        A record straddling ``tick`` (its batch began earlier) is sliced
+        so the first returned reading is exactly tick ``tick`` -- replay
+        after restoring a checkpoint at ``tick`` must not re-feed
+        readings the checkpoint already contains.
+        """
+        out: "list[tuple[int, np.ndarray]]" = []
+        for start_tick, batch in self.records():
+            end_tick = start_tick + batch.shape[0]
+            if end_tick <= tick:
+                continue
+            if start_tick >= tick:
+                out.append((start_tick, batch))
+            else:
+                out.append((tick, batch[tick - start_tick:]))
+        return out
+
+    def truncate_before(self, tick: int) -> int:
+        """Drop whole records that end at or before ``tick``; return kept count.
+
+        Rewrites the file atomically (tmp + ``os.replace``); records
+        straddling ``tick`` are kept whole, :meth:`replay_from` clips
+        them at read time.
+        """
+        self.close()
+        kept = b""
+        n_kept = 0
+        for start_tick, batch in self.records():
+            if start_tick + batch.shape[0] <= tick:
+                continue
+            payload = pickle.dumps((start_tick, batch),
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+            kept += _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+            n_kept += 1
+        atomic_write_bytes(self._path, kept)
+        return n_kept

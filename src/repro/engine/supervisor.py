@@ -1,0 +1,283 @@
+"""The supervised engine: crash-tolerant ``ingest`` with kill-and-restore.
+
+:class:`SupervisedEngine` wraps a
+:class:`~repro.engine.core.DetectorEngine` with the durability loop the
+ROADMAP's scale-out item needs:
+
+* every batch is appended to the input :class:`~repro.engine.journal.Journal`
+  **before** the engine sees it (write-ahead discipline);
+* the engine is checkpointed to a
+  :class:`~repro.engine.checkpoint.CheckpointStore` every
+  ``checkpoint_every`` ticks (plus a genesis checkpoint at construction,
+  so recovery always has a base);
+* process-level crashes -- scheduled via
+  :class:`~repro.network.faults.EngineCrash` entries in a
+  :class:`~repro.network.faults.FaultPlan`, or forced by the watchdog --
+  destroy the live engine outright; recovery loads a checkpoint
+  (the newest, or the older generation the crash names), replays the
+  journal suffix discarding its outputs, and resumes exactly at the
+  crash tick.  Restore attempts are bounded by ``max_restarts``;
+  exhaustion raises :class:`~repro._exceptions.RecoveryError`.
+
+Because the detector stack is deterministic and the snapshot round-trip
+is bit-identical, a supervised run's detections are ``np.array_equal``
+to an uninterrupted run of the same engine on the same input -- crashes
+cost time (tracked per recovery in :attr:`SupervisedEngine.recoveries`),
+never correctness.  ``backpressure`` is ``True`` while a recovery is in
+progress, so a caller pumping live data knows to buffer upstream.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro._exceptions import ParameterError, RecoveryError, SnapshotError
+from repro._validation import require_positive_int
+from repro.engine.checkpoint import CheckpointStore
+from repro.engine.core import DetectorEngine
+from repro.engine.journal import Journal
+from repro.network.faults import EngineCrash, FaultPlan
+
+__all__ = ["SupervisedEngine"]
+
+
+class SupervisedEngine:
+    """A DetectorEngine under supervision: journaled, checkpointed, restartable.
+
+    Parameters
+    ----------
+    engine:
+        The engine to supervise.  The supervisor takes ownership: after a
+        crash the original object is discarded and replaced by a restored
+        copy, so callers must always go through the supervisor.
+    directory:
+        Durable state root; checkpoints land in ``<directory>/checkpoints``
+        and the input journal in ``<directory>/journal.wal``.
+    checkpoint_every:
+        Checkpoint cadence in ticks.  Smaller values bound replay cost at
+        the price of more (atomic) snapshot writes.
+    retain:
+        Checkpoint generations kept (restores may target older ones).
+    max_restarts:
+        Restore attempts per recovery before giving up with
+        :class:`~repro._exceptions.RecoveryError`.
+    fault_plan:
+        Optional plan whose :attr:`~repro.network.faults.FaultPlan.engine_crashes`
+        schedule deterministic kills (entries before the engine's current
+        tick are ignored).
+    watchdog_timeout_s:
+        Heartbeat staleness (seconds) beyond which :meth:`watchdog`
+        treats the engine as hung and forces a kill-and-restore.
+    """
+
+    def __init__(self, engine: DetectorEngine, directory: "str | Path", *,
+                 checkpoint_every: int = 256, retain: int = 4,
+                 max_restarts: int = 3,
+                 fault_plan: "FaultPlan | None" = None,
+                 watchdog_timeout_s: float = 30.0) -> None:
+        require_positive_int("checkpoint_every", checkpoint_every)
+        require_positive_int("max_restarts", max_restarts)
+        if watchdog_timeout_s <= 0.0:
+            raise ParameterError(
+                f"watchdog_timeout_s must be > 0, got {watchdog_timeout_s!r}")
+        self._engine = engine
+        root = Path(directory)
+        self._store = CheckpointStore(root / "checkpoints", retain=retain)
+        self._journal = Journal(root / "journal.wal")
+        self._checkpoint_every = checkpoint_every
+        self._max_restarts = max_restarts
+        self._watchdog_timeout_s = watchdog_timeout_s
+        crashes: "list[EngineCrash]" = []
+        if fault_plan is not None:
+            crashes = [c for c in fault_plan.engine_crashes
+                       if c.tick >= engine.tick]
+        self._crashes: "Deque[EngineCrash]" = deque(
+            sorted(crashes, key=lambda c: c.tick))
+        self._restarts = 0
+        self._recoveries: "list[dict[str, Any]]" = []
+        self._recovering = False
+        self._last_heartbeat = time.monotonic()
+        self._checkpoint()  # genesis: recovery always has a base
+
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> DetectorEngine:
+        """The live engine (replaced wholesale after each recovery)."""
+        return self._engine
+
+    @property
+    def tick(self) -> int:
+        """The next tick to be ingested."""
+        return self._engine.tick
+
+    @property
+    def checkpoint_every(self) -> int:
+        """Checkpoint cadence in ticks."""
+        return self._checkpoint_every
+
+    @property
+    def store(self) -> CheckpointStore:
+        """The checkpoint store."""
+        return self._store
+
+    @property
+    def journal(self) -> Journal:
+        """The write-ahead input journal."""
+        return self._journal
+
+    @property
+    def backpressure(self) -> bool:
+        """Whether a recovery is in progress (callers should buffer)."""
+        return self._recovering
+
+    @property
+    def restarts(self) -> int:
+        """Total completed kill-and-restore cycles."""
+        return self._restarts
+
+    @property
+    def recoveries(self) -> "Sequence[dict[str, Any]]":
+        """Per-recovery metrics: crash/checkpoint ticks, replay size, times."""
+        return tuple(dict(r) for r in self._recoveries)
+
+    def heartbeat_age(self) -> float:
+        """Seconds since the supervisor last made progress."""
+        return time.monotonic() - self._last_heartbeat
+
+    def _beat(self) -> None:
+        self._last_heartbeat = time.monotonic()
+
+    def watchdog(self) -> bool:
+        """Force a kill-and-restore if the heartbeat has gone stale.
+
+        Returns whether a restart was performed.  Intended to be polled
+        by a caller-side supervisor loop; a stale heartbeat means the
+        engine hung mid-batch, and the journal guarantees the readings
+        it was chewing on are replayable.
+        """
+        if self.heartbeat_age() <= self._watchdog_timeout_s:
+            return False
+        self._recover(EngineCrash(tick=self._engine.tick))
+        return True
+
+    def close(self) -> None:
+        """Release the journal's append handle."""
+        self._journal.close()
+
+    # ------------------------------------------------------------------
+
+    def ingest(self, batch: "np.ndarray | Sequence[Any]") -> np.ndarray:
+        """Journal, then feed ``m`` ticks; return the detection matrix.
+
+        Scheduled :class:`~repro.network.faults.EngineCrash` events fire
+        *before* their tick is processed: state built from ticks
+        ``< crash.tick`` is destroyed and rebuilt from checkpoint +
+        replay, after which processing resumes.  The returned matrix is
+        therefore identical to an uninterrupted run.
+        """
+        arr = self._engine._as_batch(batch)
+        m = arr.shape[0]
+        start = self._engine.tick
+        detections = np.zeros((m, self._engine.n_streams), dtype=bool)
+        if m == 0:
+            return detections
+        self._journal.append(start, arr)
+        pos = 0
+        while pos < m:
+            tick = start + pos
+            if self._crashes and self._crashes[0].tick == tick:
+                self._recover(self._crashes.popleft())
+                continue
+            stop = start + m
+            if self._crashes and self._crashes[0].tick < stop:
+                stop = self._crashes[0].tick
+            boundary = (tick // self._checkpoint_every + 1) \
+                * self._checkpoint_every
+            stop = min(stop, boundary)
+            detections[pos:stop - start] = \
+                self._engine.ingest(arr[pos:stop - start])
+            pos = stop - start
+            self._beat()
+            if self._engine.tick % self._checkpoint_every == 0:
+                self._checkpoint()
+        return detections
+
+    # ------------------------------------------------------------------
+
+    def _checkpoint(self) -> None:
+        began = time.perf_counter()
+        _, n_bytes = self._store.save(self._engine)
+        if obs.ACTIVE:
+            obs.emit("engine.checkpoint", tick=self._engine.tick,
+                     n_bytes=n_bytes, dur_s=time.perf_counter() - began)
+        oldest = self._store.oldest_tick()
+        if oldest is not None and oldest > 0:
+            self._journal.truncate_before(oldest)
+        self._beat()
+
+    def _restore_base(self, crash: EngineCrash,
+                      crash_tick: int) -> "tuple[DetectorEngine, int]":
+        if crash.checkpoint is not None:
+            candidates = [crash.checkpoint]
+        else:
+            candidates = [t for t in reversed(self._store.ticks())
+                          if t <= crash_tick]
+        last_error: "Exception | None" = None
+        for attempt, cp_tick in enumerate(candidates):
+            if attempt >= self._max_restarts:
+                break
+            try:
+                return self._store.load(cp_tick), cp_tick
+            except SnapshotError as exc:
+                last_error = exc
+        raise RecoveryError(
+            f"could not restore a checkpoint for the crash at tick "
+            f"{crash_tick} (tried {candidates[:self._max_restarts]})"
+        ) from last_error
+
+    def _recover(self, crash: EngineCrash) -> None:
+        """Kill-and-restore: checkpoint base + journal replay to the crash tick."""
+        self._recovering = True
+        began = time.perf_counter()
+        crash_tick = self._engine.tick
+        del self._engine  # the kill: live state is gone for good
+        try:
+            engine, cp_tick = self._restore_base(crash, crash_tick)
+            restored_at = time.perf_counter()
+            if obs.ACTIVE:
+                obs.emit("engine.restore", tick=crash_tick,
+                         checkpoint_tick=cp_tick,
+                         dur_s=restored_at - began)
+            replayed = 0
+            for start_tick, chunk in self._journal.replay_from(cp_tick):
+                if start_tick >= crash_tick:
+                    break
+                chunk = chunk[:crash_tick - start_tick]
+                engine.ingest(chunk)  # outputs already emitted pre-crash
+                replayed += chunk.shape[0]
+            if engine.tick != crash_tick:
+                raise RecoveryError(
+                    f"replay from checkpoint {cp_tick} reached tick "
+                    f"{engine.tick}, not the crash tick {crash_tick}: "
+                    f"the journal is missing records")
+            if obs.ACTIVE:
+                obs.emit("engine.replay", tick=crash_tick, n_ticks=replayed,
+                         dur_s=time.perf_counter() - restored_at)
+            self._engine = engine
+            self._restarts += 1
+            self._recoveries.append({
+                "crash_tick": crash_tick,
+                "checkpoint_tick": cp_tick,
+                "replayed_ticks": replayed,
+                "recovery_s": time.perf_counter() - began,
+            })
+        finally:
+            self._recovering = False
+        self._beat()

@@ -33,6 +33,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro._artifacts import atomic_write_text
 from repro.core import backend as _backend
 from repro.core.estimator import KernelDensityEstimator
 from repro.core.kernels import EPANECHNIKOV, GAUSSIAN, Kernel
@@ -200,10 +201,9 @@ def run_kernels_benchmark(*, n_queries: int = 4_096, n_centers: int = 2_048,
 
 
 def write_results(results: dict, path: "str | Path" = DEFAULT_OUTPUT) -> Path:
-    """Write the result document as JSON; return the path."""
-    target = Path(path)
-    target.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
-    return target
+    """Atomically write the result document as JSON; return the path."""
+    return atomic_write_text(
+        path, json.dumps(results, indent=2, sort_keys=True) + "\n")
 
 
 def check_regression(current: dict, baseline: dict,

@@ -18,6 +18,10 @@ the prior entries:
 * **kernels**: the latest Eq. 4-6 microbenchmark speedup over the frozen
   pre-backend reference may not drop more than ``throughput_drop`` below
   the prior median.
+* **recovery**: the latest crash-recovery sweep must report **zero**
+  detection divergence (correctness is absolute, not relative), and its
+  recovery-time P99 may not rise more than ``recovery_time_rise`` above
+  the prior median.
 
 Throughput and kernels entries record which compute backend
 (``repro.core.backend``) produced them; the gates only compare entries
@@ -38,6 +42,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping, Sequence
 
+from repro._artifacts import atomic_append_text
 from repro._exceptions import ParameterError
 
 __all__ = ["RegressionTolerances", "summarize_benchmark", "append_history",
@@ -60,6 +65,10 @@ class RegressionTolerances:
     #: history says, dropping to (near) zero recall under faults is the
     #: cliff the resilience layer exists to prevent.
     min_faulted_recall: float = 0.10
+    #: Maximum tolerated relative *rise* of the recovery-time P99 vs the
+    #: median of prior entries (1.0 = latest may take twice as long;
+    #: deliberately loose, CI timing is noisy).
+    recovery_time_rise: float = 1.0
 
     def __post_init__(self) -> None:
         for name, value in (("throughput_drop", self.throughput_drop),
@@ -71,6 +80,10 @@ class RegressionTolerances:
             raise ParameterError(
                 f"min_faulted_recall must lie in [0, 1], "
                 f"got {self.min_faulted_recall!r}")
+        if self.recovery_time_rise <= 0.0:
+            raise ParameterError(
+                f"recovery_time_rise must be > 0, "
+                f"got {self.recovery_time_rise!r}")
 
 
 def _median(values: "Sequence[float]") -> float:
@@ -133,10 +146,29 @@ def summarize_benchmark(doc: "Mapping[str, object]") -> "dict[str, object]":
         summary["backend"] = str(doc.get("backend", "numpy"))
         summary["min_speedup"] = float(doc["min_speedup"])  # type: ignore[arg-type]
         summary["max_abs_err"] = float(doc["max_abs_err"])  # type: ignore[arg-type]
+    elif kind == "recovery":
+        cells = doc.get("cells")
+        if not isinstance(cells, list) or not cells:
+            raise ParameterError("recovery document lacks cells")
+        divergence = 0
+        p99s: "list[float]" = []
+        replayed = 0
+        recoveries = 0
+        for cell in cells:
+            assert isinstance(cell, Mapping)
+            divergence += int(cell["divergence"])  # type: ignore[arg-type]
+            p99s.append(float(cell["recovery_p99_s"]))  # type: ignore[arg-type]
+            replayed += int(cell["replayed_ticks"])  # type: ignore[arg-type]
+            recoveries += int(cell["n_recoveries"])  # type: ignore[arg-type]
+        summary["total_divergence"] = divergence
+        summary["recovery_p99_s"] = max(p99s)
+        summary["total_replayed_ticks"] = replayed
+        summary["total_recoveries"] = recoveries
     else:
         raise ParameterError(
             f"cannot summarise benchmark kind {kind!r} "
-            "(expected 'ingest-throughput', 'resilience' or 'kernels')")
+            "(expected 'ingest-throughput', 'resilience', 'kernels' "
+            "or 'recovery')")
     return summary
 
 
@@ -160,7 +192,8 @@ def history_path(kind: str,
         else DEFAULT_HISTORY_DIR
     stem = {"ingest-throughput": "throughput",
             "resilience": "resilience",
-            "kernels": "kernels"}.get(kind)
+            "kernels": "kernels",
+            "recovery": "recovery"}.get(kind)
     if stem is None:
         raise ParameterError(f"unknown benchmark kind {kind!r}")
     return base / f"{stem}.jsonl"
@@ -212,8 +245,9 @@ def append_history(doc: "Mapping[str, object]",
                 and entry.get("benchmark") == summary["benchmark"]):
             return path, entry
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "a", encoding="utf-8") as sink:
-        sink.write(json.dumps(summary, sort_keys=True) + "\n")
+    # Atomic read-modify-replace: a crash mid-append must not leave a
+    # torn JSONL tail that poisons every later gate run.
+    atomic_append_text(path, json.dumps(summary, sort_keys=True) + "\n")
     return path, summary
 
 
@@ -283,6 +317,26 @@ def check_history(entries: "Sequence[Mapping[str, object]]", *,
             problems.append(
                 f"min_faulted_recall {faulted:.3f} below the cliff floor "
                 f"{tolerances.min_faulted_recall:.3f}")
+    elif kind == "recovery":
+        # Correctness is absolute, never relative: any divergence between
+        # the crashed and uninterrupted runs fails regardless of history.
+        divergence = latest.get("total_divergence")
+        if not isinstance(divergence, int) or divergence != 0:
+            problems.append(
+                f"total_divergence is {divergence!r}, must be exactly 0")
+        history = [float(e["recovery_p99_s"])  # type: ignore[arg-type]
+                   for e in priors
+                   if isinstance(e.get("recovery_p99_s"), (int, float))]
+        value = latest.get("recovery_p99_s")
+        if history and isinstance(value, (int, float)):
+            baseline = _median(history)
+            if baseline > 0 and math.isfinite(baseline):
+                rise = (float(value) - baseline) / baseline
+                if rise > tolerances.recovery_time_rise:
+                    problems.append(
+                        f"recovery_p99_s rose {rise:.1%} vs prior median "
+                        f"({value:.4g} > {baseline:.4g}, tolerance "
+                        f"{tolerances.recovery_time_rise:.0%})")
     else:
         problems.append(f"latest entry has unknown benchmark kind {kind!r}")
     return problems

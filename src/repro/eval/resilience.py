@@ -35,6 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro._artifacts import atomic_write_text
 from repro._exceptions import ParameterError
 from repro.eval.harness import ExperimentConfig, run_accuracy_run
 from repro.eval.provenance import run_metadata
@@ -152,10 +153,9 @@ def run_resilience_benchmark(*, algorithms: "tuple[str, ...]" = ("d3", "mgdd"),
 
 def write_results(results: "dict[str, object]",
                   path: "str | Path" = DEFAULT_OUTPUT) -> Path:
-    """Write the result document as JSON; return the path."""
-    target = Path(path)
-    target.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
-    return target
+    """Atomically write the result document as JSON; return the path."""
+    return atomic_write_text(
+        path, json.dumps(results, indent=2, sort_keys=True) + "\n")
 
 
 def check_degradation(results: "dict[str, object]") -> "list[str]":

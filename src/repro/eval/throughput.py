@@ -30,6 +30,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro._artifacts import atomic_write_text
 from repro._exceptions import ParameterError
 from repro.core.outliers import DistanceOutlierSpec
 from repro.data.streams import StreamSet
@@ -208,10 +209,9 @@ def run_throughput_benchmark(*, window_size: int = 2_000,
 
 
 def write_results(results: dict, path: "str | Path" = DEFAULT_OUTPUT) -> Path:
-    """Write the result document as JSON; return the path."""
-    target = Path(path)
-    target.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
-    return target
+    """Atomically write the result document as JSON; return the path."""
+    return atomic_write_text(
+        path, json.dumps(results, indent=2, sort_keys=True) + "\n")
 
 
 def check_regression(current: dict, baseline: dict,

@@ -35,7 +35,7 @@ from repro._exceptions import ParameterError, TopologyError
 from repro._rng import resolve_rng
 from repro.network.topology import Hierarchy
 
-__all__ = ["CrashWindow", "FaultPlan", "random_crash_plan"]
+__all__ = ["CrashWindow", "EngineCrash", "FaultPlan", "random_crash_plan"]
 
 
 @dataclass(frozen=True)
@@ -70,6 +70,32 @@ class CrashWindow:
         return self.end is None or self.end > start
 
 
+@dataclass(frozen=True)
+class EngineCrash:
+    """One process-level kill of a supervised detector engine.
+
+    The crash fires immediately *before* tick ``tick`` is processed:
+    all live state built from earlier ticks is destroyed, and the
+    supervisor restores from ``checkpoint`` (a specific stored
+    checkpoint tick) or, when ``None``, from the newest checkpoint at
+    or before the crash.  Node-level :class:`CrashWindow` entries model
+    sensors going dark; this models the *detector process itself*
+    dying -- the failure mode :mod:`repro.engine` exists to survive.
+    """
+
+    tick: int
+    checkpoint: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.tick < 0:
+            raise ParameterError(
+                f"engine crash tick must be >= 0, got {self.tick}")
+        if self.checkpoint is not None and self.checkpoint < 0:
+            raise ParameterError(
+                f"engine crash checkpoint must be >= 0, "
+                f"got {self.checkpoint}")
+
+
 class FaultPlan:
     """A deterministic schedule of crashes, link loss and duplication.
 
@@ -88,12 +114,18 @@ class FaultPlan:
     duplication_rate:
         Probability that a delivered message is delivered a second time
         in the same tick.
+    engine_crashes:
+        Process-level :class:`EngineCrash` kills of a supervised
+        detector engine (consumed by
+        :class:`repro.engine.supervisor.SupervisedEngine`); at most one
+        per tick, kept sorted by tick.
     """
 
     def __init__(self, crashes: "Iterable[CrashWindow]" = (),
                  link_loss: "Mapping[tuple[int, int], float] | None" = None,
                  default_loss_rate: "float | None" = None,
-                 duplication_rate: float = 0.0) -> None:
+                 duplication_rate: float = 0.0,
+                 engine_crashes: "Iterable[EngineCrash]" = ()) -> None:
         self._windows: "dict[int, list[CrashWindow]]" = {}
         for window in crashes:
             self._windows.setdefault(window.node, []).append(window)
@@ -120,6 +152,13 @@ class FaultPlan:
                 f"got {duplication_rate!r}")
         self._default_loss_rate = default_loss_rate
         self._duplication_rate = duplication_rate
+        self._engine_crashes = tuple(
+            sorted(engine_crashes, key=lambda c: c.tick))
+        for earlier, later in zip(self._engine_crashes,
+                                  self._engine_crashes[1:]):
+            if earlier.tick == later.tick:
+                raise ParameterError(
+                    f"duplicate engine crash at tick {earlier.tick}")
 
     # ------------------------------------------------------------------
 
@@ -143,6 +182,11 @@ class FaultPlan:
     def duplication_rate(self) -> float:
         """Probability a delivered message is delivered twice."""
         return self._duplication_rate
+
+    @property
+    def engine_crashes(self) -> "tuple[EngineCrash, ...]":
+        """Scheduled process-level engine kills, sorted by tick."""
+        return self._engine_crashes
 
     def crashed(self, node: int, tick: int) -> bool:
         """Whether ``node`` is down at ``tick``."""

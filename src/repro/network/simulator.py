@@ -304,7 +304,25 @@ class NetworkSimulator:
                 and self._transport.config.park_when_crashed:
             # The link layer knows the next hop is dead (no carrier):
             # buffer at the sender instead of burning radio and retries.
-            self._transport.park(entry)
+            evicted = self._transport.park(entry)
+            if evicted is not None:
+                # A full park buffer sheds its oldest occupant.  Parked
+                # messages were never charged as sent (parking precedes
+                # the send site below), so the eviction must record both
+                # a send and a drop to keep sent == delivered + dropped.
+                self._counter.record(evicted.message)
+                self._counter.record_dropped(evicted.message)
+                self._drops_by_reason["park-evict"] = \
+                    self._drops_by_reason.get("park-evict", 0) + 1
+                if obs.ACTIVE:
+                    kind = type(evicted.message).__name__
+                    obs.emit("message.send", kind=kind,
+                             sender=evicted.sender, dest=evicted.dest,
+                             words=evicted.message.size_words(),
+                             tick=self._tick)
+                    obs.emit("message.drop", kind=kind,
+                             reason="park-evict", dest=evicted.dest,
+                             tick=self._tick)
             return 0
         # Sending happens regardless of delivery: the message is counted
         # and the sender pays transmit energy even when the radio loses it.

@@ -19,7 +19,9 @@ inserts between node behaviours and its ``_drain`` loop when given a
   while the counters see every physical attempt;
 * messages addressed to a crashed node are *parked* (buffered at the
   sender, costing nothing) and flushed when the node recovers -- the
-  Section 2 leaves buffering for a dead parent.
+  Section 2 leaves buffering for a dead parent.  The park buffer is
+  bounded by ``TransportConfig.max_parked``: overflow evicts the oldest
+  parked message, charged honestly as a drop (reason ``park-evict``).
 
 Every attempt, ack and retransmission is charged to the simulator's
 :class:`~repro.network.messages.MessageCounter` and (when configured)
@@ -50,13 +52,18 @@ class TransportConfig:
     most ``1 + max_retries`` times.  The ``k``-th retransmission waits
     ``backoff_base * backoff_factor**(k-1)`` ticks after the failed
     attempt.  ``park_when_crashed`` buffers messages for crashed
-    destinations instead of burning retries against a dead radio.
+    destinations instead of burning retries against a dead radio;
+    ``max_parked`` bounds that buffer across all destinations (a real
+    sender has finite memory) -- parking beyond the bound evicts the
+    *oldest* parked message, which is charged as a drop.  ``None``
+    leaves the buffer unbounded.
     """
 
     max_retries: int = 3
     backoff_base: int = 1
     backoff_factor: int = 2
     park_when_crashed: bool = True
+    max_parked: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -64,6 +71,8 @@ class TransportConfig:
                 f"max_retries must be >= 0, got {self.max_retries}")
         require_positive_int("backoff_base", self.backoff_base)
         require_positive_int("backoff_factor", self.backoff_factor)
+        if self.max_parked is not None:
+            require_positive_int("max_parked", self.max_parked)
 
     def backoff_ticks(self, attempts: int) -> int:
         """Ticks to wait after the ``attempts``-th transmission failed."""
@@ -101,6 +110,8 @@ class ReliableTransport:
     n_sender_crashes: int = 0
     #: Parked messages flushed after their destination recovered.
     n_park_flushes: int = 0
+    #: Parked messages evicted because the park buffer hit ``max_parked``.
+    n_park_evictions: int = 0
 
     # ------------------------------------------------------------------
 
@@ -158,11 +169,29 @@ class ReliableTransport:
                 due.append(entry)
         return due
 
-    def park(self, entry: PendingMessage) -> None:
-        """Buffer ``entry`` until its destination recovers."""
+    def park(self, entry: PendingMessage) -> "PendingMessage | None":
+        """Buffer ``entry`` until its destination recovers.
+
+        When the buffer is bounded (``config.max_parked``) and full, the
+        oldest parked message (lowest sequence number) is evicted and
+        returned so the caller can charge it as a drop; otherwise
+        returns ``None``.
+        """
         entry.parked = True
         if obs.ACTIVE:
             obs.emit("transport.park", seq_no=entry.seq, dest=entry.dest)
+        limit = self.config.max_parked
+        if limit is None:
+            return None
+        parked = sorted(seq for seq, e in self._pending.items() if e.parked)
+        if len(parked) <= limit:
+            return None
+        evicted = self._pending.pop(parked[0])
+        self.n_park_evictions += 1
+        if obs.ACTIVE:
+            obs.emit("transport.park_evict", seq_no=evicted.seq,
+                     dest=evicted.dest)
+        return evicted
 
     def note_attempt(self, entry: PendingMessage) -> None:
         """Account one physical transmission of ``entry``."""
@@ -202,6 +231,7 @@ class ReliableTransport:
             "expired": self.n_expired,
             "sender_crashes": self.n_sender_crashes,
             "park_flushes": self.n_park_flushes,
+            "park_evictions": self.n_park_evictions,
             "pending": self.n_pending,
             "parked": self.n_parked,
         }

@@ -26,6 +26,7 @@ import math
 import re
 from typing import Mapping
 
+from repro._artifacts import atomic_write_text
 from repro._exceptions import ParameterError
 
 __all__ = ["prometheus_text", "json_lines", "parse_prometheus",
@@ -228,6 +229,7 @@ def write_metrics(snapshot: "Mapping[str, Mapping[str, object]]",
     else:
         raise ParameterError(
             f"unknown metrics format {fmt!r} (expected 'prom' or 'jsonl')")
-    with open(path, "w", encoding="utf-8") as sink:
-        sink.write(payload)
+    # Exporters are scrape targets: a kill mid-write must leave the
+    # previous scrape intact, never a truncated exposition.
+    atomic_write_text(path, payload)
     return fmt

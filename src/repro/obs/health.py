@@ -49,9 +49,9 @@ horizon, or force a model broadcast when a node goes unhealthy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from types import MappingProxyType
-from typing import Callable, Mapping
+from typing import Any, Callable, Mapping
 
 import numpy as np
 
@@ -127,6 +127,15 @@ class HealthThresholds:
                 f"max_staleness_ratio must be positive, "
                 f"got {self.max_staleness_ratio!r}")
 
+    def snapshot_state(self) -> "dict[str, Any]":
+        """Plain-data snapshot for the :mod:`repro.engine.snapshot` codec."""
+        return asdict(self)
+
+    @classmethod
+    def restore_state(cls, state: "dict[str, Any]") -> "HealthThresholds":
+        """Rebuild thresholds from a :meth:`snapshot_state` dict."""
+        return cls(**state)
+
 
 # repro-lint: shard-state
 @dataclass(frozen=True)
@@ -176,6 +185,18 @@ class ModelHealth:
             "violations": list(self.violations),
             "score": self.score,
         }
+
+    def snapshot_state(self) -> "dict[str, Any]":
+        """Plain-data snapshot for the :mod:`repro.engine.snapshot` codec."""
+        return asdict(self)
+
+    @classmethod
+    def restore_state(cls, state: "dict[str, Any]") -> "ModelHealth":
+        """Rebuild a report from a :meth:`snapshot_state` dict."""
+        restored = dict(state)
+        restored["stale_children"] = tuple(restored["stale_children"])
+        restored["violations"] = tuple(restored["violations"])
+        return cls(**restored)
 
 
 @dataclass

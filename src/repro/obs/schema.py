@@ -44,6 +44,7 @@ EVENT_FIELDS: "Mapping[str, Mapping[str, str]]" = MappingProxyType({
     "transport.retransmit": {"seq_no": _INT, "attempt": _INT},
     "transport.expire": {"seq_no": _INT},
     "transport.park": {"seq_no": _INT, "dest": _INT},
+    "transport.park_evict": {"seq_no": _INT, "dest": _INT},
     "transport.flush": {"seq_no": _INT, "dest": _INT},
     "transport.sender_crash": {"seq_no": _INT, "sender": _INT},
     # election / bearer repair
@@ -67,6 +68,11 @@ EVENT_FIELDS: "Mapping[str, Mapping[str, str]]" = MappingProxyType({
     "health.drift": {"node": _INT, "tick": _INT, "l1": _FLOAT,
                      "linf": _FLOAT},
     "health.slo_violation": {"node": _INT, "tick": _INT, "rule": _STR},
+    # supervised engine checkpoint/recovery (repro.engine)
+    "engine.checkpoint": {"tick": _INT, "n_bytes": _INT, "dur_s": _FLOAT},
+    "engine.restore": {"tick": _INT, "checkpoint_tick": _INT,
+                       "dur_s": _FLOAT},
+    "engine.replay": {"tick": _INT, "n_ticks": _INT, "dur_s": _FLOAT},
 })
 
 EVENT_KINDS = frozenset(EVENT_FIELDS)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -196,3 +197,31 @@ class EHMomentsSketch:
         if variance <= 1e-18:
             return 0.0
         return (agg.m3 / agg.count) / variance**1.5
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.engine.snapshot)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> "dict[str, Any]":
+        """Plain-data snapshot for the :mod:`repro.engine.snapshot` codec."""
+        return {
+            "window_size": self._window_size,
+            "epsilon": self._epsilon,
+            "buckets": [(b.newest_ts, b.count, b.mean, b.m2, b.m3)
+                        for b in self._buckets],
+            "timestamp": self._timestamp,
+            "since_compress": self._since_compress,
+            "max_bucket_count": self._max_bucket_count,
+        }
+
+    @classmethod
+    def restore_state(cls, state: "dict[str, Any]") -> "EHMomentsSketch":
+        """Rebuild a moments sketch from a :meth:`snapshot_state` dict."""
+        sketch = cls(int(state["window_size"]), float(state["epsilon"]))
+        sketch._buckets = [
+            _Bucket(int(ts), int(count), float(mean), float(m2), float(m3))
+            for ts, count, mean, m2, m3 in state["buckets"]]
+        sketch._timestamp = int(state["timestamp"])
+        sketch._since_compress = int(state["since_compress"])
+        sketch._max_bucket_count = int(state["max_bucket_count"])
+        return sketch

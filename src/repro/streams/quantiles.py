@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -134,3 +135,22 @@ class GKQuantileSummary:
     def median(self) -> float:
         """The approximate median."""
         return self.query(0.5)
+
+    def snapshot_state(self) -> "dict[str, Any]":
+        """Plain-data snapshot for the :mod:`repro.engine.snapshot` codec."""
+        return {
+            "epsilon": self._epsilon,
+            "tuples": [(t.value, t.g, t.delta) for t in self._tuples],
+            "count": self._count,
+            "since_compress": self._since_compress,
+        }
+
+    @classmethod
+    def restore_state(cls, state: "dict[str, Any]") -> "GKQuantileSummary":
+        """Rebuild a summary from a :meth:`snapshot_state` dict."""
+        summary = cls(float(state["epsilon"]))
+        summary._tuples = [_Tuple(float(value), int(g), int(delta))
+                           for value, g, delta in state["tuples"]]
+        summary._count = int(state["count"])
+        summary._since_compress = int(state["since_compress"])
+        return summary

@@ -37,13 +37,13 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Sequence, Tuple
+from typing import Any, Deque, Sequence, Tuple
 
 import numpy as np
 
 from repro import _sanitize, obs
 from repro._exceptions import ParameterError
-from repro._rng import resolve_rng
+from repro._rng import resolve_rng, rng_from_state, rng_state
 from repro._validation import require_positive_int
 
 __all__ = ["ChainSample", "ReservoirSample"]
@@ -339,6 +339,15 @@ class ChainSample:
                         chain.successor_ts = self._draw_successor(slot, succ_ts)
                     cursor = succ_ts
                 elif acc_ts is not None:
+                    # Items that expired at arrivals *before* the
+                    # acceptance are charged exactly as the scalar path
+                    # charges them; only the still-live remainder is
+                    # discarded uncounted by the replacement below.
+                    horizon = acc_ts - 1 - window
+                    while items and items[0][0] <= horizon:
+                        items.popleft()
+                        self._mutations += 1
+                        self._evictions += 1
                     items.clear()
                     items.append((acc_ts, vals[acc_ts - ts0].copy()))
                     chain.successor_ts = self._draw_successor(slot, acc_ts)
@@ -416,6 +425,60 @@ class ChainSample:
         stored = int(self.chain_lengths().sum())
         return stored * (words_per_value + 1) + self._sample_size
 
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.engine.snapshot)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> "dict[str, Any]":
+        """Plain-data snapshot for the :mod:`repro.engine.snapshot` codec.
+
+        Captures every chain (including queued successors and pending
+        successor timestamps) plus the exact bitstream positions of the
+        acceptance generator and the per-slot successor substreams, so a
+        :meth:`restore_state` round trip replays future arrivals bit for
+        bit.
+        """
+        return {
+            "window_size": self._window_size,
+            "sample_size": self._sample_size,
+            "n_dims": self._n_dims,
+            "rng": rng_state(self._rng),
+            "successor_rngs": [rng_state(g) for g in self._successor_rngs],
+            "chains": [
+                {"items": [(int(ts), value.copy())
+                           for ts, value in chain.items],
+                 "successor_ts": int(chain.successor_ts)}
+                for chain in self._chains],
+            "timestamp": self._timestamp,
+            "mutations": self._mutations,
+            "evictions": self._evictions,
+        }
+
+    @classmethod
+    def restore_state(cls, state: "dict[str, Any]") -> "ChainSample":
+        """Rebuild a sampler from a :meth:`snapshot_state` dict.
+
+        Bypasses ``__init__`` (which would spawn fresh substreams) and
+        reinstates every field directly, so the restored sampler is
+        indistinguishable from the original under any future offers.
+        """
+        sample = cls.__new__(cls)
+        sample._window_size = int(state["window_size"])
+        sample._sample_size = int(state["sample_size"])
+        sample._n_dims = int(state["n_dims"])
+        sample._rng = rng_from_state(state["rng"])
+        sample._successor_rngs = [
+            rng_from_state(s) for s in state["successor_rngs"]]
+        sample._chains = [
+            _Chain(items=deque((int(ts), np.asarray(value, dtype=float))
+                               for ts, value in chain["items"]),
+                   successor_ts=int(chain["successor_ts"]))
+            for chain in state["chains"]]
+        sample._timestamp = int(state["timestamp"])
+        sample._mutations = int(state["mutations"])
+        sample._evictions = int(state["evictions"])
+        return sample
+
 
 # repro-lint: shard-state
 class ReservoirSample:
@@ -469,3 +532,24 @@ class ReservoirSample:
     def values(self) -> np.ndarray:
         """Current reservoir contents, shape ``(k, n_dims)``."""
         return self._reservoir[:len(self)].copy()
+
+    def snapshot_state(self) -> "dict[str, Any]":
+        """Plain-data snapshot for the :mod:`repro.engine.snapshot` codec."""
+        return {
+            "sample_size": self._sample_size,
+            "n_dims": self._n_dims,
+            "rng": rng_state(self._rng),
+            "reservoir": self._reservoir.copy(),
+            "seen": self._seen,
+        }
+
+    @classmethod
+    def restore_state(cls, state: "dict[str, Any]") -> "ReservoirSample":
+        """Rebuild a reservoir from a :meth:`snapshot_state` dict."""
+        sample = cls.__new__(cls)
+        sample._sample_size = int(state["sample_size"])
+        sample._n_dims = int(state["n_dims"])
+        sample._rng = rng_from_state(state["rng"])
+        sample._reservoir = np.asarray(state["reservoir"], dtype=float).copy()
+        sample._seen = int(state["seen"])
+        return sample

@@ -38,7 +38,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -360,6 +360,39 @@ class EHVarianceSketch:
         """Estimated standard deviation of the window."""
         return math.sqrt(max(self.variance(), 0.0))
 
+    # ------------------------------------------------------------------
+    # Snapshot protocol (repro.engine.snapshot)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> "dict[str, Any]":
+        """Plain-data snapshot for the :mod:`repro.engine.snapshot` codec.
+
+        Buckets are flattened to ``(newest_ts, count, mean, m2)`` tuples;
+        the compression phase (``_since_compress``) is included so the
+        restored sketch merges at exactly the same insert boundaries.
+        """
+        return {
+            "window_size": self._window_size,
+            "epsilon": self._epsilon,
+            "buckets": [(b.newest_ts, b.count, b.mean, b.m2)
+                        for b in self._buckets],
+            "timestamp": self._timestamp,
+            "max_bucket_count": self._max_bucket_count,
+            "since_compress": self._since_compress,
+        }
+
+    @classmethod
+    def restore_state(cls, state: "dict[str, Any]") -> "EHVarianceSketch":
+        """Rebuild a sketch from a :meth:`snapshot_state` dict."""
+        sketch = cls(int(state["window_size"]), float(state["epsilon"]))
+        sketch._buckets = [
+            _Bucket(int(ts), int(count), float(mean), float(m2))
+            for ts, count, mean, m2 in state["buckets"]]
+        sketch._timestamp = int(state["timestamp"])
+        sketch._max_bucket_count = int(state["max_bucket_count"])
+        sketch._since_compress = int(state["since_compress"])
+        return sketch
+
 
 # repro-lint: shard-state
 class MultiDimVarianceSketch:
@@ -434,6 +467,22 @@ class MultiDimVarianceSketch:
         """Peak logical footprint in machine words."""
         return sum(s.max_memory_words() for s in self._sketches)
 
+    def snapshot_state(self) -> "dict[str, Any]":
+        """Plain-data snapshot for the :mod:`repro.engine.snapshot` codec."""
+        return {
+            "n_dims": self._n_dims,
+            "sketches": [s.snapshot_state() for s in self._sketches],
+        }
+
+    @classmethod
+    def restore_state(cls, state: "dict[str, Any]") -> "MultiDimVarianceSketch":
+        """Rebuild a multi-dimension sketch from its per-dimension states."""
+        sketch = cls.__new__(cls)
+        sketch._n_dims = int(state["n_dims"])
+        sketch._sketches = [EHVarianceSketch.restore_state(s)
+                            for s in state["sketches"]]
+        return sketch
+
 
 # repro-lint: shard-state
 class ExactWindowedVariance:
@@ -470,3 +519,14 @@ class ExactWindowedVariance:
         if values.shape[0] == 0:
             raise ParameterError("no values inserted yet")
         return values.var(axis=0)
+
+    def snapshot_state(self) -> "dict[str, Any]":
+        """Plain-data snapshot for the :mod:`repro.engine.snapshot` codec."""
+        return {"window": self._window.snapshot_state()}
+
+    @classmethod
+    def restore_state(cls, state: "dict[str, Any]") -> "ExactWindowedVariance":
+        """Rebuild the reference tracker from its window state."""
+        tracker = cls.__new__(cls)
+        tracker._window = SlidingWindow.restore_state(state["window"])
+        return tracker

@@ -8,7 +8,7 @@ ground-truth detectors and reference statistics, with O(1) appends.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -84,3 +84,24 @@ class SlidingWindow:
         """Drop all contents."""
         self._count = 0
         self._next = 0
+
+    def snapshot_state(self) -> "dict[str, Any]":
+        """Plain-data snapshot for the :mod:`repro.engine.snapshot` codec."""
+        return {
+            "capacity": self._capacity,
+            "n_dims": self._n_dims,
+            "buffer": self._buffer.copy(),
+            "count": self._count,
+            "next": self._next,
+        }
+
+    @classmethod
+    def restore_state(cls, state: "dict[str, Any]") -> "SlidingWindow":
+        """Rebuild a window from a :meth:`snapshot_state` dict."""
+        window = cls.__new__(cls)
+        window._capacity = int(state["capacity"])
+        window._n_dims = int(state["n_dims"])
+        window._buffer = np.asarray(state["buffer"], dtype=float).copy()
+        window._count = int(state["count"])
+        window._next = int(state["next"])
+        return window

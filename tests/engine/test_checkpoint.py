@@ -1,0 +1,94 @@
+"""Checkpoint store: generational retention, atomicity, load errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ParameterError, SnapshotError
+from repro.core.outliers import DistanceOutlierSpec
+from repro.engine.checkpoint import CheckpointStore
+from repro.engine.core import DetectorEngine
+from repro.engine.snapshot import encode_snapshot
+
+SPEC = DistanceOutlierSpec(radius=0.5, count_threshold=3)
+
+
+def make_engine(seed: int = 0) -> DetectorEngine:
+    return DetectorEngine(2, SPEC, window_size=30, sample_size=10,
+                          rng=np.random.default_rng(seed))
+
+
+def advance(engine: DetectorEngine, m: int, seed: int = 9) -> None:
+    rng = np.random.default_rng(seed + engine.tick)
+    engine.ingest(rng.normal(size=(m, engine.n_streams)))
+
+
+class TestStoreBasics:
+    def test_empty_store(self, tmp_path):
+        store = CheckpointStore(tmp_path / "chk")
+        assert store.ticks() == []
+        assert store.latest_tick() is None
+        assert store.oldest_tick() is None
+
+    def test_invalid_retain_rejected(self, tmp_path):
+        with pytest.raises(ParameterError):
+            CheckpointStore(tmp_path, retain=0)
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "chk")
+        engine = make_engine()
+        advance(engine, 17)
+        path, n_bytes = store.save(engine)
+        assert path.exists() and n_bytes == path.stat().st_size
+        restored = store.load()
+        assert restored.tick == 17
+        assert encode_snapshot(restored) == encode_snapshot(engine)
+
+    def test_retain_prunes_oldest(self, tmp_path):
+        store = CheckpointStore(tmp_path / "chk", retain=2)
+        engine = make_engine()
+        for _ in range(4):
+            store.save(engine)
+            advance(engine, 5)
+        assert store.ticks() == [10, 15]
+        assert store.oldest_tick() == 10
+        assert store.latest_tick() == 15
+
+    def test_load_picks_newest_by_default(self, tmp_path):
+        store = CheckpointStore(tmp_path / "chk")
+        engine = make_engine()
+        store.save(engine)
+        advance(engine, 8)
+        store.save(engine)
+        assert store.load().tick == 8
+        assert store.load(0).tick == 0
+
+    def test_load_missing_tick_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path / "chk")
+        store.save(make_engine())
+        with pytest.raises(SnapshotError, match="no checkpoint at tick 99"):
+            store.load(99)
+
+    def test_load_empty_store_raises(self, tmp_path):
+        with pytest.raises(SnapshotError, match="empty"):
+            CheckpointStore(tmp_path / "chk").load()
+
+    def test_corrupt_checkpoint_raises_snapshot_error(self, tmp_path):
+        store = CheckpointStore(tmp_path / "chk")
+        engine = make_engine()
+        path, _ = store.save(engine)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="checksum"):
+            store.load()
+
+    def test_foreign_snapshot_rejected(self, tmp_path):
+        from repro.streams.window import SlidingWindow
+        store = CheckpointStore(tmp_path / "chk")
+        (tmp_path / "chk").mkdir()
+        (tmp_path / "chk" / "chk_000000000003.snap").write_bytes(
+            encode_snapshot(SlidingWindow(4)))
+        with pytest.raises(SnapshotError, match="not a DetectorEngine"):
+            store.load(3)

@@ -1,0 +1,128 @@
+"""Input journal: durable appends, torn-tail recovery, clipped replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import SnapshotError
+from repro.engine.journal import Journal
+
+
+def batch(start: int, m: int) -> np.ndarray:
+    return np.arange(start, start + m, dtype=float)[:, None, None]
+
+
+class TestAppendAndRead:
+    def test_records_round_trip_in_order(self, tmp_path):
+        journal = Journal(tmp_path / "j.wal")
+        journal.append(0, batch(0, 4))
+        journal.append(4, batch(4, 2))
+        records = journal.records()
+        assert [(t, b.shape[0]) for t, b in records] == [(0, 4), (4, 2)]
+        assert np.array_equal(records[1][1], batch(4, 2))
+        assert journal.n_torn == 0
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert Journal(tmp_path / "absent.wal").records() == []
+
+    def test_close_then_append_reopens(self, tmp_path):
+        journal = Journal(tmp_path / "j.wal")
+        journal.append(0, batch(0, 1))
+        journal.close()
+        journal.append(1, batch(1, 1))
+        assert len(journal.records()) == 2
+
+
+class TestTornTail:
+    def test_truncated_tail_record_is_skipped(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal = Journal(path)
+        journal.append(0, batch(0, 3))
+        journal.append(3, batch(3, 3))
+        journal.close()
+        data = path.read_bytes()
+        # Tear the last record mid-payload: the crash the WAL tolerates.
+        path.write_bytes(data[:-7])
+        records = journal.records()
+        assert [(t, b.shape[0]) for t, b in records] == [(0, 3)]
+        assert journal.n_torn == 1
+
+    def test_tail_shorter_than_frame_header_is_skipped(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal = Journal(path)
+        journal.append(0, batch(0, 2))
+        journal.close()
+        path.write_bytes(path.read_bytes() + b"\x00\x01\x02")
+        assert len(journal.records()) == 1
+        assert journal.n_torn == 1
+
+    def test_interior_corruption_is_fatal(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal = Journal(path)
+        journal.append(0, batch(0, 3))
+        journal.append(3, batch(3, 3))
+        journal.close()
+        data = bytearray(path.read_bytes())
+        data[12] ^= 0xFF    # flip a byte inside the first payload
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="interior"):
+            journal.records()
+
+    def test_append_after_torn_tail_recovers_new_records(self, tmp_path):
+        # A crashed writer leaves a torn tail; the recovered process
+        # truncates via replay bookkeeping and keeps appending.  New
+        # records after the tear are unreadable (the tear shifts the
+        # frame boundary), which is why recovery rewrites the file:
+        # truncate_before(0) drops nothing but re-frames what is valid.
+        path = tmp_path / "j.wal"
+        journal = Journal(path)
+        journal.append(0, batch(0, 3))
+        journal.close()
+        path.write_bytes(path.read_bytes()[:-2])
+        assert journal.records() == []
+        assert journal.n_torn == 1
+        assert journal.truncate_before(0) == 0
+
+
+class TestReplayAndTruncate:
+    def _journal(self, tmp_path) -> Journal:
+        journal = Journal(tmp_path / "j.wal")
+        journal.append(0, batch(0, 4))    # ticks 0..3
+        journal.append(4, batch(4, 4))    # ticks 4..7
+        journal.append(8, batch(8, 2))    # ticks 8..9
+        return journal
+
+    def test_replay_from_zero_returns_everything(self, tmp_path):
+        replay = self._journal(tmp_path).replay_from(0)
+        assert [(t, b.shape[0]) for t, b in replay] == \
+            [(0, 4), (4, 4), (8, 2)]
+
+    def test_replay_clips_straddling_record(self, tmp_path):
+        replay = self._journal(tmp_path).replay_from(6)
+        assert [(t, b.shape[0]) for t, b in replay] == [(6, 2), (8, 2)]
+        assert replay[0][1][0, 0, 0] == 6.0
+
+    def test_replay_from_record_boundary_is_exact(self, tmp_path):
+        replay = self._journal(tmp_path).replay_from(4)
+        assert [(t, b.shape[0]) for t, b in replay] == [(4, 4), (8, 2)]
+
+    def test_replay_past_the_end_is_empty(self, tmp_path):
+        assert self._journal(tmp_path).replay_from(10) == []
+
+    def test_truncate_drops_only_wholly_covered_records(self, tmp_path):
+        journal = self._journal(tmp_path)
+        # Tick 6 straddles the second record: it must be kept whole.
+        assert journal.truncate_before(6) == 2
+        assert [(t, b.shape[0]) for t, b in journal.records()] == \
+            [(4, 4), (8, 2)]
+        # replay_from still clips the kept straddler at read time.
+        replay = journal.replay_from(6)
+        assert [(t, b.shape[0]) for t, b in replay] == [(6, 2), (8, 2)]
+
+    def test_truncate_survives_reads_after_rewrite(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.truncate_before(4)
+        journal.append(10, batch(10, 1))
+        assert [(t, b.shape[0]) for t, b in journal.records()] == \
+            [(4, 4), (8, 2), (10, 1)]

@@ -1,0 +1,193 @@
+"""Supervised engine: kill-and-restore equivalence, watchdog, exhaustion.
+
+The acceptance criterion of the recovery subsystem: for any crash
+schedule, the supervised run's detection matrix is ``np.array_equal``
+to an uninterrupted run of an identically seeded engine -- crashes cost
+recovery time, never detections.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._exceptions import ParameterError, RecoveryError
+from repro.core.mdef import MDEFSpec
+from repro.core.outliers import DistanceOutlierSpec
+from repro.engine.core import DetectorEngine
+from repro.engine.snapshot import encode_snapshot
+from repro.engine.supervisor import SupervisedEngine
+from repro.network.faults import EngineCrash, FaultPlan
+
+SPECS = {
+    "d3": DistanceOutlierSpec(radius=0.5, count_threshold=3),
+    "mgdd": MDEFSpec(sampling_radius=1.0, counting_radius=0.25),
+}
+
+
+def make_engine(spec, seed: int = 7) -> DetectorEngine:
+    return DetectorEngine(3, spec, window_size=40, sample_size=16,
+                          warmup=10, model_refresh=8,
+                          rng=np.random.default_rng(seed))
+
+
+def workload(n_ticks: int, n_streams: int = 3,
+             seed: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n_ticks, n_streams))
+    data[::23] += 7.0
+    return data
+
+
+def run_batched(engine, data, batch_size: int = 32) -> np.ndarray:
+    out = [engine.ingest(data[i:i + batch_size])
+           for i in range(0, data.shape[0], batch_size)]
+    return np.concatenate(out, axis=0)
+
+
+class TestConstruction:
+    def test_genesis_checkpoint_written(self, tmp_path):
+        sup = SupervisedEngine(make_engine(SPECS["d3"]), tmp_path)
+        assert sup.store.ticks() == [0]
+        assert sup.tick == 0
+        assert not sup.backpressure
+        sup.close()
+
+    def test_parameter_validation(self, tmp_path):
+        engine = make_engine(SPECS["d3"])
+        with pytest.raises(ParameterError):
+            SupervisedEngine(engine, tmp_path, checkpoint_every=0)
+        with pytest.raises(ParameterError):
+            SupervisedEngine(engine, tmp_path, max_restarts=0)
+        with pytest.raises(ParameterError):
+            SupervisedEngine(engine, tmp_path, watchdog_timeout_s=0.0)
+
+
+class TestKillAndRestore:
+    @pytest.mark.parametrize("algorithm", sorted(SPECS))
+    def test_detections_equal_uninterrupted_run(self, tmp_path, algorithm):
+        spec = SPECS[algorithm]
+        data = workload(200)
+        expected = run_batched(make_engine(spec), data)
+        plan = FaultPlan(engine_crashes=[
+            EngineCrash(tick=5),      # replay from genesis
+            EngineCrash(tick=64),     # crash exactly on a boundary
+            EngineCrash(tick=65),     # back-to-back with the previous
+            EngineCrash(tick=150),
+        ])
+        sup = SupervisedEngine(make_engine(spec), tmp_path,
+                               checkpoint_every=32, fault_plan=plan)
+        observed = run_batched(sup, data)
+        assert np.array_equal(expected, observed)
+        assert sup.restarts == 4
+        assert [r["crash_tick"] for r in sup.recoveries] == [5, 64, 65, 150]
+        assert all(r["replayed_ticks"] ==
+                   r["crash_tick"] - r["checkpoint_tick"]
+                   for r in sup.recoveries)
+        sup.close()
+
+    def test_post_recovery_state_is_bit_identical(self, tmp_path):
+        spec = SPECS["d3"]
+        data = workload(96)
+        control = make_engine(spec)
+        run_batched(control, data)
+        plan = FaultPlan(engine_crashes=[EngineCrash(tick=50)])
+        sup = SupervisedEngine(make_engine(spec), tmp_path,
+                               checkpoint_every=16, fault_plan=plan)
+        run_batched(sup, data)
+        assert encode_snapshot(control) == encode_snapshot(sup.engine)
+        sup.close()
+
+    def test_crash_can_name_an_older_checkpoint(self, tmp_path):
+        spec = SPECS["d3"]
+        data = workload(80)
+        expected = run_batched(make_engine(spec), data)
+        plan = FaultPlan(engine_crashes=[
+            EngineCrash(tick=70, checkpoint=16)])
+        sup = SupervisedEngine(make_engine(spec), tmp_path,
+                               checkpoint_every=16, retain=8,
+                               fault_plan=plan)
+        observed = run_batched(sup, data)
+        assert np.array_equal(expected, observed)
+        (recovery,) = sup.recoveries
+        assert recovery["checkpoint_tick"] == 16
+        assert recovery["replayed_ticks"] == 54
+        sup.close()
+
+    def test_corrupt_newest_falls_back_to_older_generation(self, tmp_path):
+        spec = SPECS["d3"]
+        data = workload(80)
+        expected = run_batched(make_engine(spec), data)
+        plan = FaultPlan(engine_crashes=[EngineCrash(tick=50)])
+        sup = SupervisedEngine(make_engine(spec), tmp_path,
+                               checkpoint_every=16, retain=8,
+                               fault_plan=plan)
+        # Stop exactly on the 48 boundary, corrupt that newest
+        # checkpoint, then crash at 50 -- still inside its cadence
+        # interval, so recovery must fall back to generation 32.
+        first = run_batched(sup, data[:48])
+        assert sup.store.latest_tick() == 48
+        newest = sup.store._path_for(48)
+        blob = bytearray(newest.read_bytes())
+        blob[-1] ^= 0xFF
+        newest.write_bytes(bytes(blob))
+        second = run_batched(sup, data[48:])
+        assert np.array_equal(expected,
+                              np.concatenate([first, second], axis=0))
+        (recovery,) = sup.recoveries
+        assert recovery["checkpoint_tick"] == 32
+        assert recovery["replayed_ticks"] == 18
+        sup.close()
+
+    def test_exhausted_restarts_raise_recovery_error(self, tmp_path):
+        plan = FaultPlan(engine_crashes=[EngineCrash(tick=40)])
+        sup = SupervisedEngine(make_engine(SPECS["d3"]), tmp_path,
+                               checkpoint_every=16, max_restarts=2,
+                               fault_plan=plan)
+        data = workload(48)
+        run_batched(sup, data[:32])
+        for tick in sup.store.ticks():
+            path = sup.store._path_for(tick)
+            blob = bytearray(path.read_bytes())
+            blob[-1] ^= 0xFF
+            path.write_bytes(bytes(blob))
+        with pytest.raises(RecoveryError, match="could not restore"):
+            run_batched(sup, data[32:])
+        sup.close()
+
+    def test_journal_is_pruned_to_oldest_retained(self, tmp_path):
+        sup = SupervisedEngine(make_engine(SPECS["d3"]), tmp_path,
+                               checkpoint_every=8, retain=2)
+        run_batched(sup, workload(64), batch_size=8)
+        # Checkpoints land every 8 ticks; retain=2 keeps 56 and 64.
+        assert sup.store.ticks() == [56, 64]
+        oldest = sup.store.oldest_tick()
+        assert oldest == 56
+        for start_tick, batch in sup.journal.records():
+            assert start_tick + batch.shape[0] > oldest
+        sup.close()
+
+
+class TestWatchdog:
+    def test_fresh_heartbeat_is_quiet(self, tmp_path):
+        sup = SupervisedEngine(make_engine(SPECS["d3"]), tmp_path)
+        assert sup.heartbeat_age() < 5.0
+        assert not sup.watchdog()
+        assert sup.restarts == 0
+        sup.close()
+
+    def test_stale_heartbeat_forces_restore(self, tmp_path):
+        spec = SPECS["d3"]
+        data = workload(96)
+        expected = run_batched(make_engine(spec), data)
+        sup = SupervisedEngine(make_engine(spec), tmp_path,
+                               checkpoint_every=16,
+                               watchdog_timeout_s=1e-9)
+        first = run_batched(sup, data[:48])
+        assert sup.watchdog()     # hung engine: kill and restore
+        assert sup.restarts == 1
+        assert sup.tick == 48     # replay reached the exact hang tick
+        second = run_batched(sup, data[48:])
+        assert np.array_equal(expected,
+                              np.concatenate([first, second], axis=0))
+        sup.close()

@@ -6,7 +6,12 @@ import numpy as np
 import pytest
 
 from repro._exceptions import ParameterError, TopologyError
-from repro.network.faults import CrashWindow, FaultPlan, random_crash_plan
+from repro.network.faults import (
+    CrashWindow,
+    EngineCrash,
+    FaultPlan,
+    random_crash_plan,
+)
 from repro.network.topology import build_hierarchy
 
 
@@ -130,3 +135,26 @@ class TestRandomCrashPlan:
             random_crash_plan(hierarchy, crash_fraction=0.5,
                               first_tick=5, last_tick=8,
                               min_down=5, max_down=6)
+
+
+class TestEngineCrash:
+    def test_sorted_and_exposed(self):
+        plan = FaultPlan(engine_crashes=[EngineCrash(tick=40),
+                                         EngineCrash(tick=7, checkpoint=0)])
+        assert [c.tick for c in plan.engine_crashes] == [7, 40]
+        assert plan.engine_crashes[0].checkpoint == 0
+        assert plan.engine_crashes[1].checkpoint is None
+
+    def test_default_plan_has_none(self):
+        assert FaultPlan().engine_crashes == ()
+
+    def test_invalid_ticks_rejected(self):
+        with pytest.raises(ParameterError):
+            EngineCrash(tick=-1)
+        with pytest.raises(ParameterError):
+            EngineCrash(tick=3, checkpoint=-1)
+
+    def test_duplicate_ticks_rejected(self):
+        with pytest.raises(ParameterError, match="duplicate"):
+            FaultPlan(engine_crashes=[EngineCrash(tick=5),
+                                      EngineCrash(tick=5)])

@@ -34,6 +34,10 @@ class TestTransportConfig:
             TransportConfig(backoff_base=0)
         with pytest.raises(ParameterError):
             TransportConfig(backoff_factor=0)
+        with pytest.raises(ParameterError):
+            TransportConfig(max_parked=0)
+        TransportConfig(max_parked=None)
+        TransportConfig(max_parked=1)
 
 
 class TestReliableTransportState:
@@ -87,6 +91,28 @@ class TestReliableTransportState:
         assert due == [entry]
         assert not entry.parked
         assert transport.n_park_flushes == 1
+
+    def test_bounded_park_evicts_oldest_first(self):
+        transport = ReliableTransport(
+            config=TransportConfig(max_parked=2))
+        entries = [transport.submit(0, 1, _msg(), tick=t)
+                   for t in range(3)]
+        assert transport.park(entries[0]) is None
+        assert transport.park(entries[1]) is None
+        evicted = transport.park(entries[2])
+        assert evicted is entries[0]
+        assert transport.n_park_evictions == 1
+        assert transport.n_parked == 2
+        assert entries[0].seq not in transport._pending
+        assert transport.stats()["park_evictions"] == 1
+
+    def test_unbounded_park_never_evicts(self):
+        transport = ReliableTransport(config=TransportConfig())
+        for t in range(50):
+            entry = transport.submit(0, 1, _msg(), tick=t)
+            assert transport.park(entry) is None
+        assert transport.n_parked == 50
+        assert transport.n_park_evictions == 0
 
 
 def build_lossy_sim(loss_rate, transport=None, faults=None, length=12,
@@ -170,6 +196,25 @@ class TestSimulatorIntegration:
         assert len(root.received) == 20
         assert sim.transport.n_park_flushes > 0
         assert sim.counter.conservation_failures() == []
+
+    def test_bounded_park_charges_evictions_as_drops(self):
+        # A long root outage with a tiny park buffer: evictions happen,
+        # are charged as drops (reason "park-evict"), and the per-kind
+        # conservation identity still holds exactly.
+        faults = FaultPlan(crashes=[CrashWindow(node=2, start=1, end=9)])
+        hierarchy, nodes, sim = build_lossy_sim(
+            0.0, transport=TransportConfig(max_retries=3, max_parked=3),
+            faults=faults, length=12)
+        sim.run()
+        assert sim.transport.n_park_evictions > 0
+        assert sim.drops_by_reason["park-evict"] == \
+            sim.transport.n_park_evictions
+        assert sim.counter.conservation_failures() == []
+        assert sim.counter.total_messages == \
+            sim.counter.total_delivered + sim.counter.total_dropped
+        # Evicted forwards never reach the root.
+        root = nodes[hierarchy.root_id]
+        assert len(root.received) == 24 - sim.transport.n_park_evictions
 
     def test_sender_crash_loses_its_buffer(self):
         # Leaf 0 crashes while the root is down: its parked messages die

@@ -12,10 +12,16 @@ from __future__ import annotations
 
 import collections
 
+import numpy as np
 import pytest
 
 from repro import obs
+from repro.core.outliers import DistanceOutlierSpec
+from repro.engine.core import DetectorEngine
+from repro.engine.supervisor import SupervisedEngine
 from repro.eval.harness import ExperimentConfig, run_accuracy_run
+from repro.network.faults import CrashWindow, EngineCrash, FaultPlan
+from repro.network.transport import TransportConfig
 from repro.obs import report, schema
 
 
@@ -86,6 +92,87 @@ class TestConservation:
         for level in plain.levels:
             assert traced.precision(level) == plain.precision(level)
             assert traced.recall(level) == plain.recall(level)
+
+
+class TestParkEvictionConservation:
+    def test_park_evictions_are_traced_and_conserved(self, tmp_path):
+        """A bounded park buffer under a long outage: every eviction is
+        a ``transport.park_evict`` event AND a ``message.drop`` with
+        reason ``park-evict``, and the per-kind conservation identity
+        still closes exactly in the trace."""
+        from tests.network.test_transport import build_lossy_sim
+
+        faults = FaultPlan(crashes=[CrashWindow(node=2, start=1, end=9)])
+        _, _, sim = build_lossy_sim(
+            0.0, transport=TransportConfig(max_retries=3, max_parked=3),
+            faults=faults, length=12)
+        trace_path = tmp_path / "park.jsonl"
+        with obs.enabled(str(trace_path)):
+            sim.run()
+        events = report.load_events(str(trace_path))
+        assert schema.validate_events(events) == []
+
+        evicts = [e for e in events if e["event"] == "transport.park_evict"]
+        evict_drops = [e for e in events if e["event"] == "message.drop"
+                       and e["reason"] == "park-evict"]
+        assert sim.transport.n_park_evictions > 0
+        assert len(evicts) == sim.transport.n_park_evictions
+        assert len(evict_drops) == sim.drops_by_reason["park-evict"]
+        assert len(evicts) == len(evict_drops)
+
+        sent, delivered, dropped = _event_counts(events)
+        for kind in sent:
+            assert sent[kind] == delivered[kind] + dropped[kind], kind
+        assert sim.counter.conservation_failures() == []
+
+
+class TestEngineRecoveryEvents:
+    def test_crash_recovery_trace_matches_supervisor_records(self, tmp_path):
+        """Every kill-and-restore shows up as exactly one
+        ``engine.restore`` + one ``engine.replay`` event whose fields
+        equal the supervisor's own recovery records."""
+        spec = DistanceOutlierSpec(radius=0.5, count_threshold=3)
+        engine = DetectorEngine(3, spec, window_size=40, sample_size=16,
+                                warmup=10, model_refresh=8,
+                                rng=np.random.default_rng(7))
+        plan = FaultPlan(engine_crashes=[
+            EngineCrash(tick=20), EngineCrash(tick=70)])
+        sup = SupervisedEngine(engine, tmp_path / "state",
+                               checkpoint_every=16, fault_plan=plan)
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(96, 3))
+        trace_path = tmp_path / "engine.jsonl"
+        with obs.enabled(str(trace_path)):
+            for i in range(0, 96, 32):
+                sup.ingest(data[i:i + 32])
+        sup.close()
+        events = report.load_events(str(trace_path))
+        assert schema.validate_events(events) == []
+
+        checkpoints = [e for e in events if e["event"] == "engine.checkpoint"]
+        restores = [e for e in events if e["event"] == "engine.restore"]
+        replays = [e for e in events if e["event"] == "engine.replay"]
+        assert len(checkpoints) > 0
+        assert len(restores) == sup.restarts == 2
+        assert len(replays) == len(sup.recoveries)
+        assert [e["tick"] for e in restores] == \
+            [r["crash_tick"] for r in sup.recoveries]
+        assert [e["checkpoint_tick"] for e in restores] == \
+            [r["checkpoint_tick"] for r in sup.recoveries]
+        assert [e["n_ticks"] for e in replays] == \
+            [r["replayed_ticks"] for r in sup.recoveries]
+
+    def test_disabled_engine_run_emits_nothing(self, tmp_path):
+        spec = DistanceOutlierSpec(radius=0.5, count_threshold=3)
+        engine = DetectorEngine(2, spec, window_size=30, sample_size=10,
+                                rng=np.random.default_rng(0))
+        plan = FaultPlan(engine_crashes=[EngineCrash(tick=10)])
+        sup = SupervisedEngine(engine, tmp_path / "state",
+                               checkpoint_every=8, fault_plan=plan)
+        sup.ingest(np.random.default_rng(1).normal(size=(24, 2)))
+        sup.close()
+        assert sup.restarts == 1
+        assert obs.tracer().n_emitted == 0
 
 
 class TestSnapshotEmbedding:

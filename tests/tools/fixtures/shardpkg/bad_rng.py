@@ -16,6 +16,15 @@ class RngState:
     def __init__(self, rng: np.random.Generator) -> None:
         self._rng = rng
 
+    def snapshot_state(self) -> "dict[str, object]":
+        return {"rng": self._rng}
+
+    @classmethod
+    def restore_state(cls, state: "dict[str, object]") -> "RngState":
+        restored = cls.__new__(cls)
+        restored._rng = state["rng"]
+        return restored
+
 
 def _build(rng: np.random.Generator) -> RngState:
     return RngState(rng)

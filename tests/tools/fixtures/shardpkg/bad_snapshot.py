@@ -1,0 +1,22 @@
+"""Known-bad for RL013: shard-state without the snapshot protocol."""
+
+from __future__ import annotations
+
+
+# repro-lint: shard-state
+class FrozenOut:
+    """Implements neither side of the protocol: two findings."""
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+
+
+# repro-lint: shard-state
+class HalfDone:
+    """Snapshots out but cannot restore: one finding."""
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+
+    def snapshot_state(self) -> "dict[str, object]":
+        return {"size": self._size}

@@ -22,3 +22,10 @@ class BadState:
         self._hook = lambda x: x
         self._tracer = obs.tracer()
         self._inner = _Inner()
+
+    def snapshot_state(self) -> "dict[str, object]":
+        return {"path": self._sink.name}
+
+    @classmethod
+    def restore_state(cls, state: "dict[str, object]") -> "BadState":
+        return cls(str(state["path"]))

@@ -26,6 +26,23 @@ class CleanState:
     def _note(self, value: float) -> None:
         obs.emit("sample.evict", value=value)
 
+    def snapshot_state(self) -> "dict[str, object]":
+        return {"size": self._size, "rng": self._rng,
+                "values": list(self._values)}
+
+    @classmethod
+    def restore_state(cls, state: "dict[str, object]") -> "CleanState":
+        restored = cls.__new__(cls)
+        restored._size = state["size"]
+        restored._rng = state["rng"]
+        restored._values = list(state["values"])
+        return restored
+
+
+# repro-lint: shard-state
+class CleanChild(CleanState):
+    """Inherits the snapshot protocol -- RL013 must resolve the base."""
+
 
 def build_clean(seed: int) -> CleanState:
     rng = np.random.default_rng(seed)

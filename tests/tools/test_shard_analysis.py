@@ -1,4 +1,4 @@
-"""Golden tests for the project-wide shard-safety passes (RL009-RL012).
+"""Golden tests for the project-wide shard-safety passes (RL009-RL013).
 
 The fixtures under ``tests/tools/fixtures/shardpkg`` form a tiny package
 seeded with one known-bad file per interprocedural pass plus one file
@@ -42,9 +42,12 @@ class TestGoldenFindings:
             ("RL010", "bad_state.py", 22),
             ("RL010", "bad_state.py", 23),
             ("RL010", "bad_state.py", 24),
-            ("RL011", "bad_rng.py", 21),
+            ("RL011", "bad_rng.py", 30),
             ("RL012", "bad_obs.py", 9),
             ("RL012", "bad_obs.py", 14),
+            ("RL013", "bad_snapshot.py", 7),
+            ("RL013", "bad_snapshot.py", 7),
+            ("RL013", "bad_snapshot.py", 15),
         ]
 
     def test_clean_module_is_silent(self):
@@ -75,13 +78,33 @@ class TestGoldenFindings:
         The finding lands where the generator enters shard state."""
         (finding,) = [f for f in _analyze().findings if f.rule == "RL011"]
         assert Path(finding.path).name == "bad_rng.py"
-        assert finding.line == 21
+        assert finding.line == 30
 
     def test_rl012_interprocedural_helper(self):
         """_helper is flagged because run() calls it unguarded, even
         though _helper itself never mentions the guard."""
         lines = {f.line for f in _analyze().findings if f.rule == "RL012"}
         assert lines == {9, 14}
+
+    def test_rl013_names_each_missing_protocol_method(self):
+        """A class with neither method gets one finding per method; a
+        half-implemented class is flagged only for the missing half."""
+        symbols = sorted(f.symbol for f in _analyze().findings
+                         if f.rule == "RL013")
+        assert symbols == [
+            "shardpkg.bad_snapshot.FrozenOut.restore_state",
+            "shardpkg.bad_snapshot.FrozenOut.snapshot_state",
+            "shardpkg.bad_snapshot.HalfDone.restore_state",
+        ]
+
+    def test_rl013_inherited_protocol_is_accepted(self):
+        """CleanChild defines nothing itself; the protocol inherited
+        from CleanState must satisfy the rule."""
+        result = _analyze()
+        assert "shardpkg.clean.CleanChild" in {
+            cls.qualname for cls in result.index.shard_state_classes()}
+        assert not [f for f in result.findings
+                    if f.rule == "RL013" and "clean.py" in f.path]
 
 
 class TestLiveTreeContracts:
@@ -91,12 +114,21 @@ class TestLiveTreeContracts:
         return analyze_paths(["src"], REPO_ROOT)
 
     def test_src_has_no_shard_state_violations(self):
-        """RL010/RL011/RL012 must be fixed, never baselined: all
-        shard-state classes are picklable, seed-threaded and obs-pure."""
+        """RL010-RL013 must be fixed, never baselined: all shard-state
+        classes are picklable, seed-threaded, obs-pure and snapshot-
+        capable."""
         result = self._src()
         bad = [f for f in result.findings
-               if f.rule in ("RL010", "RL011", "RL012")]
+               if f.rule in ("RL010", "RL011", "RL012", "RL013")]
         assert bad == [], "\n".join(f.render() for f in bad)
+
+    def test_src_snapshot_registry_covers_every_marked_class(self):
+        """Every marked class in src/repro is registered with the
+        snapshot codec, so checkpoints can decode all detector state."""
+        from repro.engine.snapshot import REGISTERED_CLASSES
+        registered = {cls.__name__ for cls in REGISTERED_CLASSES}
+        marked = {cls.name for cls in self._src().index.shard_state_classes()}
+        assert marked <= registered
 
     def test_src_rl009_is_exactly_the_baseline(self):
         """The process-local singletons are enumerated, not open-ended."""

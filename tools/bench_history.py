@@ -65,13 +65,17 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--recall-cliff-drop", type=float, default=0.15,
                         help="tolerated relative fault-free recall drop "
                              "(default 0.15)")
+    parser.add_argument("--recovery-time-rise", type=float, default=1.0,
+                        help="tolerated relative recovery-time P99 rise "
+                             "vs the prior median (default 1.0)")
     args = parser.parse_args(argv)
 
     try:
         doc = _load_doc(args.bench)
         tolerances = RegressionTolerances(
             throughput_drop=args.throughput_drop,
-            recall_cliff_drop=args.recall_cliff_drop)
+            recall_cliff_drop=args.recall_cliff_drop,
+            recovery_time_rise=args.recovery_time_rise)
         if args.mode == "append":
             path, summary = append_history(doc, args.history_dir)
             print(f"appended to {path}: {json.dumps(summary, sort_keys=True)}")

@@ -1,4 +1,4 @@
-"""Phase-2 interprocedural passes RL009-RL012 (shard safety).
+"""Phase-2 interprocedural passes RL009-RL013 (shard safety).
 
 These rules run over the whole-program :class:`ProjectIndex` built in
 phase 1 and certify the properties the multiprocess scale-out engine
@@ -18,6 +18,10 @@ phase 1 and certify the properties the multiprocess scale-out engine
 * **RL012** -- obs/sanitize purity: the ``enabled() == False`` fast
   path must not emit events or touch obs state, so instrumentation-off
   stays zero-overhead and shard-deterministic.
+* **RL013** -- every shard-state class must implement (or inherit) the
+  ``snapshot_state`` / ``restore_state`` protocol and, in shipped
+  ``repro.*`` code, be registered with the snapshot codec, so the
+  crash-recovery engine can checkpoint and restore it.
 
 All passes resolve names statically and treat *unknown* conservatively
 in the direction that avoids false findings; the committed baseline
@@ -27,6 +31,7 @@ in the direction that avoids false findings; the committed baseline
 from __future__ import annotations
 
 import ast
+from pathlib import Path
 from typing import Iterator, Sequence
 
 from tools.repro_lint.index import (
@@ -44,6 +49,7 @@ __all__ = [
     "ObsPurityRule",
     "RngSeedThreadingRule",
     "ShardStateContractRule",
+    "SnapshotProtocolRule",
 ]
 
 
@@ -831,3 +837,122 @@ class ObsPurityRule(ProjectRule):
                     changed = True
                     break
         return frozenset(candidates)
+
+
+def _load_registered_snapshot_classes() -> "frozenset[str] | None":
+    """Class names in ``REGISTERED_CLASSES`` of the snapshot codec, via AST.
+
+    Parsed rather than imported so the linter never executes repository
+    code (mirrors RL007's schema loading).  Returns None when the codec
+    module cannot be located or parsed, in which case the registration
+    half of RL013 disables itself rather than reporting nonsense.
+    """
+    codec_path = (Path(__file__).resolve().parents[2]
+                  / "src" / "repro" / "engine" / "snapshot.py")
+    try:
+        tree = ast.parse(codec_path.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return None
+    for node in ast.walk(tree):
+        targets: "list[ast.expr]" = []
+        value: "ast.expr | None" = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(isinstance(t, ast.Name) and t.id == "REGISTERED_CLASSES"
+                   for t in targets):
+            continue
+        if isinstance(value, ast.Tuple):
+            names = {_terminal(elt) for elt in value.elts}
+            return frozenset(n for n in names if n is not None)
+    return None
+
+
+@register
+class SnapshotProtocolRule(ProjectRule):
+    """RL013: shard-state classes must speak the snapshot protocol.
+
+    The crash-recovery engine (:mod:`repro.engine`) checkpoints every
+    piece of detector state through the versioned snapshot codec; a
+    shard-state class without ``snapshot_state`` / ``restore_state``
+    cannot be checkpointed, so a crash loses it and the kill-and-restore
+    bit-identity guarantee silently breaks.  Every class marked
+    ``# repro-lint: shard-state`` must therefore implement or inherit
+    *both* methods.  Shipped classes (module under ``repro.``) must
+    additionally appear in ``REGISTERED_CLASSES`` of
+    :mod:`repro.engine.snapshot`, the codec's closed decode allow-list --
+    an unregistered class round-trips in-process but fails on restore.
+    Inheritance is resolved over the phase-1 index; a missing method is
+    only reported when every base resolves (an unresolvable external
+    base is conservatively assumed to provide the protocol).
+    """
+
+    id = "RL013"
+
+    _PROTOCOL = ("snapshot_state", "restore_state")
+
+    def __init__(self) -> None:
+        self._registered: "frozenset[str] | None" = None
+        self._loaded = False
+
+    def _registered_names(self) -> "frozenset[str] | None":
+        if not self._loaded:
+            self._registered = _load_registered_snapshot_classes()
+            self._loaded = True
+        return self._registered
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        registered = self._registered_names()
+        for cls in index.shard_state_classes():
+            mod = index.modules.get(cls.module)
+            if mod is None:
+                continue
+            missing = [name for name in self._PROTOCOL
+                       if self._provides(index, cls, name) is False]
+            for name in missing:
+                yield _project_finding(
+                    self, mod, cls.node,
+                    f"shard-state class '{cls.name}' neither implements "
+                    f"nor inherits {name}(); the crash-recovery engine "
+                    "cannot checkpoint it -- add the snapshot protocol "
+                    "(see repro.engine.snapshot)",
+                    symbol=f"{cls.qualname}.{name}")
+            if (registered is not None
+                    and cls.module.startswith("repro.")
+                    and cls.name not in registered):
+                yield _project_finding(
+                    self, mod, cls.node,
+                    f"shard-state class '{cls.name}' is not in "
+                    "REGISTERED_CLASSES of repro.engine.snapshot; the "
+                    "codec refuses to decode unregistered classes, so "
+                    "restoring a checkpoint holding one fails",
+                    symbol=cls.qualname)
+
+    def _provides(self, index: ProjectIndex, cls: ClassInfo,
+                  method: str, _depth: int = 0) -> "bool | None":
+        """Whether ``cls`` defines or inherits ``method``.
+
+        Returns None (= unknown, do not flag) when an unresolvable base
+        could supply the method or the hierarchy is too deep/cyclic.
+        """
+        if method in cls.methods:
+            return True
+        if _depth > 8:
+            return None
+        unknown = False
+        mod = index.modules.get(cls.module)
+        for base in cls.bases:
+            if base == "object":
+                continue
+            resolved = index.resolve(mod, base) if mod is not None else base
+            parent = index.class_named(resolved)
+            if parent is None:
+                unknown = True
+                continue
+            got = self._provides(index, parent, method, _depth + 1)
+            if got:
+                return True
+            if got is None:
+                unknown = True
+        return None if unknown else False
