@@ -27,6 +27,14 @@ Commands
     grid (docs/FAULT_MODEL.md, "Crash recovery"), gate on zero
     detection divergence vs the uninterrupted run, and write
     ``BENCH_recovery.json``.
+``bench-latency``
+    Sweep event-time -> flag-time detection latency over a loss-rate x
+    staleness-horizon grid (docs/OBSERVABILITY.md, "Detection lineage &
+    latency") and write ``BENCH_latency.json``.
+``explain``
+    Reconstruct one detection's full lineage -- decision inputs, model
+    version, message hops, retransmits, latency -- from a JSONL trace
+    produced by a ``REPRO_TRACE`` run or ``repro trace``.
 ``trace``
     Run one traced experiment under :mod:`repro.obs`, stream the JSONL
     trace to a file, validate every event against the schema, and print
@@ -189,6 +197,39 @@ def build_parser() -> argparse.ArgumentParser:
                           default=[32, 128],
                           help="checkpoint cadences (ticks) to sweep")
     _add_run_options(recovery, seed=7, json_out="BENCH_recovery.json")
+
+    latency = commands.add_parser(
+        "bench-latency",
+        help="sweep event-time -> flag-time detection latency over a "
+             "loss-rate x staleness-horizon grid")
+    latency.add_argument("--leaves", type=int, default=9,
+                         help="leaf sensors in the deployment")
+    latency.add_argument("--branching", type=int, default=3,
+                         help="hierarchy branching factor")
+    latency.add_argument("--window", type=int, default=120,
+                         help="sliding-window size |W|")
+    latency.add_argument("--measure", type=int, default=120,
+                         help="measured ticks after warm-up")
+    latency.add_argument("--loss-rates", type=float, nargs="+",
+                         default=[0.0, 0.25],
+                         help="link loss probabilities to sweep")
+    latency.add_argument("--staleness-horizons", type=int, nargs="+",
+                         default=[30, 90],
+                         help="staleness horizons (ticks) to sweep")
+    _add_run_options(latency, seed=7, json_out="BENCH_latency.json")
+
+    explain = commands.add_parser(
+        "explain",
+        help="reconstruct one detection's lineage from a JSONL trace")
+    explain.add_argument("detection", nargs="?", default="last",
+                         help="which detection: 'last', 'first', a 0-based "
+                              "index, or NODE:TICK (flagging node and "
+                              "reading tick; default: last)")
+    explain.add_argument("--trace", required=True, metavar="PATH",
+                         help="JSONL trace file of the run to explain")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the lineage record as JSON instead of "
+                              "the human-readable rendering")
 
     trace = commands.add_parser(
         "trace", help="run one traced experiment and summarize its JSONL "
@@ -430,6 +471,53 @@ def _cmd_bench_recovery(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench_latency(args) -> int:
+    from repro.eval import latency_bench
+
+    results = latency_bench.run_latency_benchmark(
+        loss_rates=tuple(args.loss_rates),
+        staleness_horizons=tuple(args.staleness_horizons),
+        n_leaves=args.leaves, branching=args.branching,
+        window_size=args.window, measure_ticks=args.measure,
+        seed=args.seed)
+    print(latency_bench.format_table(results))
+    path = latency_bench.write_results(results, args.json_out)
+    print(f"# wrote {path}", file=sys.stderr)
+    if args.metrics_out:
+        _export_metrics_file(
+            _doc_metrics_snapshot(results, "bench.latency"),
+            args.metrics_out)
+    failures = latency_bench.check_latency(results)
+    for failure in failures:
+        print(f"# LATENCY FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_explain(args) -> int:
+    import json
+
+    from repro._exceptions import ParameterError
+    from repro.obs import report
+    from repro.obs.explain import (
+        explain,
+        explanation_dict,
+        format_explanation,
+    )
+
+    events = report.load_events(args.trace)
+    try:
+        record = explain(events, args.detection)
+    except ParameterError as exc:
+        print(f"repro explain: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(explanation_dict(record), sort_keys=True,
+                         default=str))
+    else:
+        print(format_explanation(record))
+    return 0 if record.complete else 1
+
+
 def _cmd_trace(args) -> int:
     import json
 
@@ -546,6 +634,8 @@ def main(argv: "list[str] | None" = None) -> int:
                 "bench-resilience": _cmd_bench_resilience,
                 "bench-kernels": _cmd_bench_kernels,
                 "bench-recovery": _cmd_bench_recovery,
+                "bench-latency": _cmd_bench_latency,
+                "explain": _cmd_explain,
                 "trace": _cmd_trace, "profile": _cmd_profile,
                 "export-metrics": _cmd_export_metrics, "top": _cmd_top}
     return handlers[args.command](args)

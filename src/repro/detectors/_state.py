@@ -112,6 +112,7 @@ class StreamModelState:
         self._built_std: "np.ndarray | None" = None
         self._built_window_size = -1
         self._built_mutations = -1
+        self._model_seq = 0
         #: |W| used to scale neighbourhood counts; set by the owner
         #: (leaf window, or the union-window size for leaders).
         self.count_window_size = arrival_window
@@ -151,6 +152,17 @@ class StreamModelState:
         self._sketch.insert_many(values)
         self._arrivals += len(changed)
         return changed
+
+    @property
+    def model_seq(self) -> int:
+        """Monotone rebuild counter: the version of :attr:`cached_model`.
+
+        Bumps exactly when a :meth:`model` call constructs a new
+        estimator, so a detection can cite the model version it
+        consulted.  Never read by the decision path -- lineage is
+        observational, so traced and untraced runs stay bit-identical.
+        """
+        return self._model_seq
 
     @property
     def cached_model(self) -> "KernelDensityEstimator | None":
@@ -231,6 +243,7 @@ class StreamModelState:
         self._built_std = std
         self._built_window_size = window_size
         self._built_mutations = self._sample.mutation_count
+        self._model_seq += 1
         return self._cached
 
     def memory_words(self) -> int:
@@ -266,6 +279,7 @@ class StreamModelState:
             else self._built_std.copy(),
             "built_window_size": self._built_window_size,
             "built_mutations": self._built_mutations,
+            "model_seq": self._model_seq,
             "count_window_size": self.count_window_size,
         }
 
@@ -293,6 +307,8 @@ class StreamModelState:
             else np.asarray(built_std, dtype=float).copy()
         model_state._built_window_size = int(state["built_window_size"])
         model_state._built_mutations = int(state["built_mutations"])
+        # Pre-lineage snapshots lack the rebuild counter; restart at 0.
+        model_state._model_seq = int(state.get("model_seq", 0))
         model_state.count_window_size = int(state["count_window_size"])
         return model_state
 

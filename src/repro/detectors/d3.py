@@ -136,8 +136,9 @@ class D3LeafNode:
             config.window_size, config.sample_size, n_dims,
             epsilon=config.epsilon, model_refresh=config.model_refresh,
             kernel=config.kernel, rng=rng)
-        #: Detections computed by a batched epoch, awaiting their tick.
-        self._pending: "dict[int, np.ndarray]" = {}
+        #: Detections computed by a batched epoch, awaiting their tick:
+        #: tick -> (value, neighbourhood count, model_seq consulted).
+        self._pending: "dict[int, tuple[np.ndarray, float, int]]" = {}
         #: Ticks of readings this leaf flagged (inspection/testing aid).
         self.flagged_ticks: "list[int]" = []
 
@@ -161,9 +162,14 @@ class D3LeafNode:
                 count = float(np.asarray(
                     model.neighborhood_count(value, self._config.spec.radius)).reshape(()))
                 if count < self._config.spec.count_threshold:
-                    self._log.record(Detection(
-                        tick=tick, node_id=self.node_id, level=self._level,
-                        origin=self.node_id, value=np.array(value, dtype=float)))
+                    self._log.record(
+                        Detection(
+                            tick=tick, node_id=self.node_id,
+                            level=self._level, origin=self.node_id,
+                            value=np.array(value, dtype=float)),
+                        prob=count,
+                        threshold=float(self._config.spec.count_threshold),
+                        model_seq=self._state.model_seq)
                     self.flagged_ticks.append(tick)
                     if self._parent is not None:
                         out.append((self._parent, OutlierReport(
@@ -208,29 +214,38 @@ class D3LeafNode:
             self._queue_forwards(changed, vals, per_tick, i)
             self._state.count_window_size = min(start_tick + i + k, window)
             cached = self._state.cached_model
+            cached_seq = self._state.model_seq
             if not check_hit:
                 if cached is not None:
-                    self._flag_batch(cached, vals, start_tick, i, k)
+                    self._flag_batch(cached, vals, start_tick, i, k,
+                                     cached_seq)
             else:
                 model = self._state.model()
                 if model is cached and model is not None:
-                    self._flag_batch(model, vals, start_tick, i, k)
+                    self._flag_batch(model, vals, start_tick, i, k,
+                                     cached_seq)
                 else:
                     if k > 1 and cached is not None:
-                        self._flag_batch(cached, vals, start_tick, i, k - 1)
+                        self._flag_batch(cached, vals, start_tick, i, k - 1,
+                                         cached_seq)
                     if model is not None:
-                        self._flag_batch(model, vals, start_tick, i + k - 1, 1)
+                        self._flag_batch(model, vals, start_tick, i + k - 1,
+                                         1, self._state.model_seq)
             i += k
         return per_tick
 
     def on_tick_start(self, tick: int) -> "list[Outgoing]":
         """Emit (and log) any detection staged for ``tick`` by a batch."""
-        value = self._pending.pop(tick, None)
-        if value is None:
+        staged = self._pending.pop(tick, None)
+        if staged is None:
             return []
-        self._log.record(Detection(
-            tick=tick, node_id=self.node_id, level=self._level,
-            origin=self.node_id, value=value))
+        value, count, model_seq = staged
+        self._log.record(
+            Detection(tick=tick, node_id=self.node_id, level=self._level,
+                      origin=self.node_id, value=value),
+            prob=count,
+            threshold=float(self._config.spec.count_threshold),
+            model_seq=model_seq)
         self.flagged_ticks.append(tick)
         if self._parent is not None:
             return [(self._parent, OutlierReport(
@@ -251,7 +266,7 @@ class D3LeafNode:
                     value=vals[offset + j].copy())))
 
     def _flag_batch(self, model, vals: np.ndarray, start_tick: int,
-                    offset: int, count: int) -> None:
+                    offset: int, count: int, model_seq: int) -> None:
         """Run the distance test on a chunk sharing one model."""
         points = vals[offset:offset + count]
         radius = self._config.spec.radius
@@ -260,7 +275,8 @@ class D3LeafNode:
         threshold = self._config.spec.count_threshold
         for j in range(count):
             if counts[j] < threshold:
-                self._pending[start_tick + offset + j] = points[j].copy()
+                self._pending[start_tick + offset + j] = (
+                    points[j].copy(), float(counts[j]), model_seq)
 
     def on_message(self, message: Message, sender: int,
                    tick: int) -> "list[Outgoing]":
@@ -339,12 +355,19 @@ class D3ParentNode:
                     if obs.ACTIVE:
                         obs.emit("detector.check", node=self.node_id,
                                  level=self._level, origin=message.origin,
-                                 flagged=flagged, tick=tick)
+                                 flagged=flagged, tick=tick,
+                                 reading_tick=message.tick)
                     if flagged:
-                        self._log.record(Detection(
-                            tick=message.tick, node_id=self.node_id,
-                            level=self._level, origin=message.origin,
-                            value=message.value))
+                        self._log.record(
+                            Detection(
+                                tick=message.tick, node_id=self.node_id,
+                                level=self._level, origin=message.origin,
+                                value=message.value),
+                            flag_tick=tick,
+                            prob=count,
+                            threshold=float(
+                                self._config.spec.count_threshold),
+                            model_seq=self._state.model_seq)
                         if self._parent is not None:
                             out.append((self._parent, OutlierReport(
                                 value=message.value, origin=message.origin,
@@ -367,7 +390,7 @@ def build_d3_network(hierarchy: Hierarchy, config: D3Config, n_dims: int, *,
     Per-node RNGs are derived from ``rng`` so runs are reproducible.
     """
     root = resolve_rng(rng)
-    log = DetectionLog()
+    log = DetectionLog(n_levels=len(hierarchy.levels))
     nodes: "dict[int, D3LeafNode | D3ParentNode]" = {}
     for level_idx, tier in enumerate(hierarchy.levels):
         for node_id in tier:

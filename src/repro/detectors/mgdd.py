@@ -145,6 +145,16 @@ class _GlobalModelCopy:
         self._kernel = kernel
         self._bandwidth_cap = bandwidth_cap
         self._cached: KernelDensityEstimator | None = None
+        self._model_seq = 0
+
+    @property
+    def model_seq(self) -> int:
+        """Monotone merge counter: updates applied to this mirror.
+
+        Observational only (never read by the decision path) -- it lets
+        a detection cite which model version it was judged against.
+        """
+        return self._model_seq
 
     def apply(self, update: ModelUpdate) -> None:
         """Apply an incremental or full update; invalidate the cache."""
@@ -162,6 +172,7 @@ class _GlobalModelCopy:
         if update.window_size > 0:
             self._window_size = update.window_size
         self._cached = None
+        self._model_seq += 1
 
     def model(self) -> "KernelDensityEstimator | None":
         """The mirrored global model, or None while too sparse."""
@@ -295,10 +306,18 @@ class MGDDLeafNode:
         model = self._global.model()
         if model is not None:
             detector = MDEFOutlierDetector(model, self._config.spec)
-            if detector.check(value).is_outlier:
-                self._log.record(Detection(
-                    tick=tick, node_id=self.node_id, level=1,
-                    origin=self.node_id, value=np.array(value, dtype=float)))
+            decision = detector.check(value)
+            if decision.is_outlier:
+                self._log.record(
+                    Detection(
+                        tick=tick, node_id=self.node_id, level=1,
+                        origin=self.node_id,
+                        value=np.array(value, dtype=float)),
+                    prob=float(decision.mdef),
+                    threshold=float(
+                        self._config.spec.k_sigma * decision.sigma_mdef),
+                    model_seq=self._global.model_seq,
+                    staleness=self.model_staleness(tick))
                 self.flagged_ticks.append(tick)
 
     def on_message(self, message: Message, sender: int,
@@ -307,6 +326,9 @@ class MGDDLeafNode:
         if isinstance(message, ModelUpdate):
             self._global.apply(message)
             self._last_update_tick = tick
+            if obs.ACTIVE:
+                obs.emit("lineage.model_merge", node=self.node_id,
+                         tick=tick, model_seq=self._global.model_seq)
         return []
 
 
@@ -478,7 +500,7 @@ def build_mgdd_network(hierarchy: Hierarchy, config: MGDDConfig, n_dims: int, *,
     single top-level leader owns one global model.
     """
     root_rng = resolve_rng(rng)
-    log = DetectionLog()
+    log = DetectionLog(n_levels=hierarchy.n_levels)
     source_level = config.model_level if config.model_level is not None \
         else hierarchy.n_levels
     if not 2 <= source_level <= hierarchy.n_levels:

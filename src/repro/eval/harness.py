@@ -418,7 +418,8 @@ def _run_accuracy_run(config: ExperimentConfig, seed: int) -> AccuracyResult:
         # Imported here: repro.obs.health pulls in the estimator/codec
         # stack, which nothing else in the harness needs at import time.
         from repro.obs.health import HealthMonitor
-        monitor = HealthMonitor(network.nodes, hierarchy, probe_seed=seed)
+        monitor = HealthMonitor(network.nodes, hierarchy, probe_seed=seed,
+                                detections=network.log)
 
     arrivals_matrix = np.stack(streams.streams, axis=1)   # (ticks, leaves, d)
     truth_keys: "dict[int, set]" = {}
@@ -503,6 +504,14 @@ def _run_accuracy_run(config: ExperimentConfig, seed: int) -> AccuracyResult:
         if faults is not None else [],
         "child_staleness": staleness,
     }
+    # End-to-end latency accounting: computed from the always-on
+    # DetectionLog bookkeeping, so it is present (and identical) with
+    # observability on or off.
+    detections_summary = network.log.latency_summary()
+    n_flags = len(network.log)
+    detections_summary["words_per_detection"] = (
+        counter.total_words / n_flags if n_flags else None)
+    result.network_stats["detections"] = detections_summary
     if monitor is not None:
         result.network_stats["health"] = monitor.summary()
     if _obs.ACTIVE:
@@ -510,6 +519,10 @@ def _run_accuracy_run(config: ExperimentConfig, seed: int) -> AccuracyResult:
         registry.absorb_message_counter(counter)
         if simulator.transport is not None:
             registry.absorb_mapping(simulator.transport.stats(), "transport")
+        registry.gauge("detector.flags").set(float(n_flags))
+        if n_flags:
+            registry.gauge("detector.words_per_detection").set(
+                counter.total_words / n_flags)
     return result
 
 

@@ -22,6 +22,10 @@ the prior entries:
   detection divergence (correctness is absolute, not relative), and its
   recovery-time P99 may not rise more than ``recovery_time_rise`` above
   the prior median.
+* **latency**: the latest event-time -> flag-time sweep's worst P99 (in
+  ticks, so deterministic -- no CI timing noise) may not rise more than
+  ``latency_rise`` above the prior median, and every latency must be
+  non-negative.
 
 Throughput and kernels entries record which compute backend
 (``repro.core.backend``) produced them; the gates only compare entries
@@ -69,6 +73,11 @@ class RegressionTolerances:
     #: median of prior entries (1.0 = latest may take twice as long;
     #: deliberately loose, CI timing is noisy).
     recovery_time_rise: float = 1.0
+    #: Maximum tolerated relative rise of the detection-latency P99 (in
+    #: ticks) vs the median of prior entries.  Tick latencies are
+    #: deterministic, but grid tweaks legitimately move them, so the
+    #: default matches ``recovery_time_rise``'s looseness.
+    latency_rise: float = 1.0
 
     def __post_init__(self) -> None:
         for name, value in (("throughput_drop", self.throughput_drop),
@@ -84,6 +93,9 @@ class RegressionTolerances:
             raise ParameterError(
                 f"recovery_time_rise must be > 0, "
                 f"got {self.recovery_time_rise!r}")
+        if self.latency_rise <= 0.0:
+            raise ParameterError(
+                f"latency_rise must be > 0, got {self.latency_rise!r}")
 
 
 def _median(values: "Sequence[float]") -> float:
@@ -164,11 +176,36 @@ def summarize_benchmark(doc: "Mapping[str, object]") -> "dict[str, object]":
         summary["recovery_p99_s"] = max(p99s)
         summary["total_replayed_ticks"] = replayed
         summary["total_recoveries"] = recoveries
+    elif kind == "latency":
+        cells = doc.get("cells")
+        if not isinstance(cells, list) or not cells:
+            raise ParameterError("latency document lacks cells")
+        p99s_ticks: "list[int]" = []
+        words: "list[float]" = []
+        recalls: "list[float]" = []
+        flags = 0
+        for cell in cells:
+            assert isinstance(cell, Mapping)
+            flags += int(cell["n_flags"])  # type: ignore[arg-type]
+            p99 = cell.get("latency_p99")
+            if isinstance(p99, (int, float)):
+                p99s_ticks.append(int(p99))
+            wpd = cell.get("words_per_detection")
+            if isinstance(wpd, (int, float)):
+                words.append(float(wpd))
+            recall = cell.get("recall_level1")
+            if isinstance(recall, (int, float)):
+                recalls.append(float(recall))
+        summary["latency_p99_max"] = max(p99s_ticks, default=None)
+        summary["mean_words_per_detection"] = \
+            sum(words) / len(words) if words else None
+        summary["total_flags"] = flags
+        summary["min_recall_level1"] = min(recalls) if recalls else None
     else:
         raise ParameterError(
             f"cannot summarise benchmark kind {kind!r} "
-            "(expected 'ingest-throughput', 'resilience', 'kernels' "
-            "or 'recovery')")
+            "(expected 'ingest-throughput', 'resilience', 'kernels', "
+            "'recovery' or 'latency')")
     return summary
 
 
@@ -193,7 +230,8 @@ def history_path(kind: str,
     stem = {"ingest-throughput": "throughput",
             "resilience": "resilience",
             "kernels": "kernels",
-            "recovery": "recovery"}.get(kind)
+            "recovery": "recovery",
+            "latency": "latency"}.get(kind)
     if stem is None:
         raise ParameterError(f"unknown benchmark kind {kind!r}")
     return base / f"{stem}.jsonl"
@@ -337,6 +375,26 @@ def check_history(entries: "Sequence[Mapping[str, object]]", *,
                         f"recovery_p99_s rose {rise:.1%} vs prior median "
                         f"({value:.4g} > {baseline:.4g}, tolerance "
                         f"{tolerances.recovery_time_rise:.0%})")
+    elif kind == "latency":
+        flags = latest.get("total_flags")
+        if not isinstance(flags, int) or flags <= 0:
+            problems.append(
+                f"total_flags is {flags!r}, the sweep measured nothing")
+        history = [float(e["latency_p99_max"])  # type: ignore[arg-type]
+                   for e in priors
+                   if isinstance(e.get("latency_p99_max"), (int, float))]
+        value = latest.get("latency_p99_max")
+        if history and isinstance(value, (int, float)):
+            baseline = _median(history)
+            # Tick latencies are small integers; an all-zero history
+            # (e.g. a lossless-only grid) has nothing to gate against.
+            if baseline > 0 and math.isfinite(baseline):
+                rise = (float(value) - baseline) / baseline
+                if rise > tolerances.latency_rise:
+                    problems.append(
+                        f"latency_p99_max rose {rise:.1%} vs prior median "
+                        f"({value:.4g} > {baseline:.4g} ticks, tolerance "
+                        f"{tolerances.latency_rise:.0%})")
     else:
         problems.append(f"latest entry has unknown benchmark kind {kind!r}")
     return problems

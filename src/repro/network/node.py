@@ -69,22 +69,101 @@ class Detection:
 
 @dataclass
 class DetectionLog:
-    """Accumulates every outlier flagged anywhere in the network."""
+    """Accumulates every outlier flagged anywhere in the network.
+
+    ``latencies[i]`` is the event-time -> flag-time tick delta of
+    ``detections[i]`` -- 0 when a node flags a reading the tick it was
+    sampled, positive when loss/retransmits/parking delayed the report
+    that triggered the flag.  It is maintained unconditionally (pure
+    bookkeeping, no RNG or control-flow impact) so latency accounting
+    works with observability off; the enriched ``detector.flag`` /
+    ``lineage.detect`` events and per-tier histograms are emitted only
+    under :data:`repro.obs.ACTIVE`.
+    """
 
     detections: "list[Detection]" = field(default_factory=list)
+    latencies: "list[int]" = field(default_factory=list)
+    n_levels: "int | None" = None   # hierarchy depth, for tier labels
 
-    def record(self, detection: Detection) -> None:
-        """Append one detection."""
+    def record(self, detection: Detection, *,
+               flag_tick: "int | None" = None,
+               prob: "float | None" = None,
+               threshold: "float | None" = None,
+               model_seq: "int | None" = None,
+               staleness: "int | None" = None) -> None:
+        """Append one detection.
+
+        ``detection.tick`` is the *reading* tick; ``flag_tick`` is the
+        tick the flagging node made the decision (defaults to the
+        reading tick, i.e. zero latency).  ``prob``/``threshold`` are
+        the decision inputs (estimated probability or MDEF vs. the
+        spec's cutoff), ``model_seq`` the version of the model
+        consulted and ``staleness`` the model's age in ticks.
+        """
+        flag = detection.tick if flag_tick is None else flag_tick
+        latency = flag - detection.tick
         self.detections.append(detection)
+        self.latencies.append(latency)
         if obs.ACTIVE:
+            extra: "dict[str, float | int]" = {}
+            if prob is not None:
+                extra["prob"] = prob
+            if threshold is not None:
+                extra["threshold"] = threshold
+            if model_seq is not None:
+                extra["model_seq"] = model_seq
+            if staleness is not None:
+                extra["staleness"] = staleness
             obs.emit("detector.flag", node=detection.node_id,
                      level=detection.level, origin=detection.origin,
-                     tick=detection.tick)
+                     tick=detection.tick, reading_tick=detection.tick,
+                     flag_tick=flag, latency=latency, **extra)
+            obs.emit("lineage.detect", node=detection.node_id,
+                     level=detection.level, origin=detection.origin,
+                     reading_tick=detection.tick, flag_tick=flag,
+                     latency=latency, **extra)
             obs.metrics().counter("detector.outliers_flagged").inc()
+            obs.metrics().histogram(
+                f"detector.latency.{self.tier(detection.level)}") \
+                .observe(float(latency))
+
+    def tier(self, level: int) -> str:
+        """Tier label for a 1-based hierarchy level."""
+        if level <= 1:
+            return "leaf"
+        if self.n_levels is not None and level >= self.n_levels:
+            return "root"
+        return "intermediate"
 
     def at_level(self, level: int) -> "list[Detection]":
         """All detections flagged by nodes of the given 1-based level."""
         return [d for d in self.detections if d.level == level]
+
+    def latency_summary(self) -> "dict[str, object]":
+        """Latency and per-tier stats over everything recorded so far."""
+        n = len(self.latencies)
+        by_tier: "dict[str, list[int]]" = {}
+        for detection, latency in zip(self.detections, self.latencies):
+            by_tier.setdefault(self.tier(detection.level), []) \
+                .append(latency)
+
+        def _stats(values: "list[int]") -> "dict[str, object]":
+            ordered = sorted(values)
+            count = len(ordered)
+            return {
+                "count": count,
+                "p50": ordered[(count - 1) // 2],
+                "p99": ordered[min(count - 1, (99 * count) // 100)],
+                "max": ordered[-1],
+            }
+
+        summary: "dict[str, object]" = {"n_flags": n}
+        summary.update(
+            _stats(self.latencies) if n
+            else {"count": 0, "p50": None, "p99": None, "max": None})
+        summary["by_tier"] = {tier: _stats(values)
+                              for tier, values in sorted(by_tier.items())}
+        return summary
 
     def __len__(self) -> int:
         return len(self.detections)

@@ -42,6 +42,7 @@ from repro.network.faults import FaultPlan
 from repro.network.messages import Ack, Message, MessageCounter
 from repro.network.node import SimNode
 from repro.network.topology import Hierarchy
+from repro.obs.lineage import lineage_fields
 from repro.network.transport import (
     PendingMessage,
     ReliableTransport,
@@ -64,6 +65,17 @@ class _Envelope:
     sender: int
     message: Message
     entry: "PendingMessage | None" = None   # reliable-transport tracking
+
+
+def _lineage_context(message: Message,
+                     entry: "PendingMessage | None") -> "dict[str, int]":
+    """Causal-context fields for a message-plane event: the reading the
+    message carries (OutlierReport only) plus the transport sequence
+    number when the reliable shim tracks the envelope."""
+    context = lineage_fields(message)
+    if entry is not None:
+        context["seq_no"] = entry.seq
+    return context
 
 
 class NetworkSimulator:
@@ -240,6 +252,8 @@ class NetworkSimulator:
             if self._node_down(leaf, self._tick):
                 continue   # a crashed sensor takes no reading
             reading = self._streams.reading(i, self._tick)
+            if obs.ACTIVE:
+                obs.emit("lineage.ingest", node=leaf, tick=self._tick)
             for dest, message in self._nodes[leaf].on_reading(reading, self._tick):
                 self._enqueue(queue, leaf, dest, message)
 
@@ -316,13 +330,14 @@ class NetworkSimulator:
                     self._drops_by_reason.get("park-evict", 0) + 1
                 if obs.ACTIVE:
                     kind = type(evicted.message).__name__
+                    context = _lineage_context(evicted.message, evicted)
                     obs.emit("message.send", kind=kind,
                              sender=evicted.sender, dest=evicted.dest,
                              words=evicted.message.size_words(),
-                             tick=self._tick)
+                             tick=self._tick, **context)
                     obs.emit("message.drop", kind=kind,
                              reason="park-evict", dest=evicted.dest,
-                             tick=self._tick)
+                             tick=self._tick, **context)
             return 0
         # Sending happens regardless of delivery: the message is counted
         # and the sender pays transmit energy even when the radio loses it.
@@ -330,7 +345,8 @@ class NetworkSimulator:
         if obs.ACTIVE:
             obs.emit("message.send", kind=type(message).__name__,
                      sender=sender, dest=dest,
-                     words=message.size_words(), tick=self._tick)
+                     words=message.size_words(), tick=self._tick,
+                     **_lineage_context(message, entry))
         if entry is not None:
             self._transport.note_attempt(entry)
         rate = self._link_loss_rate(sender, dest)
@@ -347,14 +363,16 @@ class NetworkSimulator:
                 self._drops_by_reason.get(reason, 0) + 1
             if obs.ACTIVE:
                 obs.emit("message.drop", kind=type(message).__name__,
-                         reason=reason, dest=dest, tick=self._tick)
+                         reason=reason, dest=dest, tick=self._tick,
+                         **_lineage_context(message, entry))
             if entry is not None:
                 self._transport.schedule_or_expire(entry, self._tick)
             return 0
         self._counter.record_delivered(message)
         if obs.ACTIVE:
             obs.emit("message.deliver", kind=type(message).__name__,
-                     dest=dest, tick=self._tick)
+                     dest=dest, tick=self._tick,
+                     **_lineage_context(message, entry))
         extra = self._deliver(envelope, queue)
         dup_rate = self._faults.duplication_rate \
             if self._faults is not None else 0.0
@@ -367,9 +385,10 @@ class NetworkSimulator:
                 obs.emit("message.send", kind=type(message).__name__,
                          sender=sender, dest=dest,
                          words=message.size_words(), tick=self._tick,
-                         duplicate=True)
+                         duplicate=True, **_lineage_context(message, entry))
                 obs.emit("message.deliver", kind=type(message).__name__,
-                         dest=dest, tick=self._tick, duplicate=True)
+                         dest=dest, tick=self._tick, duplicate=True,
+                         **_lineage_context(message, entry))
             if self._energy is not None:
                 self._energy.record(sender, dest, message, delivered=True)
             extra += 1 + self._deliver(envelope, queue)
@@ -493,12 +512,19 @@ class NetworkSimulator:
         self._enqueue_due_retransmits(queue)
         for i, leaf in enumerate(leaf_ids):
             if leaf in batched:
+                # The reading was ingested up front by on_readings, but
+                # its lineage anchor belongs to this tick -- same tick
+                # granularity as the stepped path.
+                if obs.ACTIVE:
+                    obs.emit("lineage.ingest", node=leaf, tick=self._tick)
                 outgoing = list(batched[leaf][offset])
                 outgoing.extend(self._nodes[leaf].on_tick_start(self._tick))
             elif self._node_down(leaf, self._tick):
                 continue
             else:
                 reading = self._streams.reading(i, self._tick)
+                if obs.ACTIVE:
+                    obs.emit("lineage.ingest", node=leaf, tick=self._tick)
                 outgoing = self._nodes[leaf].on_reading(reading, self._tick)
             for dest, message in outgoing:
                 self._enqueue(queue, leaf, dest, message)

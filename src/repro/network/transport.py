@@ -40,6 +40,7 @@ from repro import obs
 from repro._exceptions import ParameterError
 from repro._validation import require_positive_int
 from repro.network.messages import Message
+from repro.obs.lineage import lineage_fields
 
 __all__ = ["TransportConfig", "PendingMessage", "ReliableTransport"]
 
@@ -153,7 +154,8 @@ class ReliableTransport:
                 self.n_sender_crashes += 1
                 if obs.ACTIVE:
                     obs.emit("transport.sender_crash", seq_no=entry.seq,
-                             sender=entry.sender, tick=tick)
+                             sender=entry.sender, tick=tick,
+                             **lineage_fields(entry.message))
                 continue
             if entry.parked:
                 if not is_down(entry.dest, tick):
@@ -162,7 +164,8 @@ class ReliableTransport:
                     self.n_park_flushes += 1
                     if obs.ACTIVE:
                         obs.emit("transport.flush", seq_no=entry.seq,
-                                 dest=entry.dest, tick=tick)
+                                 dest=entry.dest, tick=tick,
+                                 **lineage_fields(entry.message))
                     due.append(entry)
                 continue
             if entry.next_attempt <= tick:
@@ -179,7 +182,9 @@ class ReliableTransport:
         """
         entry.parked = True
         if obs.ACTIVE:
-            obs.emit("transport.park", seq_no=entry.seq, dest=entry.dest)
+            obs.emit("transport.park", seq_no=entry.seq, dest=entry.dest,
+                     tick=entry.submitted_tick,
+                     **lineage_fields(entry.message))
         limit = self.config.max_parked
         if limit is None:
             return None
@@ -190,7 +195,8 @@ class ReliableTransport:
         self.n_park_evictions += 1
         if obs.ACTIVE:
             obs.emit("transport.park_evict", seq_no=evicted.seq,
-                     dest=evicted.dest)
+                     dest=evicted.dest,
+                     **lineage_fields(evicted.message))
         return evicted
 
     def note_attempt(self, entry: PendingMessage) -> None:
@@ -200,7 +206,8 @@ class ReliableTransport:
             self.n_retransmissions += 1
             if obs.ACTIVE:
                 obs.emit("transport.retransmit", seq_no=entry.seq,
-                         attempt=entry.attempts)
+                         attempt=entry.attempts,
+                         **lineage_fields(entry.message))
                 obs.metrics().counter("transport.retries").inc()
 
     def acknowledge(self, entry: PendingMessage) -> None:
@@ -219,7 +226,8 @@ class ReliableTransport:
             self.n_expired += 1
             if obs.ACTIVE:
                 obs.emit("transport.expire", seq_no=entry.seq,
-                         attempts=entry.attempts)
+                         attempts=entry.attempts, tick=tick,
+                         **lineage_fields(entry.message))
             return False
         entry.next_attempt = tick + self.config.backoff_ticks(entry.attempts)
         return True

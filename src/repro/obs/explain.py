@@ -1,0 +1,135 @@
+"""``repro explain``: reconstruct one detection decision from a trace.
+
+Given the raw event stream of a traced run (the in-memory ring via
+:func:`repro.obs.tracer`, or a JSONL sink loaded with
+:func:`repro.obs.report.load_events`), :func:`explain` selects one
+``detector.flag`` and renders everything the lineage layer recorded
+about it: the model sequence number and staleness at decision time, the
+estimated probability (or MDEF) against the threshold, the message hops
+that carried the escalated report (including retransmits and parked
+intervals) and the reading's age when the flag finally landed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Mapping
+
+from repro._exceptions import ParameterError
+from repro.obs.lineage import LineageRecord, reconstruct
+
+__all__ = ["explain", "format_explanation", "select_record"]
+
+
+def select_record(records: "list[LineageRecord]",
+                  selector: "str | int") -> LineageRecord:
+    """Pick one record: ``"last"``, a 0-based index, or ``"NODE:TICK"``.
+
+    ``"NODE:TICK"`` matches the flagging node id and the *reading* tick
+    (the identity a detection is reported under).
+    """
+    if not records:
+        raise ParameterError("trace contains no detector.flag events")
+    if isinstance(selector, int):
+        index = selector
+        if not -len(records) <= index < len(records):
+            raise ParameterError(
+                f"detection index {index} out of range "
+                f"(trace has {len(records)} detections)")
+        return records[index]
+    if selector == "last":
+        return records[-1]
+    if selector == "first":
+        return records[0]
+    if ":" in selector:
+        node_part, _, tick_part = selector.partition(":")
+        try:
+            node, tick = int(node_part), int(tick_part)
+        except ValueError:
+            raise ParameterError(
+                f"bad detection selector {selector!r}; expected "
+                f"'last', 'first', an index, or NODE:TICK") from None
+        for record in records:
+            if record.node == node and record.reading_tick == tick:
+                return record
+        raise ParameterError(
+            f"no detection by node {node} for reading tick {tick} "
+            f"(trace has {len(records)} detections)")
+    try:
+        return select_record(records, int(selector))
+    except ValueError:
+        raise ParameterError(
+            f"bad detection selector {selector!r}; expected 'last', "
+            f"'first', an index, or NODE:TICK") from None
+
+
+def explain(events: "list[Mapping[str, Any]]",
+            selector: "str | int" = "last") -> LineageRecord:
+    """Reconstruct the lineage of one detection from raw events."""
+    return select_record(reconstruct(events), selector)
+
+
+def explanation_dict(record: LineageRecord) -> "dict[str, Any]":
+    """The record as plain data (for ``repro explain --json``)."""
+    doc = asdict(record)
+    doc["reading"] = record.reading
+    doc["complete"] = record.complete
+    doc["n_delivered_hops"] = record.n_delivered
+    doc["n_retransmits"] = record.n_retransmits
+    doc["parked_ticks"] = record.parked_ticks
+    return doc
+
+
+def _hop_line(hop: "Mapping[str, Any]") -> str:
+    kind = str(hop.get("event", "")).split(".", 1)[-1]
+    tick = hop.get("tick")
+    where = f"-> node {hop.get('dest')}" if "dest" in hop else ""
+    extra = ""
+    if hop.get("duplicate"):
+        extra = " (duplicate)"
+    elif "reason" in hop:
+        extra = f" ({hop['reason']})"
+    seq_no = hop.get("seq_no")
+    seq_txt = f" seq_no={seq_no}" if seq_no is not None else ""
+    return f"    tick {tick}: {kind} {where}{seq_txt}{extra}".rstrip()
+
+
+def format_explanation(record: LineageRecord) -> str:
+    """Human-readable multi-line rendering of one lineage record."""
+    lines = [
+        f"detection {record.reading} "
+        f"flagged by node {record.node} (level {record.level})",
+        f"  reading tick: {record.reading_tick}"
+        + ("  (ingest event seen)" if record.ingested else ""),
+        f"  flag tick:    {record.flag_tick}",
+        f"  latency:      {record.latency} tick(s) event-time -> flag",
+    ]
+    if record.prob is not None or record.threshold is not None:
+        lines.append(
+            f"  decision:     estimate {record.prob!r} "
+            f"vs threshold {record.threshold!r}")
+    if record.model_seq is not None:
+        staleness = ("" if record.staleness is None
+                     else f", {record.staleness} tick(s) stale")
+        lines.append(f"  model:        seq {record.model_seq}{staleness}")
+    if record.model_merges:
+        last = record.model_merges[-1]
+        lines.append(
+            f"  model merges: {len(record.model_merges)} "
+            f"(last at tick {last.get('tick')}, "
+            f"seq {last.get('model_seq')})")
+    if record.hops:
+        lines.append(f"  message hops ({record.n_delivered} delivered):")
+        lines.extend(_hop_line(hop) for hop in record.hops)
+    else:
+        lines.append("  message hops: none (flagged at the origin leaf)")
+    if record.transport:
+        parked = record.parked_ticks
+        parked_txt = "" if parked is None else f", parked {parked} tick(s)"
+        lines.append(
+            f"  transport:    {record.n_retransmits} retransmit(s)"
+            f"{parked_txt}")
+    lines.append(
+        "  lineage:      complete" if record.complete
+        else "  lineage:      INCOMPLETE (decision inputs missing)")
+    return "\n".join(lines)

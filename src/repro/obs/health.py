@@ -51,7 +51,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 from types import MappingProxyType
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 import numpy as np
 
@@ -61,6 +61,9 @@ from repro.core.divergence import model_js_divergence
 from repro.core.estimator import KernelDensityEstimator, merge_estimators
 from repro.network.codec import decode_model_state, encode_model_state
 from repro.network.topology import Hierarchy
+
+if TYPE_CHECKING:    # pragma: no cover - import cycle guard only
+    from repro.network.node import DetectionLog
 
 __all__ = ["HealthThresholds", "ModelHealth", "HealthMonitor"]
 
@@ -76,6 +79,7 @@ PENALTIES: "Mapping[str, float]" = MappingProxyType({
     "sample-underfull": 0.10,
     "eviction-rate": 0.10,
     "codec-error": 0.10,
+    "latency": 0.20,
 })
 
 
@@ -113,6 +117,10 @@ class HealthThresholds:
     #: Children staler than this many ticks (per the node's own
     #: ``child_staleness`` report, the PR-3 hook) are violations.
     max_child_staleness: "int | None" = None
+    #: Event-time -> flag latency (ticks) above this is an SLO
+    #: violation; needs a :class:`~repro.network.node.DetectionLog`
+    #: wired into the monitor (``detections=``).  ``None`` disables.
+    max_flag_latency: "float | None" = 200.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.min_sample_fill <= 1.0:
@@ -163,6 +171,10 @@ class ModelHealth:
     #: JS divergence parent vs merged children (None for leaves or when
     #: no child model is available).
     child_divergence: "float | None"
+    #: Worst event-time -> flag latency (ticks) among this node's
+    #: detections since the previous check (None without a wired
+    #: :class:`~repro.network.node.DetectionLog` or without new flags).
+    flag_latency_max: "int | None" = None
     #: Children beyond the ``max_child_staleness`` horizon.
     stale_children: "tuple[int, ...]" = ()
     violations: "tuple[str, ...]" = ()
@@ -181,6 +193,7 @@ class ModelHealth:
             "drift_l1": self.drift_l1, "drift_linf": self.drift_linf,
             "codec_error": self.codec_error,
             "child_divergence": self.child_divergence,
+            "flag_latency_max": self.flag_latency_max,
             "stale_children": list(self.stale_children),
             "violations": list(self.violations),
             "score": self.score,
@@ -246,6 +259,13 @@ class HealthMonitor:
         Optional callback ``(node_id, report)`` fired for every report
         with violations -- the hook point for the PR-3
         staleness/degradation machinery.
+    detections:
+        The network's shared :class:`~repro.network.node.DetectionLog`.
+        When wired, each check drains the flags recorded since the
+        previous one and gates their event-time -> flag latency against
+        :attr:`HealthThresholds.max_flag_latency` (violation
+        ``"latency"``).  Reading the log consumes nothing -- detection
+        results are unchanged.
     """
 
     def __init__(self, nodes: "Mapping[int, object]",
@@ -256,6 +276,7 @@ class HealthMonitor:
                  probe_seed: int = 0,
                  check_codec: bool = True,
                  on_violation: "Callable[[int, ModelHealth], None] | None" = None,
+                 detections: "DetectionLog | None" = None,
                  ) -> None:
         if n_probes < 1:
             raise ParameterError(f"n_probes must be >= 1, got {n_probes}")
@@ -271,6 +292,8 @@ class HealthMonitor:
         self._probe_seed = probe_seed
         self._check_codec = check_codec
         self._on_violation = on_violation
+        self._detections = detections
+        self._drained = 0
         self._probes: "dict[int, tuple[np.ndarray, np.ndarray]]" = {}
         self._state: "dict[int, _NodeProbeState]" = {}
         self._last: "dict[int, ModelHealth]" = {}
@@ -311,12 +334,14 @@ class HealthMonitor:
 
     def check(self, tick: int) -> "dict[int, ModelHealth]":
         """One health sweep over every monitored node at ``tick``."""
+        latency_max = self._drain_latencies()
         reports: "dict[int, ModelHealth]" = {}
         for node_id in sorted(self._nodes):
             state = getattr(self._nodes[node_id], "state", None)
             if state is None:
                 continue
-            report = self._check_node(node_id, state, tick)
+            report = self._check_node(node_id, state, tick,
+                                      flag_latency=latency_max.get(node_id))
             reports[node_id] = report
             if report.violations and self._on_violation is not None:
                 self._on_violation(node_id, report)
@@ -326,8 +351,23 @@ class HealthMonitor:
             obs.emit("health.check", tick=tick, n_nodes=len(reports))
         return reports
 
-    def _check_node(self, node_id: int, state: object,
-                    tick: int) -> ModelHealth:
+    def _drain_latencies(self) -> "dict[int, int]":
+        """Worst per-node flag latency among detections since last check."""
+        log = self._detections
+        if log is None:
+            return {}
+        worst: "dict[int, int]" = {}
+        detections = log.detections[self._drained:]
+        latencies = log.latencies[self._drained:]
+        self._drained += len(detections)
+        for detection, latency in zip(detections, latencies):
+            node = detection.node_id
+            if node not in worst or latency > worst[node]:
+                worst[node] = latency
+        return worst
+
+    def _check_node(self, node_id: int, state: object, tick: int, *,
+                    flag_latency: "int | None" = None) -> ModelHealth:
         thresholds = self._thresholds
         probe = self._state.setdefault(node_id, _NodeProbeState())
         sample = state.sample                       # type: ignore[attr-defined]
@@ -400,6 +440,10 @@ class HealthMonitor:
             violations.append("child-divergence")
         if stale_children:
             violations.append("child-stale")
+        if (flag_latency is not None
+                and thresholds.max_flag_latency is not None
+                and flag_latency > thresholds.max_flag_latency):
+            violations.append("latency")
 
         report = ModelHealth(
             node=node_id, tick=tick, arrivals=arrivals,
@@ -408,6 +452,7 @@ class HealthMonitor:
             bandwidth_collapsed=collapsed,
             drift_l1=probe.drift_l1, drift_linf=probe.drift_linf,
             codec_error=codec_error, child_divergence=child_divergence,
+            flag_latency_max=flag_latency,
             stale_children=tuple(stale_children),
             violations=tuple(violations),
             score=_score(tuple(violations)))
@@ -483,6 +528,9 @@ class HealthMonitor:
         registry.gauge(f"{prefix}.sample_fill").set(report.sample_fill)
         if report.drift_linf is not None:
             registry.gauge(f"{prefix}.drift_linf").set(report.drift_linf)
+        if report.flag_latency_max is not None:
+            registry.gauge(f"{prefix}.latency_max").set(
+                float(report.flag_latency_max))
         if not np.isnan(report.sigma_min):
             registry.gauge(f"{prefix}.sigma_min").set(report.sigma_min)
         registry.counter("health.checks").inc()

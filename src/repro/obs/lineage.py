@@ -1,0 +1,180 @@
+"""Detection lineage: per-reading causal context and provenance records.
+
+A reading is identified by its *origin* (the leaf id that produced it)
+and its *reading tick* (the simulator tick it was sampled at) -- both
+already exist on :class:`repro.network.messages.OutlierReport`, so no
+new ids are minted and nothing perturbs the simulation.
+:func:`lineage_fields` extracts that pair from any message that carries
+it; the simulator and transport splice the result into their
+``message.*`` / ``transport.*`` events so every hop an escalated report
+takes is attributable to the reading that caused it.
+
+:func:`reconstruct` inverts the process: given a raw event stream (from
+the in-memory ring or a JSONL sink) it rebuilds one
+:class:`LineageRecord` per ``detector.flag`` event -- the decision
+inputs (estimated probability vs. threshold, model sequence number,
+staleness), the event-time -> flag-time latency, the message hops
+(including retransmits and parked intervals) and the model merges that
+preceded the decision.  ``repro explain`` renders these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["LineageRecord", "lineage_fields", "reading_id",
+           "reconstruct"]
+
+#: Event kinds that describe one hop of a message through the network.
+_HOP_KINDS = frozenset({"message.send", "message.deliver", "message.drop"})
+
+#: Reliable-transport lifecycle kinds attached to a hop's envelope.
+_TRANSPORT_KINDS = frozenset({
+    "transport.retransmit", "transport.expire", "transport.park",
+    "transport.park_evict", "transport.flush", "transport.sender_crash"})
+
+
+def reading_id(origin: int, tick: int) -> str:
+    """Stable human-readable id for the reading ``(origin, tick)``."""
+    return f"r{origin}@{tick}"
+
+
+def lineage_fields(message: object) -> "dict[str, int]":
+    """Causal-context fields for a message, or ``{}``.
+
+    Only :class:`~repro.network.messages.OutlierReport` carries both an
+    ``origin`` and a ``tick``; every other message kind has no single
+    originating reading and contributes no lineage context.
+    """
+    origin = getattr(message, "origin", None)
+    tick = getattr(message, "tick", None)
+    if (isinstance(origin, int) and not isinstance(origin, bool)
+            and isinstance(tick, int) and not isinstance(tick, bool)):
+        return {"origin": origin, "reading_tick": tick}
+    return {}
+
+
+@dataclass
+class LineageRecord:
+    """Everything known about one flagged detection."""
+
+    node: int                      # node that recorded the detection
+    level: int                     # hierarchy level of that node
+    origin: int                    # leaf that produced the reading
+    reading_tick: int              # tick the reading was sampled at
+    flag_tick: int                 # tick the detection was recorded at
+    latency: int                   # flag_tick - reading_tick
+    prob: "float | None" = None    # estimated P / MDEF at decision time
+    threshold: "float | None" = None
+    model_seq: "int | None" = None  # model version used for the decision
+    staleness: "int | None" = None  # ticks since last model update
+    ingested: bool = False         # lineage.ingest seen for the reading
+    hops: "list[dict[str, Any]]" = field(default_factory=list)
+    transport: "list[dict[str, Any]]" = field(default_factory=list)
+    model_merges: "list[dict[str, Any]]" = field(default_factory=list)
+
+    @property
+    def reading(self) -> str:
+        return reading_id(self.origin, self.reading_tick)
+
+    @property
+    def complete(self) -> bool:
+        """True when every decision input the tentpole promises is set."""
+        return (self.prob is not None and self.threshold is not None
+                and self.model_seq is not None and self.latency >= 0)
+
+    @property
+    def n_delivered(self) -> int:
+        return sum(1 for hop in self.hops
+                   if hop.get("event") == "message.deliver")
+
+    @property
+    def n_retransmits(self) -> int:
+        return sum(1 for ev in self.transport
+                   if ev.get("event") == "transport.retransmit")
+
+    @property
+    def parked_ticks(self) -> "int | None":
+        """Ticks a hop spent parked for a crashed receiver, if any."""
+        parked = [ev.get("tick") for ev in self.transport
+                  if ev.get("event") == "transport.park"]
+        flushed = [ev.get("tick") for ev in self.transport
+                   if ev.get("event") == "transport.flush"]
+        if not parked or not flushed:
+            return None
+        pairs = [(p, f) for p in parked for f in flushed
+                 if isinstance(p, int) and isinstance(f, int) and f >= p]
+        if not pairs:
+            return None
+        return max(f - p for p, f in pairs)
+
+
+def _record_for_flag(flag: "Mapping[str, Any]") -> LineageRecord:
+    reading_tick = flag.get("reading_tick", flag.get("tick"))
+    flag_tick = flag.get("flag_tick", reading_tick)
+    latency = flag.get("latency")
+    if not isinstance(latency, int) or isinstance(latency, bool):
+        latency = int(flag_tick) - int(reading_tick)
+    prob = flag.get("prob")
+    threshold = flag.get("threshold")
+    return LineageRecord(
+        node=int(flag["node"]), level=int(flag["level"]),
+        origin=int(flag["origin"]), reading_tick=int(reading_tick),
+        flag_tick=int(flag_tick), latency=latency,
+        prob=float(prob) if prob is not None else None,
+        threshold=float(threshold) if threshold is not None else None,
+        model_seq=flag.get("model_seq"), staleness=flag.get("staleness"))
+
+
+def reconstruct(
+        events: "list[Mapping[str, Any]]") -> "list[LineageRecord]":
+    """One :class:`LineageRecord` per ``detector.flag`` event, in order.
+
+    Hops and transport events are matched to a record by the
+    ``(origin, reading_tick)`` context the emitters attached, and only
+    events that precede the flag (by ``seq``) are included -- the
+    lineage of a decision cannot reference the future.  Model merges
+    are matched by the flagging node.
+    """
+    flags: "list[Mapping[str, Any]]" = []
+    hops: "dict[tuple[int, int], list[dict[str, Any]]]" = {}
+    transport: "dict[tuple[int, int], list[dict[str, Any]]]" = {}
+    merges: "dict[int, list[dict[str, Any]]]" = {}
+    ingests: "set[tuple[int, int]]" = set()
+    for event in events:
+        kind = event.get("event")
+        if kind == "detector.flag":
+            flags.append(event)
+        elif kind == "lineage.ingest":
+            ingests.add((int(event["node"]), int(event["tick"])))
+        elif kind == "lineage.model_merge":
+            merges.setdefault(int(event["node"]), []).append(dict(event))
+        elif kind in _HOP_KINDS or kind in _TRANSPORT_KINDS:
+            origin = event.get("origin")
+            reading_tick = event.get("reading_tick")
+            if isinstance(origin, int) and isinstance(reading_tick, int):
+                bucket = hops if kind in _HOP_KINDS else transport
+                bucket.setdefault((origin, reading_tick), []) \
+                    .append(dict(event))
+
+    records: "list[LineageRecord]" = []
+    for flag in flags:
+        record = _record_for_flag(flag)
+        key = (record.origin, record.reading_tick)
+        flag_seq = flag.get("seq")
+        horizon = flag_seq if isinstance(flag_seq, int) else None
+
+        def _before(ev: "Mapping[str, Any]") -> bool:
+            seq = ev.get("seq")
+            return (horizon is None or not isinstance(seq, int)
+                    or seq < horizon)
+
+        record.ingested = key in ingests
+        record.hops = [ev for ev in hops.get(key, []) if _before(ev)]
+        record.transport = [ev for ev in transport.get(key, [])
+                            if _before(ev)]
+        record.model_merges = [ev for ev in merges.get(record.node, [])
+                               if _before(ev)]
+        records.append(record)
+    return records

@@ -37,6 +37,7 @@ def summarize(
     span_time: "dict[str, dict[str, float]]" = {}
     n_detections = 0
     n_evictions = 0
+    latencies: "list[int]" = []
     for record in events:
         kind = str(record.get("event"))
         by_event[kind] = by_event.get(kind, 0) + 1
@@ -60,6 +61,15 @@ def summarize(
                 row_t["total_s"] += float(dur)
         elif kind == "detector.flag":
             n_detections += 1
+            latency = record.get("latency")
+            if not isinstance(latency, int) or isinstance(latency, bool):
+                flag_tick = record.get("flag_tick")
+                reading = record.get("reading_tick", record.get("tick"))
+                latency = flag_tick - reading \
+                    if isinstance(flag_tick, int) and isinstance(reading, int) \
+                    else None
+            if latency is not None:
+                latencies.append(latency)
         elif kind == "sample.evict":
             n_evictions += _as_int(record.get("count"))
     return {
@@ -69,7 +79,20 @@ def summarize(
         "spans": dict(sorted(span_time.items())),
         "n_detections": n_detections,
         "n_evictions": n_evictions,
+        "flag_latency": _latency_stats(latencies),
     }
+
+
+def _latency_stats(latencies: "list[int]") -> "dict[str, int] | None":
+    """Nearest-rank latency roll-up; None for pre-lineage traces."""
+    if not latencies:
+        return None
+    ordered = sorted(latencies)
+    def rank(q: float) -> int:
+        return ordered[min(len(ordered) - 1,
+                           max(0, int(q * len(ordered) + 0.999999) - 1))]
+    return {"count": len(ordered), "p50": rank(0.50),
+            "p99": rank(0.99), "max": ordered[-1]}
 
 
 def _table(headers: "list[str]",
@@ -91,6 +114,12 @@ def format_report(summary: "Mapping[str, object]") -> str:
     lines.append(f"events: {summary['n_events']}"
                  f"  detections: {summary['n_detections']}"
                  f"  sample evictions: {summary['n_evictions']}")
+    flag_latency = summary.get("flag_latency")
+    if isinstance(flag_latency, Mapping):
+        lines.append(
+            f"flag latency (ticks): p50={flag_latency['p50']}"
+            f"  p99={flag_latency['p99']}  max={flag_latency['max']}"
+            f"  over {flag_latency['count']} flag(s)")
     by_event = summary["by_event"]
     assert isinstance(by_event, Mapping)
     lines.append("")

@@ -9,6 +9,11 @@ kinds and missing or mistyped required fields are errors.
 
 The CI obs-smoke job and ``tools/trace_report.py --validate`` run every
 emitted event through :func:`validate_event`.
+
+Schema versioning of enrichments: fields added to an *existing* kind
+after its first release go into :data:`EVENT_OPTIONAL_FIELDS`, not
+:data:`EVENT_FIELDS` -- they are type-checked only when present, so
+traces recorded before the enrichment stay ``--validate``-green.
 """
 
 from __future__ import annotations
@@ -16,8 +21,8 @@ from __future__ import annotations
 from types import MappingProxyType
 from typing import Mapping
 
-__all__ = ["EVENT_FIELDS", "EVENT_KINDS", "SPAN_NAMES",
-           "validate_event", "validate_events"]
+__all__ = ["EVENT_FIELDS", "EVENT_KINDS", "EVENT_OPTIONAL_FIELDS",
+           "SPAN_NAMES", "validate_event", "validate_events"]
 
 #: The span hierarchy (outermost to innermost): a run contains ticks,
 #: a tick contains per-node delivery spans and drain/ingest phases.
@@ -73,9 +78,45 @@ EVENT_FIELDS: "Mapping[str, Mapping[str, str]]" = MappingProxyType({
     "engine.restore": {"tick": _INT, "checkpoint_tick": _INT,
                        "dur_s": _FLOAT},
     "engine.replay": {"tick": _INT, "n_ticks": _INT, "dur_s": _FLOAT},
+    # detection lineage (repro.obs.lineage)
+    "lineage.ingest": {"node": _INT, "tick": _INT},
+    "lineage.model_merge": {"node": _INT, "tick": _INT,
+                            "model_seq": _INT},
+    "lineage.detect": {"node": _INT, "level": _INT, "origin": _INT,
+                       "reading_tick": _INT, "flag_tick": _INT,
+                       "latency": _INT},
 })
 
 EVENT_KINDS = frozenset(EVENT_FIELDS)
+
+#: event kind -> {optional field: type tag}.  These are enrichments
+#: added after the kind first shipped; validation type-checks them only
+#: when present so pre-enrichment traces keep validating.
+EVENT_OPTIONAL_FIELDS: "Mapping[str, Mapping[str, str]]" = \
+    MappingProxyType({
+        # Lineage enrichment (PR 9): the decision inputs and the
+        # event-time -> flag-time latency of each flag.
+        "detector.flag": {"prob": _FLOAT, "threshold": _FLOAT,
+                          "model_seq": _INT, "reading_tick": _INT,
+                          "flag_tick": _INT, "latency": _INT,
+                          "staleness": _INT},
+        "lineage.detect": {"prob": _FLOAT, "threshold": _FLOAT,
+                           "model_seq": _INT, "staleness": _INT},
+        # Causal context threaded onto the message plane for
+        # OutlierReport-bearing envelopes.
+        "message.send": {"seq_no": _INT, "origin": _INT,
+                         "reading_tick": _INT},
+        "message.deliver": {"seq_no": _INT, "origin": _INT,
+                            "reading_tick": _INT},
+        "message.drop": {"seq_no": _INT, "origin": _INT,
+                         "reading_tick": _INT},
+        "transport.retransmit": {"origin": _INT, "reading_tick": _INT},
+        "transport.expire": {"origin": _INT, "reading_tick": _INT},
+        "transport.park": {"origin": _INT, "reading_tick": _INT},
+        "transport.park_evict": {"origin": _INT, "reading_tick": _INT},
+        "transport.flush": {"origin": _INT, "reading_tick": _INT},
+        "transport.sender_crash": {"origin": _INT, "reading_tick": _INT},
+    })
 
 
 def _is_int(value: object) -> bool:
@@ -119,6 +160,11 @@ def validate_event(record: "Mapping[str, object]") -> "list[str]":
         elif not _check_type(record[field], tag):
             problems.append(
                 f"{kind}: field {field!r} has wrong type "
+                f"({type(record[field]).__name__}, wanted {tag})")
+    for field, tag in EVENT_OPTIONAL_FIELDS.get(kind, {}).items():
+        if field in record and not _check_type(record[field], tag):
+            problems.append(
+                f"{kind}: optional field {field!r} has wrong type "
                 f"({type(record[field]).__name__}, wanted {tag})")
     if kind == "span_open" and record.get("name") not in SPAN_NAMES:
         problems.append(

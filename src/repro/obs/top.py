@@ -3,7 +3,8 @@
 Runs a simulation in refresh-sized steps (``NetworkSimulator.run`` is
 incremental) with tracing on, and after each step renders a table with
 one row per node: current tick, window fill, health score, probe drift,
-and message send/deliver counters.  The message counters come from an
+message send/deliver counters, and flag count plus worst event-time ->
+flag latency.  The message counters come from an
 *incremental* scan of the tracer ring -- only events with ``seq`` beyond
 the last frame's high-water mark are folded in, so a frame costs O(new
 events), not O(trace).
@@ -78,6 +79,8 @@ class TopView:
         self._last_seq = -1
         self._sent: "dict[int, int]" = {}
         self._received: "dict[int, int]" = {}
+        self._flags: "dict[int, int]" = {}
+        self._latency_max: "dict[int, int]" = {}
         self._frames = 0
 
     @property
@@ -104,6 +107,16 @@ class TopView:
                 dest = record.get("dest")
                 if isinstance(dest, int):
                     self._received[dest] = self._received.get(dest, 0) + 1
+            elif kind == "detector.flag":
+                node = record.get("node")
+                if isinstance(node, int):
+                    self._flags[node] = self._flags.get(node, 0) + 1
+                    latency = record.get("latency")
+                    if isinstance(latency, int) and not isinstance(
+                            latency, bool):
+                        previous = self._latency_max.get(node)
+                        if previous is None or latency > previous:
+                            self._latency_max[node] = latency
         return absorbed
 
     def render(self, tick: int) -> str:
@@ -111,18 +124,21 @@ class TopView:
         self.absorb_events()
         reports = self._monitor.last_reports()
         rows = [("node", "fill", "score", "drift", "sent", "recv",
-                 "violations")]
+                 "flags", "lat", "violations")]
         for node_id in sorted(self._nodes):
             report = reports.get(node_id)
             if report is None:
                 continue
             drift = "-" if report.drift_linf is None \
                 else f"{report.drift_linf:.3f}"
+            latency = self._latency_max.get(node_id)
             rows.append((
                 str(node_id), f"{report.sample_fill:.2f}",
                 f"{report.score:.2f}", drift,
                 str(self._sent.get(node_id, 0)),
                 str(self._received.get(node_id, 0)),
+                str(self._flags.get(node_id, 0)),
+                "-" if latency is None else str(latency),
                 ",".join(report.violations) or "-"))
         widths = [max(len(row[i]) for row in rows)
                   for i in range(len(rows[0]))]

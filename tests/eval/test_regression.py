@@ -44,6 +44,23 @@ def _throughput_entry(single, network):
             "single_node_speedup": single, "network_speedup": network}
 
 
+def _latency_doc(*, p99=6, n_flags=150, sha="abc123", seed=7):
+    return {
+        "benchmark": "latency",
+        "meta": {"git_sha": sha, "seed": seed},
+        "cells": [
+            {"algorithm": "d3", "loss_rate": 0.0, "staleness_horizon": 30,
+             "n_flags": n_flags, "latency_p50": 0, "latency_p99": 0,
+             "latency_max": 0, "words_per_detection": 8.0,
+             "recall_level1": 0.7},
+            {"algorithm": "d3", "loss_rate": 0.25, "staleness_horizon": 30,
+             "n_flags": n_flags, "latency_p50": 0, "latency_p99": p99,
+             "latency_max": p99 + 2, "words_per_detection": 12.0,
+             "recall_level1": 0.7},
+        ],
+    }
+
+
 class TestSummarize:
     def test_throughput_summary(self):
         summary = summarize_benchmark(_throughput_doc())
@@ -56,6 +73,13 @@ class TestSummarize:
         assert summary["min_faultfree_recall"] == 1.0
         assert summary["min_faulted_recall"] == 0.9
         assert summary["max_message_overhead"] == 1.2
+
+    def test_latency_summary(self):
+        summary = summarize_benchmark(_latency_doc())
+        assert summary["latency_p99_max"] == 6
+        assert summary["total_flags"] == 300
+        assert summary["mean_words_per_detection"] == 10.0
+        assert summary["min_recall_level1"] == 0.7
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ParameterError):
@@ -76,6 +100,7 @@ class TestTolerances:
         {"throughput_drop": 1.0},
         {"recall_cliff_drop": -0.1},
         {"min_faulted_recall": 1.5},
+        {"latency_rise": 0.0},
     ])
     def test_rejects_bad_values(self, kwargs):
         with pytest.raises(ParameterError):
@@ -156,9 +181,25 @@ class TestGate:
         problems = check_history(entries)
         assert any("min_faultfree_recall" in p for p in problems)
 
+    def test_latency_rise_fails(self):
+        entries = [summarize_benchmark(_latency_doc()),
+                   summarize_benchmark(_latency_doc(p99=20, sha="def456"))]
+        problems = check_history(entries)
+        assert any("latency_p99_max" in p for p in problems)
+        # A modest rise stays inside the loose default tolerance.
+        entries[-1] = summarize_benchmark(_latency_doc(p99=9, sha="eee"))
+        assert check_history(entries) == []
+
+    def test_latency_zero_flags_fails(self):
+        entries = [summarize_benchmark(_latency_doc()),
+                   summarize_benchmark(_latency_doc(n_flags=0,
+                                                    sha="def456"))]
+        problems = check_history(entries)
+        assert any("total_flags" in p for p in problems)
+
     def test_committed_history_passes(self):
         # The repository's own seeded history must gate green.
-        for stem in ("throughput", "resilience"):
+        for stem in ("throughput", "resilience", "latency"):
             path = REPO_ROOT / "benchmarks" / "history" / f"{stem}.jsonl"
             assert check_history(load_history(path)) == []
 

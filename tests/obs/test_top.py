@@ -49,9 +49,54 @@ class TestTopView:
             frame = view.render(59)
         assert "repro top" in frame
         assert "score" in frame and "drift" in frame
+        assert "flags" in frame and "lat" in frame
         # One row per monitored node after the header + rule.
         assert len(frame.splitlines()) == 3 + len(monitor.last_reports())
         assert view.n_frames == 1
+
+    def test_render_on_an_empty_ring(self):
+        # No run, no checks: the frame is just the header + rule, and
+        # rendering must not divide by or index into anything empty.
+        simulator, nodes, hierarchy = build_workload(
+            n_leaves=2, window_size=40, n_ticks=20)
+        monitor = HealthMonitor(nodes, hierarchy)
+        view = TopView(nodes, monitor)
+        frame = view.render(0)
+        assert "repro top" in frame
+        assert len(frame.splitlines()) == 3
+        assert view.absorb_events() == 0
+
+    def test_absorbs_lineage_only_ring(self):
+        # A ring holding nothing but lineage.* events (e.g. a warm-up
+        # slice before any message flies) is absorbed without crashing
+        # and without miscounting the message columns.
+        simulator, nodes, hierarchy = build_workload(
+            n_leaves=2, window_size=40, n_ticks=20)
+        monitor = HealthMonitor(nodes, hierarchy)
+        view = TopView(nodes, monitor)
+        with obs.enabled():
+            obs.emit("lineage.ingest", node=0, tick=1)
+            obs.emit("lineage.model_merge", node=0, tick=2, model_seq=1)
+            obs.emit("lineage.detect", node=0, level=1, origin=0,
+                     reading_tick=2, flag_tick=2, latency=0)
+            assert view.absorb_events() == 3
+            assert view._sent == {} and view._received == {}
+
+    def test_absorbs_flag_latency(self):
+        simulator, nodes, hierarchy = build_workload(
+            n_leaves=2, window_size=40, n_ticks=60)
+        monitor = HealthMonitor(nodes, hierarchy)
+        view = TopView(nodes, monitor)
+        with obs.enabled():
+            obs.emit("detector.flag", node=1, level=2, origin=0, tick=5,
+                     latency=4)
+            obs.emit("detector.flag", node=1, level=2, origin=0, tick=9,
+                     latency=2)
+            simulator.run(40)
+            monitor.check(39)
+            view.render(39)
+        assert view._flags[1] == 2
+        assert view._latency_max[1] == 4
 
 
 class TestRunTop:

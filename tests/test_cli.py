@@ -71,6 +71,30 @@ class TestParser:
         assert args.interval == 0.0
         assert args.ticks == 100
 
+    def test_bench_latency_arguments(self):
+        args = build_parser().parse_args(["bench-latency"])
+        assert args.seed == 7
+        assert args.json_out == "BENCH_latency.json"
+        assert args.loss_rates == [0.0, 0.25]
+        assert args.staleness_horizons == [30, 90]
+        args = build_parser().parse_args(
+            ["bench-latency", "--loss-rates", "0.1", "0.2",
+             "--staleness-horizons", "40"])
+        assert args.loss_rates == [0.1, 0.2]
+        assert args.staleness_horizons == [40]
+
+    def test_explain_arguments(self):
+        args = build_parser().parse_args(
+            ["explain", "--trace", "t.jsonl"])
+        assert args.detection == "last"
+        assert args.json is False
+        args = build_parser().parse_args(
+            ["explain", "12:340", "--trace", "t.jsonl", "--json"])
+        assert args.detection == "12:340"
+        assert args.json is True
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain"])   # --trace is required
+
     def test_output_is_an_alias_for_json_out(self):
         args = build_parser().parse_args(
             ["bench-throughput", "--output", "custom.json"])
@@ -178,6 +202,58 @@ class TestCommands:
                      "--trace-out", str(tmp_path / "trace.jsonl"),
                      "--metrics-out", str(metrics_out)]) == 0
         assert parse_prometheus(metrics_out.read_text())
+
+    def test_bench_recovery_metrics_out(self, tmp_path):
+        import json
+
+        from repro.obs.export import parse_prometheus
+
+        json_out = tmp_path / "recovery.json"
+        metrics_out = tmp_path / "recovery.prom"
+        assert main(["bench-recovery", "--streams", "2", "--ticks", "80",
+                     "--crash-rates", "0.02",
+                     "--checkpoint-cadences", "16",
+                     "--json-out", str(json_out),
+                     "--metrics-out", str(metrics_out)]) == 0
+        # The full pipeline: the JSON artifact exists and the exported
+        # metrics file is parseable Prometheus text exposition.
+        assert json.loads(json_out.read_text())["benchmark"] == "recovery"
+        names = parse_prometheus(metrics_out.read_text())
+        assert names
+        assert any("bench_recovery" in name for name in names)
+
+    def test_bench_latency_and_explain_round_trip(self, tmp_path, capsys):
+        import json
+
+        json_out = tmp_path / "latency.json"
+        assert main(["bench-latency", "--leaves", "4", "--branching", "2",
+                     "--window", "60", "--measure", "60",
+                     "--loss-rates", "0", "0.25",
+                     "--staleness-horizons", "30",
+                     "--json-out", str(json_out)]) == 0
+        out = capsys.readouterr().out
+        assert "words/flag" in out
+        doc = json.loads(json_out.read_text())
+        assert doc["benchmark"] == "latency"
+        assert len(doc["cells"]) == 4   # 2 algorithms x 2 loss rates x 1
+
+        trace_out = tmp_path / "trace.jsonl"
+        assert main(["trace", "d3", "--leaves", "4", "--window", "60",
+                     "--measure", "60", "--loss-rate", "0.2",
+                     "--trace-out", str(trace_out)]) == 0
+        capsys.readouterr()
+        assert main(["explain", "last", "--trace", str(trace_out)]) == 0
+        captured = capsys.readouterr()
+        assert "flagged by node" in captured.out
+        assert "lineage:      complete" in captured.out
+        assert main(["explain", "last", "--trace", str(trace_out),
+                     "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["complete"] is True
+        assert record["latency"] == record["flag_tick"] \
+            - record["reading_tick"]
+        assert main(["explain", "nonsense", "--trace",
+                     str(trace_out)]) == 2
 
     def test_top_headless(self, tmp_path, capsys):
         assert main(["top", "--leaves", "2", "--window", "40",

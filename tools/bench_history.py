@@ -14,7 +14,7 @@ the committed history without touching it; ``gate`` appends and then
 checks the updated history, exiting non-zero on regression -- the mode
 the CI bench jobs run.  Tolerances (relative throughput drop, recall
 cliff) live in :mod:`repro.eval.regression` and can be overridden with
-``--throughput-drop`` / ``--recall-cliff-drop``.
+``--throughput-drop`` / ``--recall-cliff-drop`` / ``--latency-rise``.
 """
 
 from __future__ import annotations
@@ -68,6 +68,9 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--recovery-time-rise", type=float, default=1.0,
                         help="tolerated relative recovery-time P99 rise "
                              "vs the prior median (default 1.0)")
+    parser.add_argument("--latency-rise", type=float, default=1.0,
+                        help="tolerated relative detection-latency P99 "
+                             "rise vs the prior median (default 1.0)")
     args = parser.parse_args(argv)
 
     try:
@@ -75,7 +78,8 @@ def main(argv: "list[str] | None" = None) -> int:
         tolerances = RegressionTolerances(
             throughput_drop=args.throughput_drop,
             recall_cliff_drop=args.recall_cliff_drop,
-            recovery_time_rise=args.recovery_time_rise)
+            recovery_time_rise=args.recovery_time_rise,
+            latency_rise=args.latency_rise)
         if args.mode == "append":
             path, summary = append_history(doc, args.history_dir)
             print(f"appended to {path}: {json.dumps(summary, sort_keys=True)}")
