@@ -31,10 +31,21 @@ Commands
     Sweep event-time -> flag-time detection latency over a loss-rate x
     staleness-horizon grid (docs/OBSERVABILITY.md, "Detection lineage &
     latency") and write ``BENCH_latency.json``.
+``bench-fleet``
+    Run the multiprocess fleet pilot (sharded supervised engines, spooled
+    per-worker traces, coordinator escalation) over a workers x loss-rate
+    grid, gate on zero detection divergence vs the single-process run and
+    on global message conservation, and write ``BENCH_fleet.json``.
+``merge-trace``
+    Deterministically merge per-worker trace spools (files or a run
+    directory) into one coherent JSONL trace; optionally validate every
+    merged event and check the fleet-wide message-conservation identity.
 ``explain``
     Reconstruct one detection's full lineage -- decision inputs, model
     version, message hops, retransmits, latency -- from a JSONL trace
-    produced by a ``REPRO_TRACE`` run or ``repro trace``.
+    produced by a ``REPRO_TRACE`` run or ``repro trace``; also reads a
+    worker spool or a run directory of spools (merged on the fly), so
+    lineages may span worker processes.
 ``trace``
     Run one traced experiment under :mod:`repro.obs`, stream the JSONL
     trace to a file, validate every event against the schema, and print
@@ -46,10 +57,15 @@ Commands
     Run one monitored experiment (model-health checks on) and export
     the full metrics registry -- counters, gauges incl. per-node health
     scores, histograms -- as Prometheus text format or JSON lines.
+    With ``--in`` (repeatable; snapshot files or a directory of
+    ``*.metrics.json``), skip the run and export the *merged* snapshots
+    instead -- the fleet-wide export path.
 ``top``
     Live view: run a simulation and render a periodically-refreshing
     per-node table (window fill, health score, drift, message
-    counters).
+    counters).  With ``--trace``, replay a recorded trace -- plain
+    JSONL, a worker spool, or a run directory of spools -- instead of
+    running a simulation; merged traces add a per-node worker column.
 
 ``bench-*``, ``trace`` and ``profile`` additionally take
 ``--metrics-out PATH`` to export their metrics as Prometheus text
@@ -218,15 +234,63 @@ def build_parser() -> argparse.ArgumentParser:
                          help="staleness horizons (ticks) to sweep")
     _add_run_options(latency, seed=7, json_out="BENCH_latency.json")
 
+    fleet = commands.add_parser(
+        "bench-fleet",
+        help="run the multiprocess fleet pilot and gate on detection "
+             "bit-identity and global message conservation")
+    fleet.add_argument("--workers", type=int, nargs="+", default=[2, 4],
+                       help="worker counts to sweep")
+    fleet.add_argument("--loss-rates", type=float, nargs="+",
+                       default=[0.0, 0.25],
+                       help="flag-forwarding loss probabilities to sweep")
+    fleet.add_argument("--streams", type=int, default=8,
+                       help="total sensor streams partitioned across "
+                            "workers")
+    fleet.add_argument("--ticks", type=int, default=240,
+                       help="ticks per cell")
+    fleet.add_argument("--window", type=int, default=100,
+                       help="sliding-window size |W|")
+    fleet.add_argument("--sample", type=int, default=40,
+                       help="kernel sample slots |R|")
+    fleet.add_argument("--batch", type=int, default=32,
+                       help="ticks per ingest batch")
+    fleet.add_argument("--checkpoint-every", type=int, default=64,
+                       help="checkpoint cadence (ticks)")
+    fleet.add_argument("--run-dir", default=None, metavar="DIR",
+                       help="keep per-cell spools and merged traces "
+                            "under DIR (default: temporary)")
+    fleet.add_argument("--in-process", dest="processes",
+                       action="store_false",
+                       help="run workers sequentially in-process instead "
+                            "of spawning (fast; identical results)")
+    _add_run_options(fleet, seed=7, json_out="BENCH_fleet.json")
+
+    merge = commands.add_parser(
+        "merge-trace",
+        help="merge per-worker trace spools into one coherent JSONL "
+             "trace")
+    merge.add_argument("inputs", nargs="+", metavar="SPOOL|DIR",
+                       help="worker spool files, or one run directory "
+                            "of worker-*.spool.jsonl files")
+    merge.add_argument("--out", default="TRACE_merged.jsonl",
+                       metavar="PATH",
+                       help="merged trace path "
+                            "(default: TRACE_merged.jsonl)")
+    merge.add_argument("--validate", action="store_true",
+                       help="check every merged event against the trace "
+                            "schema and exit non-zero on violations")
+
     explain = commands.add_parser(
         "explain",
-        help="reconstruct one detection's lineage from a JSONL trace")
+        help="reconstruct one detection's lineage from a JSONL trace, "
+             "worker spool, or run directory of spools")
     explain.add_argument("detection", nargs="?", default="last",
                          help="which detection: 'last', 'first', a 0-based "
                               "index, or NODE:TICK (flagging node and "
                               "reading tick; default: last)")
     explain.add_argument("--trace", required=True, metavar="PATH",
-                         help="JSONL trace file of the run to explain")
+                         help="JSONL trace file, worker spool, or run "
+                              "directory of spools to explain")
     explain.add_argument("--json", action="store_true",
                          help="emit the lineage record as JSON instead of "
                               "the human-readable rendering")
@@ -286,6 +350,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="measured ticks after warm-up")
     export.add_argument("--health-every", type=int, default=25,
                         help="ticks between model-health sweeps")
+    export.add_argument("--in", dest="inputs", action="append",
+                        default=None, metavar="PATH",
+                        help="merge these metrics snapshots (files or a "
+                             "directory of *.metrics.json) and export the "
+                             "union instead of running an experiment; "
+                             "repeatable")
     export.add_argument("--out", default="metrics.prom", metavar="PATH",
                         help="export path (default: metrics.prom)")
     export.add_argument("--format", default=None,
@@ -295,7 +365,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="root random seed")
 
     top = commands.add_parser(
-        "top", help="live per-node view over a running simulation")
+        "top", help="live per-node view over a running simulation, or "
+                    "a replay of a recorded trace")
+    top.add_argument("--trace", default=None, metavar="PATH",
+                     help="replay this trace (plain JSONL, worker spool, "
+                          "or run directory of spools) instead of "
+                          "running a simulation")
     top.add_argument("--leaves", type=int, default=8,
                      help="leaf sensors in the deployment")
     top.add_argument("--window", type=int, default=300,
@@ -493,18 +568,96 @@ def _cmd_bench_latency(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench_fleet(args) -> int:
+    from repro.eval import fleet
+
+    results = fleet.run_fleet_benchmark(
+        workers=tuple(args.workers), loss_rates=tuple(args.loss_rates),
+        n_streams=args.streams, n_ticks=args.ticks,
+        window_size=args.window, sample_size=args.sample,
+        batch_size=args.batch, checkpoint_every=args.checkpoint_every,
+        seed=args.seed, use_processes=args.processes,
+        run_dir=args.run_dir)
+    print(fleet.format_table(results))
+    path = fleet.write_results(results, args.json_out)
+    print(f"# wrote {path}", file=sys.stderr)
+    if args.metrics_out:
+        _export_metrics_file(
+            _doc_metrics_snapshot(results, "bench.fleet"),
+            args.metrics_out)
+    failures = fleet.check_fleet(results)
+    for failure in failures:
+        print(f"# FLEET FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_merge_trace(args) -> int:
+    from pathlib import Path
+
+    from repro._exceptions import ParameterError, SnapshotError
+    from repro.obs import distributed, schema
+
+    try:
+        if len(args.inputs) == 1 and Path(args.inputs[0]).is_dir():
+            spools = distributed.load_spools(args.inputs[0])
+        else:
+            spools = [distributed.load_spool(path) for path in args.inputs]
+        merged = distributed.merge_spools(spools)
+    except (ParameterError, SnapshotError) as exc:
+        print(f"repro merge-trace: {exc}", file=sys.stderr)
+        return 2
+    path = distributed.write_merged(merged.events, args.out)
+    print(f"# merged {len(spools)} spool(s) "
+          f"(workers {merged.worker_ids}) -> {path} "
+          f"({len(merged.events)} events)", file=sys.stderr)
+    failures = 0
+    for worker_id, n_torn in sorted(merged.torn_by_worker.items()):
+        if n_torn:
+            print(f"# TORN SPOOL: worker {worker_id} lost {n_torn} "
+                  "trailing line(s)", file=sys.stderr)
+    if merged.n_ring_dropped:
+        by_worker = {w: t for w, t
+                     in merged.ring_dropped_by_worker.items() if t}
+        print(f"# RING OVERFLOW: {merged.n_ring_dropped} event(s) "
+              f"evicted from in-memory rings ({by_worker}); spool "
+              "files are sink-complete", file=sys.stderr)
+    if args.validate:
+        problems = schema.validate_events(merged.events)
+        for problem in problems[:50]:
+            print(f"# SCHEMA VIOLATION: {problem}", file=sys.stderr)
+        failures += len(problems)
+    if merged.counter_totals is not None:
+        conservation = distributed.conservation_failures(
+            merged.events, merged.counter_totals)
+        for failure in conservation:
+            print(f"# CONSERVATION FAILURE: {failure}", file=sys.stderr)
+        failures += len(conservation)
+    else:
+        print("# conservation not checked (not every spool has a "
+              "counter-bearing footer)", file=sys.stderr)
+    if not failures:
+        checks = []
+        if args.validate:
+            checks.append("schema valid")
+        if merged.counter_totals is not None:
+            checks.append("conservation holds")
+        if checks:
+            print("# " + "; ".join(checks), file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_explain(args) -> int:
     import json
 
     from repro._exceptions import ParameterError
-    from repro.obs import report
+    from repro.obs.distributed import load_trace
     from repro.obs.explain import (
         explain,
         explanation_dict,
         format_explanation,
     )
 
-    events = report.load_events(args.trace)
+    events = load_trace(args.trace)
     try:
         record = explain(events, args.detection)
     except ParameterError as exc:
@@ -580,6 +733,20 @@ def _cmd_export_metrics(args) -> int:
     from repro.eval.harness import ExperimentConfig, run_accuracy_run
     from repro.obs.export import write_metrics
 
+    if args.inputs:
+        from repro.obs.distributed import load_metrics_snapshots
+        from repro.obs.metrics import merge_snapshots
+
+        snapshots = load_metrics_snapshots(args.inputs)
+        merged = merge_snapshots(snapshots)
+        fmt = write_metrics(merged, args.out, args.format)
+        print(f"# wrote {args.out} ({fmt})", file=sys.stderr)
+        print(f"merged {len(snapshots)} snapshot(s): "
+              f"{len(merged['counters'])} counter(s), "
+              f"{len(merged['gauges'])} gauge(s), "
+              f"{len(merged['histograms'])} histogram(s)")
+        return 0
+
     dataset = args.dataset
     if args.experiment == "mgdd" and dataset == "synthetic":
         dataset = "plateau"   # the MGDD accuracy workload (see harness)
@@ -601,8 +768,19 @@ def _cmd_export_metrics(args) -> int:
 
 
 def _cmd_top(args) -> int:
-    from repro.obs.top import run_top
+    from repro.obs.top import replay_top, run_top
 
+    if args.trace:
+        summary = replay_top(
+            args.trace, refresh_every=args.refresh,
+            interval_s=args.interval, clear=args.clear)
+        meta = summary["meta"]
+        workers = meta.get("worker_ids") if isinstance(meta, dict) else None
+        print(f"# {summary['frames']} frame(s), final tick "
+              f"{summary['final_tick']}, {summary['n_events']} event(s)"
+              + (f", workers {workers}" if workers else ""),
+              file=sys.stderr)
+        return 0
     summary = run_top(
         n_leaves=args.leaves, window_size=args.window, n_ticks=args.ticks,
         refresh_every=args.refresh, interval_s=args.interval,
@@ -635,6 +813,8 @@ def main(argv: "list[str] | None" = None) -> int:
                 "bench-kernels": _cmd_bench_kernels,
                 "bench-recovery": _cmd_bench_recovery,
                 "bench-latency": _cmd_bench_latency,
+                "bench-fleet": _cmd_bench_fleet,
+                "merge-trace": _cmd_merge_trace,
                 "explain": _cmd_explain,
                 "trace": _cmd_trace, "profile": _cmd_profile,
                 "export-metrics": _cmd_export_metrics, "top": _cmd_top}

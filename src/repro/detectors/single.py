@@ -120,6 +120,15 @@ class OnlineOutlierDetector:
         return self._flagged
 
     @property
+    def model_seq(self) -> int:
+        """Version of the cached estimator (PR-9 lineage observational).
+
+        Delegates to :attr:`repro.detectors._state.StreamModelState
+        .model_seq`; never consulted by the decision path.
+        """
+        return self._state.model_seq
+
+    @property
     def is_warm(self) -> bool:
         """Whether the warm-up period has completed."""
         return self._seen > self._warmup

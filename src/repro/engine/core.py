@@ -27,11 +27,28 @@ import numpy as np
 from repro._exceptions import ParameterError
 from repro._rng import resolve_rng
 from repro._validation import require_positive_int
-from repro.core.mdef import MDEFSpec
-from repro.core.outliers import DistanceOutlierSpec
+from repro.core.mdef import MDEFDecision, MDEFSpec
+from repro.core.outliers import DistanceOutlierDecision, DistanceOutlierSpec
 from repro.detectors.single import OnlineOutlierDetector
 
 __all__ = ["DetectorEngine"]
+
+
+def _decision_stats(
+        decision: "DistanceOutlierDecision | MDEFDecision",
+        spec: "DistanceOutlierSpec | MDEFSpec",
+) -> "tuple[float, float]":
+    """(score, threshold) of a flagging decision, PR-9 lineage style.
+
+    Mirrors the conventions of the tick-loop emitters: D3 reports the
+    estimated neighbourhood count against ``count_threshold``, MGDD
+    reports the MDEF statistic against ``k_sigma * sigma_MDEF``.
+    """
+    if isinstance(decision, DistanceOutlierDecision):
+        assert isinstance(spec, DistanceOutlierSpec)
+        return float(decision.neighbor_count), float(spec.count_threshold)
+    assert isinstance(spec, MDEFSpec)
+    return float(decision.mdef), float(spec.k_sigma * decision.sigma_mdef)
 
 
 # repro-lint: shard-state
@@ -54,6 +71,15 @@ class DetectorEngine:
         Source of randomness; per-stream substreams are spawned from it
         at construction, so the engine consumes nothing from the
         caller's generator afterwards.
+    stream_seeds:
+        Explicit per-stream seeds (one per stream) overriding ``rng``.
+        This is the *partition invariance* hook the fleet pilot relies
+        on: derive one seed per global stream, give each worker the
+        slice for its streams, and a stream's detector consumes an
+        identical randomness substream whether it runs in a
+        single-process engine over all streams or in any sharded
+        partitioning -- so detections stay ``np.array_equal`` across
+        process layouts.
     """
 
     def __init__(self, n_streams: int,
@@ -61,16 +87,26 @@ class DetectorEngine:
                  window_size: int, sample_size: int, n_dims: int = 1,
                  warmup: int | None = None, model_refresh: int = 32,
                  epsilon: float = 0.2, bandwidth_basis: str = "window",
-                 rng: np.random.Generator | None = None) -> None:
+                 rng: np.random.Generator | None = None,
+                 stream_seeds: "Sequence[int] | None" = None) -> None:
         require_positive_int("n_streams", n_streams)
         self._n_streams = n_streams
         self._n_dims = n_dims
-        root = resolve_rng(rng)
-        try:
-            stream_rngs = root.spawn(n_streams)
-        except (AttributeError, TypeError):
-            seeds = root.integers(0, 2**63, size=n_streams)
-            stream_rngs = [resolve_rng(None, int(seed)) for seed in seeds]
+        if stream_seeds is not None:
+            if len(stream_seeds) != n_streams:
+                raise ParameterError(
+                    f"stream_seeds must have one seed per stream "
+                    f"({n_streams}), got {len(stream_seeds)}")
+            stream_rngs: "Sequence[np.random.Generator]" = [
+                resolve_rng(None, int(seed)) for seed in stream_seeds]
+        else:
+            root = resolve_rng(rng)
+            try:
+                stream_rngs = root.spawn(n_streams)
+            except (AttributeError, TypeError):
+                seeds = root.integers(0, 2**63, size=n_streams)
+                stream_rngs = [resolve_rng(None, int(seed))
+                               for seed in seeds]
         self._detectors = [
             OnlineOutlierDetector(
                 window_size, sample_size, spec, n_dims=n_dims,
@@ -78,6 +114,7 @@ class DetectorEngine:
                 bandwidth_basis=bandwidth_basis, rng=stream_rng)
             for stream_rng in stream_rngs]
         self._tick = 0
+        self._last_flags: "list[dict[str, Any]]" = []
 
     # ------------------------------------------------------------------
 
@@ -99,6 +136,20 @@ class DetectorEngine:
     def readings_flagged(self) -> int:
         """Total readings flagged across all streams."""
         return sum(d.readings_flagged for d in self._detectors)
+
+    @property
+    def last_flags(self) -> "list[dict[str, Any]]":
+        """Flag details from the most recent :meth:`ingest` call.
+
+        One dict per flagged reading -- ``stream`` (engine-local index),
+        ``tick``, ``score``, ``threshold`` and ``model_seq`` -- ordered
+        by ``(tick, stream)``.  Maintained unconditionally (pure
+        bookkeeping over decisions already computed, no RNG or
+        control-flow impact), so telemetry emitters can consume it
+        without perturbing the detection path: traced and untraced runs
+        stay bit-identical.
+        """
+        return list(self._last_flags)
 
     def memory_words(self) -> int:
         """Logical footprint of all per-stream state, in words."""
@@ -128,13 +179,24 @@ class DetectorEngine:
         arr = self._as_batch(batch)
         m = arr.shape[0]
         detections = np.zeros((m, self._n_streams), dtype=bool)
+        self._last_flags = []
         if m == 0:
             return detections
+        base = self._tick
         for stream, detector in enumerate(self._detectors):
             decisions = detector.process_many(arr[:, stream, :])
             detections[:, stream] = [
                 decision is not None and decision.is_outlier
                 for decision in decisions]
+            spec = detector.spec
+            for offset, decision in enumerate(decisions):
+                if decision is not None and decision.is_outlier:
+                    score, threshold = _decision_stats(decision, spec)
+                    self._last_flags.append({
+                        "stream": stream, "tick": base + offset,
+                        "score": score, "threshold": threshold,
+                        "model_seq": detector.model_seq})
+        self._last_flags.sort(key=lambda f: (f["tick"], f["stream"]))
         self._tick += m
         return detections
 
@@ -160,4 +222,5 @@ class DetectorEngine:
         engine._tick = int(state["tick"])
         engine._detectors = [OnlineOutlierDetector.restore_state(s)
                              for s in state["detectors"]]
+        engine._last_flags = []
         return engine

@@ -102,6 +102,7 @@ class SupervisedEngine:
         self._restarts = 0
         self._recoveries: "list[dict[str, Any]]" = []
         self._recovering = False
+        self._flag_details: "list[dict[str, Any]]" = []
         self._last_heartbeat = time.monotonic()
         self._checkpoint()  # genesis: recovery always has a base
 
@@ -147,6 +148,19 @@ class SupervisedEngine:
         """Per-recovery metrics: crash/checkpoint ticks, replay size, times."""
         return tuple(dict(r) for r in self._recoveries)
 
+    @property
+    def flag_details(self) -> "list[dict[str, Any]]":
+        """Flag details of the most recent :meth:`ingest` call, exactly once.
+
+        Aggregates :attr:`DetectorEngine.last_flags` across the internal
+        crash/checkpoint slices of one outer ``ingest`` -- and *only*
+        those slices: flags re-derived during recovery replay are
+        discarded along with the replay's outputs, so each flagged
+        reading appears exactly once even when a crash forces replay of
+        ticks whose flags were already reported.
+        """
+        return list(self._flag_details)
+
     def heartbeat_age(self) -> float:
         """Seconds since the supervisor last made progress."""
         return time.monotonic() - self._last_heartbeat
@@ -186,6 +200,7 @@ class SupervisedEngine:
         m = arr.shape[0]
         start = self._engine.tick
         detections = np.zeros((m, self._engine.n_streams), dtype=bool)
+        self._flag_details = []
         if m == 0:
             return detections
         self._journal.append(start, arr)
@@ -203,6 +218,7 @@ class SupervisedEngine:
             stop = min(stop, boundary)
             detections[pos:stop - start] = \
                 self._engine.ingest(arr[pos:stop - start])
+            self._flag_details.extend(self._engine.last_flags)
             pos = stop - start
             self._beat()
             if self._engine.tick % self._checkpoint_every == 0:

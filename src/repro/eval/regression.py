@@ -26,6 +26,11 @@ the prior entries:
   ticks, so deterministic -- no CI timing noise) may not rise more than
   ``latency_rise`` above the prior median, and every latency must be
   non-negative.
+* **fleet**: the latest multiprocess pilot must report **zero**
+  detection divergence vs the single-process run and zero conservation
+  failures (both absolute), at least one cross-worker lineage record,
+  and its aggregate readings/sec may not drop more than
+  ``fleet_throughput_drop`` below the prior median.
 
 Throughput and kernels entries record which compute backend
 (``repro.core.backend``) produced them; the gates only compare entries
@@ -78,10 +83,18 @@ class RegressionTolerances:
     #: deterministic, but grid tweaks legitimately move them, so the
     #: default matches ``recovery_time_rise``'s looseness.
     latency_rise: float = 1.0
+    #: Maximum tolerated relative drop of the fleet pilot's worst
+    #: readings/sec vs the median of prior entries.  Process spawn
+    #: overhead dominates the small CI pilot, so this is deliberately
+    #: much looser than ``throughput_drop``; the fleet gate's teeth are
+    #: its absolute divergence/conservation checks.
+    fleet_throughput_drop: float = 0.75
 
     def __post_init__(self) -> None:
         for name, value in (("throughput_drop", self.throughput_drop),
-                            ("recall_cliff_drop", self.recall_cliff_drop)):
+                            ("recall_cliff_drop", self.recall_cliff_drop),
+                            ("fleet_throughput_drop",
+                             self.fleet_throughput_drop)):
             if not 0.0 < value < 1.0:
                 raise ParameterError(
                     f"{name} must lie in (0, 1), got {value!r}")
@@ -201,11 +214,36 @@ def summarize_benchmark(doc: "Mapping[str, object]") -> "dict[str, object]":
             sum(words) / len(words) if words else None
         summary["total_flags"] = flags
         summary["min_recall_level1"] = min(recalls) if recalls else None
+    elif kind == "fleet":
+        cells = doc.get("cells")
+        if not isinstance(cells, list) or not cells:
+            raise ParameterError("fleet document lacks cells")
+        divergence = 0
+        conservation = 0
+        flags = 0
+        cross_worker = 0
+        rates: "list[float]" = []
+        for cell in cells:
+            assert isinstance(cell, Mapping)
+            divergence += int(cell["divergence"])  # type: ignore[arg-type]
+            failures = cell.get("conservation_failures")
+            if isinstance(failures, list):
+                conservation += len(failures)
+            flags += int(cell["n_flags"])  # type: ignore[arg-type]
+            cross = cell.get("n_cross_worker")
+            if isinstance(cross, int):
+                cross_worker += cross
+            rates.append(float(cell["readings_per_sec"]))  # type: ignore[arg-type]
+        summary["total_divergence"] = divergence
+        summary["total_conservation_failures"] = conservation
+        summary["total_flags"] = flags
+        summary["total_cross_worker"] = cross_worker
+        summary["min_readings_per_sec"] = min(rates)
     else:
         raise ParameterError(
             f"cannot summarise benchmark kind {kind!r} "
             "(expected 'ingest-throughput', 'resilience', 'kernels', "
-            "'recovery' or 'latency')")
+            "'recovery', 'latency' or 'fleet')")
     return summary
 
 
@@ -231,7 +269,8 @@ def history_path(kind: str,
             "resilience": "resilience",
             "kernels": "kernels",
             "recovery": "recovery",
-            "latency": "latency"}.get(kind)
+            "latency": "latency",
+            "fleet": "fleet"}.get(kind)
     if stem is None:
         raise ParameterError(f"unknown benchmark kind {kind!r}")
     return base / f"{stem}.jsonl"
@@ -395,6 +434,35 @@ def check_history(entries: "Sequence[Mapping[str, object]]", *,
                         f"latency_p99_max rose {rise:.1%} vs prior median "
                         f"({value:.4g} > {baseline:.4g} ticks, tolerance "
                         f"{tolerances.latency_rise:.0%})")
+    elif kind == "fleet":
+        # Sharding must never change detections or leak messages:
+        # both gates are absolute, like recovery's divergence gate.
+        divergence = latest.get("total_divergence")
+        if not isinstance(divergence, int) or divergence != 0:
+            problems.append(
+                f"total_divergence is {divergence!r}, must be exactly 0")
+        conservation = latest.get("total_conservation_failures")
+        if not isinstance(conservation, int) or conservation != 0:
+            problems.append(
+                f"total_conservation_failures is {conservation!r}, "
+                "must be exactly 0")
+        flags = latest.get("total_flags")
+        if not isinstance(flags, int) or flags <= 0:
+            problems.append(
+                f"total_flags is {flags!r}, the pilot measured nothing")
+        cross = latest.get("total_cross_worker")
+        if not isinstance(cross, int) or cross <= 0:
+            problems.append(
+                f"total_cross_worker is {cross!r}, no lineage record "
+                "spans two workers")
+        history = [float(e["min_readings_per_sec"])  # type: ignore[arg-type]
+                   for e in priors
+                   if isinstance(e.get("min_readings_per_sec"),
+                                 (int, float))]
+        value = latest.get("min_readings_per_sec")
+        if history and isinstance(value, (int, float)):
+            _check_drop("min_readings_per_sec", float(value), history,
+                        tolerances.fleet_throughput_drop, problems)
     else:
         problems.append(f"latest entry has unknown benchmark kind {kind!r}")
     return problems

@@ -34,7 +34,8 @@ import contextlib
 import os
 from typing import Iterator
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               merge_snapshots)
 from repro.obs.profile import PhaseProfiler
 from repro.obs.trace import DEFAULT_CAPACITY, Tracer
 
@@ -51,6 +52,7 @@ __all__ = [
     "deactivate",
     "emit",
     "enabled",
+    "merge_snapshots",
     "metrics",
     "profiler",
     "reset",
@@ -148,6 +150,8 @@ def snapshot() -> "dict[str, object]":
         "n_events": _tracer.n_emitted,
         "n_buffered": len(_tracer.events()),
         "events_by_kind": _tracer.counts_by_kind(),
+        "n_ring_dropped": _tracer.n_dropped,
+        "ring_dropped_by_kind": _tracer.dropped_by_kind(),
         "metrics": _metrics.snapshot(),
         "profile": _profiler.summary(),
     }

@@ -8,16 +8,45 @@ metrics; :meth:`MetricsRegistry.absorb_message_counter` and
 :meth:`MetricsRegistry.absorb_mapping` copy the legacy accounting in at
 the end of a run so a single :meth:`MetricsRegistry.snapshot` answers
 "what happened".
+
+Snapshots are **mergeable**: :meth:`MetricsRegistry.merge` folds a
+snapshot produced in another process into this registry with
+order-insensitive, associative rules (counter addition, gauge
+last-writer-by-tick, histogram bucket-wise addition), so a fleet of
+workers can each ship one snapshot and a coordinator can export the
+union -- the per-site-summary/coordinator shape of the Papapetrou et
+al. sketch paper, applied to telemetry.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, TYPE_CHECKING
+import bisect
+from typing import Iterable, Mapping, TYPE_CHECKING
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+from repro._exceptions import ParameterError
+
+__all__ = ["BUCKET_BOUNDS", "Counter", "Gauge", "Histogram",
+           "MetricsRegistry", "merge_snapshots"]
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.network.messages import MessageCounter
+
+#: Fixed histogram bucket upper bounds (log-spaced, seconds-friendly).
+#: Every histogram shares them, which is what makes two histograms'
+#: bucket counts addable without resampling; the implicit final bucket
+#: is ``+Inf``.
+BUCKET_BOUNDS: "tuple[float, ...]" = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+def _number(mapping: "Mapping[str, object]", key: str) -> float:
+    """A required numeric field of a snapshot fragment, as float."""
+    value = mapping.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ParameterError(
+            f"metrics snapshot: field {key!r} must be numeric, "
+            f"got {value!r}")
+    return float(value)
 
 
 class Counter:
@@ -33,23 +62,49 @@ class Counter:
 
 
 class Gauge:
-    """Last-value-wins float gauge."""
+    """Last-value-wins float gauge.
+
+    A gauge may optionally carry the simulation ``tick`` at which it was
+    last set.  Ticks exist for *merging*: two processes observing the
+    same quantity resolve "which writer was last" by tick, not by the
+    accident of merge order, so fleet-wide exports are deterministic.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self.tick: "int | None" = None
 
-    def set(self, value: float) -> None:
+    def set(self, value: float, tick: "int | None" = None) -> None:
         """Record the current level of the tracked quantity."""
         self.value = float(value)
+        if tick is not None:
+            self.tick = int(tick)
+
+    def merge(self, value: float, tick: "int | None") -> None:
+        """Fold another process's last write in: last-writer-by-tick.
+
+        The write with the larger tick wins; an untick'd write never
+        beats a tick'd one.  Ties (equal ticks, or both untick'd) keep
+        the larger value -- an arbitrary but *order-insensitive* rule,
+        so merging N snapshots yields the same gauge whatever the order.
+        """
+        ours = (-1 if self.tick is None else self.tick, self.value)
+        theirs = (-1 if tick is None else int(tick), float(value))
+        if theirs > ours:
+            self.value = float(value)
+            self.tick = None if tick is None else int(tick)
 
 
 class Histogram:
-    """Streaming summary of observed values (count/total/min/max).
+    """Streaming summary of observed values (count/total/min/max/buckets).
 
     Deliberately O(1) memory: the hot paths observing into a histogram
     (e.g. ``estimator.range_query.latency``) run millions of times and
-    must not accumulate per-observation state.
+    must not accumulate per-observation state.  The fixed
+    :data:`BUCKET_BOUNDS` grid (plus an implicit ``+Inf`` overflow
+    bucket) adds a constant-size tail distribution that two histograms
+    can merge by element-wise addition.
     """
 
     def __init__(self, name: str) -> None:
@@ -58,6 +113,7 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.bucket_counts: "list[int]" = [0] * (len(BUCKET_BOUNDS) + 1)
 
     def observe(self, value: float) -> None:
         """Fold one observation into the summary."""
@@ -68,15 +124,49 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self.bucket_counts[bisect.bisect_left(BUCKET_BOUNDS, value)] += 1
 
-    def summary(self) -> "dict[str, float]":
-        """count/total/mean/min/max as a plain dict (zeros when empty)."""
+    def merge_summary(self, summary: "Mapping[str, object]") -> None:
+        """Fold another histogram's :meth:`summary` in (bucket-wise add).
+
+        Summaries from an older snapshot without bucket counts merge
+        their whole count into the overflow bucket -- lossy on shape but
+        conservation-exact on ``count``/``total``.
+        """
+        count = int(_number(summary, "count"))
+        if count == 0:
+            return
+        self.count += count
+        self.total += _number(summary, "total")
+        self.min = min(self.min, _number(summary, "min"))
+        self.max = max(self.max, _number(summary, "max"))
+        theirs = summary.get("bucket_counts")
+        if theirs is None:
+            self.bucket_counts[-1] += count
+            return
+        if list(summary.get("bucket_bounds", ())) != list(BUCKET_BOUNDS):
+            raise ParameterError(
+                f"histogram {self.name!r}: incompatible bucket bounds "
+                f"{summary.get('bucket_bounds')!r}")
+        if not isinstance(theirs, (list, tuple)) \
+                or len(theirs) != len(self.bucket_counts):
+            raise ParameterError(
+                f"histogram {self.name!r}: malformed bucket_counts")
+        for i, n in enumerate(theirs):
+            self.bucket_counts[i] += int(n)
+
+    def summary(self) -> "dict[str, object]":
+        """count/total/mean/min/max/buckets as a plain dict."""
         if self.count == 0:
             return {"count": 0, "total": 0.0, "mean": 0.0,
-                    "min": 0.0, "max": 0.0}
+                    "min": 0.0, "max": 0.0,
+                    "bucket_bounds": list(BUCKET_BOUNDS),
+                    "bucket_counts": list(self.bucket_counts)}
         return {"count": self.count, "total": self.total,
                 "mean": self.total / self.count,
-                "min": self.min, "max": self.max}
+                "min": self.min, "max": self.max,
+                "bucket_bounds": list(BUCKET_BOUNDS),
+                "bucket_counts": list(self.bucket_counts)}
 
 
 class MetricsRegistry:
@@ -151,13 +241,80 @@ class MetricsRegistry:
         elif isinstance(value, (int, float)):
             self.gauge(name).set(float(value))
 
+    # -- merge ---------------------------------------------------------
+
+    def merge(self, snapshot: "Mapping[str, object]") -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Merge rules -- each associative and commutative, so N worker
+        snapshots produce the same fleet registry in any merge order:
+
+        * counters add;
+        * gauges resolve last-writer-by-tick (see :meth:`Gauge.merge`),
+          reading per-gauge ticks from the snapshot's ``gauge_ticks``
+          side table when present;
+        * histograms add bucket-wise (see :meth:`Histogram.merge_summary`).
+        """
+        counters = snapshot.get("counters", {})
+        if isinstance(counters, Mapping):
+            for name in counters:
+                self.counter(str(name)).inc(int(_number(counters, name)))
+        ticks_obj = snapshot.get("gauge_ticks", {})
+        ticks: "Mapping[str, object]" = (
+            ticks_obj if isinstance(ticks_obj, Mapping) else {})
+        gauges = snapshot.get("gauges", {})
+        if isinstance(gauges, Mapping):
+            for name in gauges:
+                tick_value = ticks.get(str(name))
+                tick = (int(tick_value)
+                        if isinstance(tick_value, int)
+                        and not isinstance(tick_value, bool) else None)
+                existing = self._gauges.get(str(name))
+                if existing is None:
+                    # First write for this name: adopt it verbatim.  (A
+                    # get-or-create gauge starts at 0.0, which must not
+                    # out-compete a real negative write in the merge.)
+                    self.gauge(str(name)).set(
+                        _number(gauges, str(name)), tick)
+                else:
+                    existing.merge(_number(gauges, str(name)), tick)
+        histograms = snapshot.get("histograms", {})
+        if isinstance(histograms, Mapping):
+            for name, summary in histograms.items():
+                if not isinstance(summary, Mapping):
+                    raise ParameterError(
+                        f"metrics snapshot: histogram {name!r} summary "
+                        "must be a mapping")
+                self.histogram(str(name)).merge_summary(summary)
+
     # -- export --------------------------------------------------------
 
     def snapshot(self) -> "dict[str, dict[str, object]]":
-        """All metrics as plain data: counters, gauges, histograms."""
-        return {
+        """All metrics as plain data: counters, gauges, histograms.
+
+        The optional ``gauge_ticks`` side table (gauge name -> tick of
+        its last write) appears only when at least one gauge carries a
+        tick, keeping the empty-registry snapshot shape identical to
+        what pre-distributed consumers expect.
+        """
+        snap: "dict[str, dict[str, object]]" = {
             "counters": {n: c.value for n, c in sorted(self._counters.items())},
             "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
             "histograms": {n: h.summary()
                            for n, h in sorted(self._histograms.items())},
         }
+        ticks = {n: g.tick for n, g in sorted(self._gauges.items())
+                 if g.tick is not None}
+        if ticks:
+            snap["gauge_ticks"] = dict(ticks)
+        return snap
+
+
+def merge_snapshots(
+        snapshots: "Iterable[Mapping[str, object]]",
+) -> "dict[str, dict[str, object]]":
+    """Merge N metrics snapshots into one fleet-wide snapshot."""
+    registry = MetricsRegistry()
+    for snap in snapshots:
+        registry.merge(snap)
+    return registry.snapshot()

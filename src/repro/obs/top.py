@@ -33,7 +33,7 @@ from repro.network.topology import build_hierarchy
 from repro.obs.health import HealthMonitor
 from repro._exceptions import ParameterError
 
-__all__ = ["build_workload", "TopView", "run_top"]
+__all__ = ["build_workload", "TopView", "replay_top", "run_top"]
 
 #: ANSI clear-screen + cursor-home, used between interactive frames.
 _CLEAR = "\x1b[2J\x1b[H"
@@ -152,6 +152,130 @@ class TopView:
                 lines.append("  ".join("-" * w for w in widths))
         self._frames += 1
         return "\n".join(lines)
+
+
+class _TraceTopView:
+    """Per-node roll-up folded from recorded (possibly merged) events."""
+
+    def __init__(self) -> None:
+        self.sent: "dict[int, int]" = {}
+        self.received: "dict[int, int]" = {}
+        self.flags: "dict[int, int]" = {}
+        self.latency_max: "dict[int, int]" = {}
+        self.workers: "dict[int, set[int]]" = {}
+        self.n_events = 0
+
+    def absorb(self, record: "dict[str, object]") -> None:
+        self.n_events += 1
+        kind = record.get("event")
+        node: "object | None" = None
+        if kind == "message.send":
+            node = record.get("sender")
+            if isinstance(node, int) and not isinstance(node, bool):
+                self.sent[node] = self.sent.get(node, 0) + 1
+        elif kind == "message.deliver":
+            node = record.get("dest")
+            if isinstance(node, int) and not isinstance(node, bool):
+                self.received[node] = self.received.get(node, 0) + 1
+        elif kind == "detector.flag":
+            node = record.get("node")
+            if isinstance(node, int) and not isinstance(node, bool):
+                self.flags[node] = self.flags.get(node, 0) + 1
+                latency = record.get("latency")
+                if isinstance(latency, int) and not isinstance(
+                        latency, bool):
+                    previous = self.latency_max.get(node)
+                    if previous is None or latency > previous:
+                        self.latency_max[node] = latency
+        if isinstance(node, int) and not isinstance(node, bool):
+            worker = record.get("worker_id")
+            if isinstance(worker, int) and not isinstance(worker, bool):
+                self.workers.setdefault(node, set()).add(worker)
+
+    def render(self, tick: int, *, title: str) -> str:
+        rows = [("node", "workers", "sent", "recv", "flags", "lat")]
+        nodes = sorted(set(self.sent) | set(self.received)
+                       | set(self.flags))
+        for node_id in nodes:
+            latency = self.latency_max.get(node_id)
+            workers = self.workers.get(node_id)
+            rows.append((
+                str(node_id),
+                ",".join(str(w) for w in sorted(workers))
+                if workers else "-",
+                str(self.sent.get(node_id, 0)),
+                str(self.received.get(node_id, 0)),
+                str(self.flags.get(node_id, 0)),
+                "-" if latency is None else str(latency)))
+        widths = [max(len(row[i]) for row in rows)
+                  for i in range(len(rows[0]))]
+        lines = [f"{title}  tick={tick}  nodes={len(rows) - 1}  "
+                 f"events={self.n_events}"]
+        for j, row in enumerate(rows):
+            lines.append("  ".join(cell.rjust(widths[i]) if i else
+                                   cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)))
+            if j == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+
+def replay_top(trace: str, *, refresh_every: int = 50,
+               interval_s: float = 0.0, out: "TextIO | None" = None,
+               clear: bool = False) -> "dict[str, object]":
+    """``repro top --trace``: replay a recorded trace as fleet frames.
+
+    ``trace`` is anything :func:`repro.obs.distributed.load_trace`
+    accepts -- a plain JSONL trace, one worker spool, or a run
+    directory of spools (merged on the fly).  Events are folded in
+    order and a frame is rendered whenever the high-water tick crosses
+    the next ``refresh_every`` boundary, so the replay paces like the
+    live view did; a ``workers`` column shows which worker ids each
+    node's events came from (merged multi-worker traces only).  The
+    summary dict carries the distributed meta -- worker ids, per-worker
+    ring drops, torn spools -- alongside frames/final tick.
+    """
+    from repro.obs.distributed import load_trace_meta
+
+    if refresh_every < 1:
+        raise ParameterError(
+            f"refresh_every must be >= 1, got {refresh_every}")
+    sink = out if out is not None else sys.stdout
+    events, meta = load_trace_meta(trace)
+    view = _TraceTopView()
+    frames = 0
+    high_water = -1
+    boundary = refresh_every
+
+    def flush_frame(tick: int) -> None:
+        nonlocal frames
+        frame = view.render(tick, title="repro top (replay)")
+        if clear:
+            sink.write(_CLEAR)
+        sink.write(frame + "\n")
+        if not clear:
+            sink.write("\n")
+        sink.flush()
+        frames += 1
+        if interval_s > 0:
+            time.sleep(interval_s)
+
+    for record in events:
+        tick = record.get("tick")
+        if isinstance(tick, int) and not isinstance(tick, bool) \
+                and tick > high_water:
+            high_water = tick
+            while high_water >= boundary:
+                flush_frame(boundary - 1)
+                boundary += refresh_every
+        view.absorb(record)
+    flush_frame(max(high_water, 0))
+    return {
+        "frames": frames,
+        "final_tick": max(high_water, 0),
+        "n_events": len(events),
+        "meta": meta,
+    }
 
 
 def run_top(*, n_leaves: int = 8, window_size: int = 300,

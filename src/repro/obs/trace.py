@@ -64,6 +64,7 @@ class Tracer:
         self._stack: "list[int]" = []
         self._sink: "TextIO | None" = None
         self._sink_path: "str | None" = None
+        self._dropped_by_kind: "dict[str, int]" = {}
 
     # ------------------------------------------------------------------
 
@@ -81,6 +82,17 @@ class Tracer:
     def n_dropped(self) -> int:
         """Events the ring buffer has discarded (0 unless it overflowed)."""
         return max(0, self._seq - len(self._ring))
+
+    def dropped_by_kind(self) -> "dict[str, int]":
+        """Ring-evicted event counts per ``event`` kind.
+
+        A wrapped ring is a *counted* gap, never a silent one: the kind
+        of every evicted record is tallied here, so a trace consumer can
+        distinguish "no ``message.send`` events happened" from
+        "``message.send`` events were evicted".  The file sink, when
+        open, still holds every event regardless.
+        """
+        return dict(self._dropped_by_kind)
 
     @property
     def sink_path(self) -> "str | None":
@@ -101,17 +113,20 @@ class Tracer:
 
     # -- sink ----------------------------------------------------------
 
-    def open_sink(self, path: str) -> None:
+    def open_sink(self, path: str, append: bool = False) -> None:
         """Start appending every emitted event to ``path`` as JSONL.
 
         An unwritable path raises :class:`ParameterError` up front with
         the OS error attached, so a bad ``REPRO_TRACE_FILE`` or
         ``--trace-out`` fails at activation time with a clear message
-        instead of crashing mid-run on the first emit.
+        instead of crashing mid-run on the first emit.  ``append=True``
+        preserves existing content -- the spooled sinks of
+        :mod:`repro.obs.distributed` write a provenance header line
+        before handing the file to the tracer.
         """
         self.close_sink()
         try:
-            self._sink = open(path, "w", encoding="utf-8")
+            self._sink = open(path, "a" if append else "w", encoding="utf-8")
         except OSError as exc:
             raise ParameterError(
                 f"cannot open trace sink {path!r}: {exc}") from exc
@@ -140,6 +155,10 @@ class Tracer:
             "span": self.current_span()}
         record.update(fields)
         self._seq += 1
+        if len(self._ring) == self._ring.maxlen:
+            evicted = str(self._ring[0]["event"])
+            self._dropped_by_kind[evicted] = (
+                self._dropped_by_kind.get(evicted, 0) + 1)
         self._ring.append(record)
         if self._sink is not None:
             try:

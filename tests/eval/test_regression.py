@@ -224,3 +224,76 @@ class TestCliTool:
             capture_output=True, text=True, cwd=REPO_ROOT)
         assert second.returncode == 1
         assert "REGRESSION" in second.stderr
+
+
+def _fleet_doc(*, divergence=0, conservation=(), flags=40,
+               cross_worker=6, rate=12_000.0, sha="abc123", seed=7):
+    return {
+        "benchmark": "fleet",
+        "meta": {"git_sha": sha, "seed": seed},
+        "cells": [
+            {"n_workers": 2, "loss_rate": 0.0, "divergence": divergence,
+             "conservation_failures": list(conservation),
+             "n_flags": flags, "n_cross_worker": cross_worker,
+             "readings_per_sec": rate},
+            {"n_workers": 4, "loss_rate": 0.25, "divergence": 0,
+             "conservation_failures": [], "n_flags": flags,
+             "n_cross_worker": cross_worker,
+             "readings_per_sec": rate * 1.5},
+        ],
+    }
+
+
+class TestFleetKind:
+    def test_summary_totals(self):
+        summary = summarize_benchmark(_fleet_doc())
+        assert summary["total_divergence"] == 0
+        assert summary["total_conservation_failures"] == 0
+        assert summary["total_flags"] == 80
+        assert summary["total_cross_worker"] == 12
+        assert summary["min_readings_per_sec"] == 12_000.0
+
+    def test_history_path_registered(self, tmp_path):
+        assert history_path("fleet", tmp_path).name == "fleet.jsonl"
+
+    def test_divergence_and_conservation_gates_are_absolute(self):
+        # Unlike throughput these gates ignore the prior median: any
+        # non-zero value in the latest entry fails outright.
+        entries = [summarize_benchmark(_fleet_doc()),
+                   summarize_benchmark(_fleet_doc(
+                       divergence=1, conservation=("leak",),
+                       cross_worker=0, sha="def456"))]
+        problems = check_history(entries)
+        assert any("total_divergence" in p for p in problems)
+        assert any("total_conservation_failures" in p for p in problems)
+        assert any("total_cross_worker" in p for p in problems)
+
+    def test_zero_flags_fails(self):
+        entries = [summarize_benchmark(_fleet_doc()),
+                   summarize_benchmark(_fleet_doc(flags=0,
+                                                  sha="def456"))]
+        problems = check_history(entries)
+        assert any("total_flags" in p for p in problems)
+
+    def test_throughput_gate_is_loose(self):
+        entries = [summarize_benchmark(_fleet_doc()),
+                   summarize_benchmark(_fleet_doc(rate=12_000.0 * 0.4,
+                                                  sha="def456"))]
+        # -60% passes the deliberately loose 75% fleet tolerance
+        # (spawn-bound CI timing is noisy)...
+        assert check_history(entries) == []
+        entries[-1] = summarize_benchmark(_fleet_doc(rate=12_000.0 * 0.2,
+                                                     sha="eee789"))
+        # ...and -80% does not.
+        problems = check_history(entries)
+        assert any("min_readings_per_sec" in p for p in problems)
+
+    def test_fleet_tolerance_validated(self):
+        with pytest.raises(ParameterError):
+            RegressionTolerances(fleet_throughput_drop=0.0)
+
+    def test_committed_fleet_artifacts_gate_green(self):
+        doc = json.loads((REPO_ROOT / "BENCH_fleet.json").read_text())
+        assert summarize_benchmark(doc)["benchmark"] == "fleet"
+        path = REPO_ROOT / "benchmarks" / "history" / "fleet.jsonl"
+        assert check_history(load_history(path)) == []

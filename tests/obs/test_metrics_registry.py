@@ -83,3 +83,79 @@ class TestAbsorb:
         snap = registry.snapshot()
         assert list(snap["counters"]) == ["a", "b"]
         assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestMerge:
+    """Fleet merge rules: counters add, gauges last-writer-by-tick,
+    histograms bucket-wise -- each associative and commutative."""
+
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("fleet.flags").inc(3)
+        b.counter("fleet.flags").inc(4)
+        b.counter("fleet.readings").inc(10)
+        a.merge(b.snapshot())
+        counters = a.snapshot()["counters"]
+        assert counters["fleet.flags"] == 7
+        assert counters["fleet.readings"] == 10
+
+    def test_gauges_resolve_last_writer_by_tick(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("fleet.progress.tick").set(120.0, tick=120)
+        b.gauge("fleet.progress.tick").set(80.0, tick=80)
+        a.merge(b.snapshot())
+        # The later tick wins regardless of merge direction.
+        assert a.snapshot()["gauges"]["fleet.progress.tick"] == 120.0
+        b.merge(MetricsRegistry().snapshot())   # no-op
+        fresh = MetricsRegistry()
+        fresh.merge(b.snapshot())
+        snap_a = MetricsRegistry()
+        snap_a.gauge("fleet.progress.tick").set(120.0, tick=120)
+        fresh.merge(snap_a.snapshot())
+        assert fresh.snapshot()["gauges"]["fleet.progress.tick"] == 120.0
+
+    def test_untick_gauge_adopted_not_zero_clobbered(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.gauge("fleet.worker.1.elapsed_s").set(-2.5)
+        a.merge(b.snapshot())
+        assert a.snapshot()["gauges"]["fleet.worker.1.elapsed_s"] == -2.5
+
+    def test_histograms_merge_bucket_wise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for value in (1.0, 2.0):
+            a.histogram("fleet.batch_ingest_s").observe(value)
+        for value in (3.0, 6.0):
+            b.histogram("fleet.batch_ingest_s").observe(value)
+        a.merge(b.snapshot())
+        summary = a.snapshot()["histograms"]["fleet.batch_ingest_s"]
+        assert summary["count"] == 4
+        assert summary["min"] == 1.0
+        assert summary["max"] == 6.0
+        assert summary["mean"] == 3.0
+
+    def test_merge_snapshots_order_insensitive(self):
+        import itertools
+
+        from repro.obs.metrics import merge_snapshots
+
+        snaps = []
+        for worker, (tick, flags) in enumerate([(100, 3), (160, 5),
+                                                (40, 1)]):
+            registry = MetricsRegistry()
+            registry.counter("fleet.flags").inc(flags)
+            registry.gauge("fleet.progress.tick").set(float(tick),
+                                                      tick=tick)
+            registry.histogram("h").observe(float(worker))
+            snaps.append(registry.snapshot())
+        baseline = merge_snapshots(snaps)
+        for ordering in itertools.permutations(snaps):
+            assert merge_snapshots(list(ordering)) == baseline
+        assert baseline["counters"]["fleet.flags"] == 9
+        assert baseline["gauges"]["fleet.progress.tick"] == 160.0
+
+    def test_empty_snapshot_shape_has_no_gauge_ticks(self):
+        snap = MetricsRegistry().snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+        ticked = MetricsRegistry()
+        ticked.gauge("g").set(1.0, tick=3)
+        assert ticked.snapshot()["gauge_ticks"] == {"g": 3}

@@ -243,3 +243,52 @@ class TestEnvParsing:
     def test_unset_is_falsey(self, monkeypatch):
         monkeypatch.delenv("REPRO_TRACE", raising=False)
         assert not obs._env_active()
+
+
+class TestRingDropAccounting:
+    """Satellite of the distributed plane: per-kind overflow counts."""
+
+    def test_dropped_by_kind_tallies_evictions(self):
+        tracer = Tracer(capacity=4)
+        for _ in range(6):
+            tracer.emit("sample.evict", count=1)
+        for _ in range(2):
+            tracer.emit("transport.expire", seq_no=0, attempts=1)
+        # 8 emitted into a 4-slot ring: the 4 oldest (all sample.evict)
+        # were evicted, and the tally says which kinds they were.
+        assert tracer.n_dropped == 4
+        assert tracer.dropped_by_kind() == {"sample.evict": 4}
+
+    def test_no_overflow_means_empty_tally(self):
+        tracer = Tracer()
+        tracer.emit("sample.evict", count=1)
+        assert tracer.dropped_by_kind() == {}
+
+    def test_snapshot_surfaces_ring_drops(self):
+        obs.activate()
+        obs.emit("sample.evict", count=1)
+        snap = obs.snapshot()
+        assert snap["n_ring_dropped"] == 0
+        assert snap["ring_dropped_by_kind"] == {}
+
+    def test_sink_is_complete_despite_ring_overflow(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(capacity=2)
+        tracer.open_sink(str(path))
+        for i in range(5):
+            tracer.emit("sample.evict", count=i)
+        tracer.close_sink()
+        # The ring evicted 3 events; the sink file still holds all 5.
+        assert tracer.n_dropped == 3
+        assert len(path.read_text().splitlines()) == 5
+
+    def test_append_mode_preserves_existing_content(self, tmp_path):
+        path = tmp_path / "spool.jsonl"
+        path.write_text('{"spool_header": {"worker_id": 1}}\n')
+        tracer = Tracer()
+        tracer.open_sink(str(path), append=True)
+        tracer.emit("sample.evict", count=1)
+        tracer.close_sink()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert "spool_header" in lines[0]

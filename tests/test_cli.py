@@ -262,3 +262,105 @@ class TestCommands:
         captured = capsys.readouterr()
         assert captured.out.count("repro top") == 3
         assert "frame(s)" in captured.err
+
+
+class TestFleetParser:
+    def test_bench_fleet_arguments(self):
+        args = build_parser().parse_args(["bench-fleet"])
+        assert args.workers == [2, 4]
+        assert args.loss_rates == [0.0, 0.25]
+        assert args.seed == 7
+        assert args.json_out == "BENCH_fleet.json"
+        assert args.processes is True
+        args = build_parser().parse_args(
+            ["bench-fleet", "--workers", "2", "--loss-rates", "0.1",
+             "--in-process", "--run-dir", "runs/x"])
+        assert args.workers == [2]
+        assert args.processes is False
+        assert args.run_dir == "runs/x"
+
+    def test_merge_trace_arguments(self):
+        args = build_parser().parse_args(
+            ["merge-trace", "a.spool.jsonl", "b.spool.jsonl",
+             "--validate"])
+        assert args.inputs == ["a.spool.jsonl", "b.spool.jsonl"]
+        assert args.out == "TRACE_merged.jsonl"
+        assert args.validate is True
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["merge-trace"])
+
+    def test_export_metrics_in_snapshots(self):
+        args = build_parser().parse_args(
+            ["export-metrics", "--in", "a.json", "--in", "b.json"])
+        assert args.inputs == ["a.json", "b.json"]
+        assert build_parser().parse_args(
+            ["export-metrics"]).inputs is None
+
+    def test_top_trace_argument(self):
+        args = build_parser().parse_args(["top", "--trace", "run/"])
+        assert args.trace == "run/"
+        assert build_parser().parse_args(["top"]).trace is None
+
+
+class TestFleetCommands:
+    def test_bench_fleet_merge_explain_export_top_round_trip(
+            self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import parse_prometheus
+
+        # One in-process pilot cell with loss, artifacts kept.
+        run_dir = tmp_path / "fleet"
+        json_out = tmp_path / "fleet.json"
+        assert main(["bench-fleet", "--in-process", "--workers", "2",
+                     "--loss-rates", "0.25", "--streams", "4",
+                     "--ticks", "120", "--window", "60",
+                     "--sample", "24", "--batch", "40",
+                     "--checkpoint-every", "60",
+                     "--run-dir", str(run_dir),
+                     "--json-out", str(json_out)]) == 0
+        out = capsys.readouterr().out
+        assert "xworker" in out
+        doc = json.loads(json_out.read_text())
+        assert doc["benchmark"] == "fleet"
+        cell_dir = run_dir / "cell-0"
+
+        # merge-trace over the spool directory, schema-validated.
+        merged = tmp_path / "merged.jsonl"
+        assert main(["merge-trace", str(cell_dir), "--out", str(merged),
+                     "--validate"]) == 0
+        captured = capsys.readouterr()
+        assert "schema valid; conservation holds" in captured.err
+        assert merged.exists()
+
+        # explain reads the merged trace and the spool dir alike; the
+        # lineage must span the worker and the coordinator.
+        assert main(["explain", "last", "--trace", str(merged),
+                     "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["complete"] is True
+        workers = {hop.get("worker_id") for hop in record["hops"]}
+        assert len(workers) >= 2
+        assert main(["explain", "last", "--trace", str(cell_dir)]) == 0
+        assert "flagged by node" in capsys.readouterr().out
+
+        # export-metrics --in merges the per-worker snapshots.
+        prom = tmp_path / "fleet.prom"
+        assert main(["export-metrics", "--in", str(cell_dir),
+                     "--out", str(prom)]) == 0
+        capsys.readouterr()
+        names = parse_prometheus(prom.read_text())
+        assert any("fleet_flags" in name for name in names)
+
+        # top --trace replays the merged trace headless.
+        assert main(["top", "--trace", str(cell_dir), "--refresh", "40",
+                     "--interval", "0", "--no-clear"]) == 0
+        captured = capsys.readouterr()
+        assert "repro top (replay)" in captured.out
+        assert "workers" in captured.out
+
+    def test_merge_trace_rejects_non_spools(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text("{not json}\n")
+        assert main(["merge-trace", str(bogus)]) == 2
+        assert "merge-trace:" in capsys.readouterr().err

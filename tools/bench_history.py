@@ -14,7 +14,13 @@ the committed history without touching it; ``gate`` appends and then
 checks the updated history, exiting non-zero on regression -- the mode
 the CI bench jobs run.  Tolerances (relative throughput drop, recall
 cliff) live in :mod:`repro.eval.regression` and can be overridden with
-``--throughput-drop`` / ``--recall-cliff-drop`` / ``--latency-rise``.
+``--throughput-drop`` / ``--recall-cliff-drop`` / ``--latency-rise`` /
+``--fleet-throughput-drop``.
+
+Known kinds: ``ingest-throughput``, ``resilience``, ``kernels``,
+``recovery``, ``latency`` and ``fleet`` (the multiprocess pilot --
+gated absolutely on zero divergence/conservation failures, loosely on
+readings/sec).
 """
 
 from __future__ import annotations
@@ -71,6 +77,11 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--latency-rise", type=float, default=1.0,
                         help="tolerated relative detection-latency P99 "
                              "rise vs the prior median (default 1.0)")
+    parser.add_argument("--fleet-throughput-drop", type=float,
+                        default=0.75,
+                        help="tolerated relative fleet readings/sec drop "
+                             "vs the prior median (default 0.75; spawn "
+                             "overhead makes the pilot noisy)")
     args = parser.parse_args(argv)
 
     try:
@@ -79,7 +90,8 @@ def main(argv: "list[str] | None" = None) -> int:
             throughput_drop=args.throughput_drop,
             recall_cliff_drop=args.recall_cliff_drop,
             recovery_time_rise=args.recovery_time_rise,
-            latency_rise=args.latency_rise)
+            latency_rise=args.latency_rise,
+            fleet_throughput_drop=args.fleet_throughput_drop)
         if args.mode == "append":
             path, summary = append_history(doc, args.history_dir)
             print(f"appended to {path}: {json.dumps(summary, sort_keys=True)}")
